@@ -1,0 +1,18 @@
+"""Ablation bench: lazy vs eager standard-deviation recomputation (Sec. 3)."""
+
+from conftest import emit, once
+
+from repro.experiments.ablations import ablate_lazy_sd
+
+
+def test_lazy_sd_amortization(benchmark):
+    result = once(benchmark, ablate_lazy_sd, packets=20_000)
+    emit(
+        "Ablation: lazy vs eager sigma",
+        f"packets={result.packets} value_adds={result.value_adds}\n"
+        f"MSB if-chain comparisons: lazy={result.comparisons_lazy} "
+        f"eager={result.comparisons_eager}\n"
+        f"amortization: {result.amortization:.1f}x fewer comparisons "
+        "(the Sec. 3 rationale for lazy computation)",
+    )
+    assert result.amortization > 10

@@ -1,0 +1,23 @@
+"""Ablation bench: one-step-per-packet vs multi-step median movement."""
+
+from conftest import emit, once
+
+from repro.experiments.ablations import ablate_median_steps
+
+
+def test_median_step_budget(benchmark):
+    results = once(benchmark, ablate_median_steps, budgets=(1, 2, 4, 8))
+    lines = [
+        f"steps/packet={r.steps_per_update}: converged after "
+        f"{r.samples_to_converge} samples, final error "
+        f"{r.final_error_percent:.2f}%"
+        for r in results
+    ]
+    emit(
+        "Ablation: median movement budget",
+        "\n".join(lines)
+        + "\n(1 step/packet is what P4 can do without recirculation)",
+    )
+    budgets = {r.steps_per_update: r for r in results}
+    assert budgets[8].samples_to_converge <= budgets[1].samples_to_converge
+    assert all(r.final_error_percent <= 1.0 for r in results)

@@ -1,0 +1,22 @@
+"""Ablation bench: exact vs shift-approximated squaring (Sec. 2 fallback)."""
+
+from conftest import emit, once
+
+from repro.experiments.ablations import ablate_square_approx
+
+
+def test_square_approximation_accuracy(benchmark):
+    result = once(benchmark, ablate_square_approx, samples=4000)
+    emit(
+        "Ablation: exact vs approximate squaring",
+        f"sigma relative error, exact squares:  mean={result.mean_sd_error_exact:.3f} "
+        f"max={result.max_sd_error_exact:.3f}\n"
+        f"sigma relative error, shift squares:  mean={result.mean_sd_error_approx:.3f} "
+        f"max={result.max_sd_error_approx:.3f}\n"
+        "finding: the variance N*Xsumsq - Xsum^2 cancels catastrophically "
+        "under approximate squares when sigma << mean — hardware targets "
+        "should keep margins generous (bmv2, as the paper uses, squares "
+        "exactly)",
+    )
+    assert result.mean_sd_error_exact < result.mean_sd_error_approx
+    assert result.mean_sd_error_exact < 0.08

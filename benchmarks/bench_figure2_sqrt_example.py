@@ -1,0 +1,50 @@
+"""Bench: Figure 2 — the square-root algorithm itself.
+
+Covers the paper's worked example (sqrt(106) -> 10) and measures the
+per-call cost of the primitive, since it runs on the per-value-add path of
+every distribution with a k-sigma check.
+"""
+
+import random
+
+from conftest import emit
+
+from repro.core.approx import approx_isqrt, approx_isqrt_parts
+from repro.core.bitops import msb_position
+
+
+def test_figure2_worked_example(benchmark):
+    result = benchmark(approx_isqrt, 106)
+    assert result == 10
+    exponent, shifted_exponent, shifted_mantissa = approx_isqrt_parts(106)
+    emit(
+        "Figure 2: worked example",
+        f"y=106 exponent={exponent} shifted_exponent={shifted_exponent} "
+        f"shifted_mantissa={shifted_mantissa:06b} -> isqrt={result}",
+    )
+
+
+def test_isqrt_throughput_random_32bit(benchmark):
+    rng = random.Random(0)
+    values = [rng.randrange(1, 1 << 32) for _ in range(1024)]
+
+    def sweep():
+        total = 0
+        for v in values:
+            total += approx_isqrt(v)
+        return total
+
+    assert benchmark(sweep) > 0
+
+
+def test_msb_search_throughput(benchmark):
+    rng = random.Random(1)
+    values = [rng.randrange(1, 1 << 64) for _ in range(1024)]
+
+    def sweep():
+        total = 0
+        for v in values:
+            total += msb_position(v)
+        return total
+
+    assert benchmark(sweep) > 0

@@ -1,0 +1,55 @@
+"""Bench: Figure 3 — the one-step-per-packet median update.
+
+Replays the figure's exact state (median at 4, low=12, high=12, then value
+8 arrives and the median walks to 6 in two packets) and measures the
+per-packet cost of the tracker.
+"""
+
+import random
+
+from conftest import emit
+
+from repro.core.percentile import PercentileTracker
+
+FIGURE_FREQS = [0, 0, 10, 2, 0, 0, 1, 0, 0, 5, 6]  # values 1..10 at idx 1..10
+
+
+def figure_state():
+    tracker = PercentileTracker(11)
+    tracker.freqs = list(FIGURE_FREQS)
+    tracker._position = 4
+    tracker.low = 12
+    tracker.high = 12
+    tracker.total = sum(FIGURE_FREQS)
+    return tracker
+
+
+def test_figure3_worked_example(benchmark):
+    def replay():
+        tracker = figure_state()
+        tracker.observe(8)
+        first = tracker.value
+        tracker.tick()
+        return first, tracker.value
+
+    first, second = benchmark(replay)
+    assert (first, second) == (5, 6)
+    emit(
+        "Figure 3: worked example",
+        "insert 8 into {2:10, 3:2, 6:1, 9:5, 10:6} with median at 4\n"
+        f"after one packet: median={first}; after a second packet: median={second}",
+    )
+
+
+def test_observe_throughput(benchmark):
+    rng = random.Random(0)
+    stream = [rng.randrange(1000) for _ in range(4096)]
+
+    def sweep():
+        tracker = PercentileTracker(1000)
+        for value in stream:
+            tracker.observe(value)
+        return tracker.value
+
+    result = benchmark(sweep)
+    assert 0 <= result < 1000

@@ -1,0 +1,26 @@
+"""Extension bench: victim-identification strategies (Sec. 4 vs Sec. 5).
+
+Compares the paper's drill-down rebinding, the Sec.-5 hybrid
+pull-on-alert, and this reproduction's sparse in-digest identification on
+the same spike scenario.
+"""
+
+from conftest import emit, once
+
+from repro.experiments.hybrid import (
+    format_strategies,
+    run_identification_comparison,
+)
+
+
+def test_identification_strategies(benchmark):
+    results = once(benchmark, run_identification_comparison)
+    emit("Victim identification strategies", format_strategies(results))
+    by_name = {r.strategy: r for r in results}
+    assert all(r.victim_correct for r in results)
+    drill = by_name["drill-down rebinding"]
+    hybrid = by_name["hybrid pull-on-alert"]
+    sparse = by_name["sparse in-digest"]
+    # Fewer control round trips -> faster identification.
+    assert hybrid.identify_seconds < drill.identify_seconds
+    assert sparse.identify_seconds <= hybrid.identify_seconds

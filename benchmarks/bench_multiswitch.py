@@ -1,0 +1,25 @@
+"""Extension bench: cross-switch aggregation (paper Sec. 5 future work)."""
+
+from conftest import emit, once
+
+from repro.experiments.multiswitch import run_multiswitch
+
+
+def test_multiswitch_aggregation(benchmark):
+    result = once(benchmark, run_multiswitch)
+    merged_victim = result.merged_counts[result.victim_index]
+    emit(
+        "Sec. 5 extension: statistics across multiple switches",
+        f"local in-switch alerts: {result.local_alerts} (anomaly invisible "
+        "per-switch)\n"
+        f"merged view flags index {result.victim_index} with count "
+        f"{merged_victim} "
+        f"(outliers: {result.global_outliers})\n"
+        "merging is exact because N/Xsum/Xsumsq are sums",
+    )
+    assert result.detected_globally_only
+
+
+def test_multiswitch_scales_with_load(benchmark):
+    result = once(benchmark, run_multiswitch, packets_per_destination=400)
+    assert result.detected_globally_only

@@ -1,0 +1,34 @@
+"""Bench: Figure 1 / Sec. 1 — push vs pull reactivity and overhead.
+
+Regenerates the delay-vs-overhead trade-off the paper's introduction argues
+from: "this delay is inversely proportional to the generated overhead".
+"""
+
+from conftest import emit, once
+
+from repro.experiments.reactivity import format_reactivity, run_reactivity
+
+
+def test_reactivity_tradeoff(benchmark):
+    points = once(
+        benchmark,
+        run_reactivity,
+        periods=(0.01, 0.05, 0.1, 0.5, 1.0),
+    )
+    emit("Figure 1: reactivity vs overhead", format_reactivity(points))
+    in_switch = points[0]
+    pulls = sorted(
+        (p for p in points if p.architecture == "sketch-only"),
+        key=lambda p: p.period,
+    )
+    # Every poller detected (the spike outlives the slowest period).
+    assert all(p.detection_delay is not None for p in pulls)
+    # Delay grows with the period...
+    delays = [p.detection_delay for p in pulls]
+    assert delays == sorted(delays)
+    # ...while overhead shrinks with it (the inverse proportionality).
+    overheads = [p.overhead_bps for p in pulls]
+    assert overheads == sorted(overheads, reverse=True)
+    # The push architecture beats the whole curve on both axes.
+    assert in_switch.detection_delay <= delays[0] + 1e-9
+    assert in_switch.overhead_bps < overheads[-1]

@@ -1,0 +1,23 @@
+"""Bench: Sec. 4 "Resource Consumption" — the case-study app's footprint."""
+
+from conftest import emit, once
+
+from repro.experiments.resources_report import (
+    PAPER_CHAIN,
+    PAPER_RULE_DEPS,
+    build_case_study_report,
+    summarize,
+)
+from repro.p4.values import TOFINO_LIKE
+
+
+def test_resource_report(benchmark):
+    report = once(benchmark, build_case_study_report)
+    emit("Sec. 4: resource consumption", summarize(report))
+    assert report.longest_chain == PAPER_CHAIN
+    assert report.rule_dependencies == PAPER_RULE_DEPS
+    assert report.rules_per_packet == 2
+    # Paper: 3.1 KB.  Same order of magnitude (our layout differs in the
+    # bookkeeping registers; see EXPERIMENTS.md).
+    assert 1024 <= report.total_bytes <= 4096
+    assert report.fits_target(TOFINO_LIKE)

@@ -1,0 +1,35 @@
+"""Extension bench: detection sensitivity of the mean + 2σ check.
+
+Sweeps the spike factor under Poisson baselines to map the knee of the
+paper's detector: at what intensity does "detects the spike in the first
+interval" start to hold?
+"""
+
+from conftest import emit, once
+
+from repro.experiments.sensitivity import format_sensitivity, run_sensitivity
+
+
+def test_detection_knee(benchmark):
+    rows = once(
+        benchmark,
+        run_sensitivity,
+        factors=(1.1, 1.3, 1.5, 2.0, 3.0, 5.0),
+        repetitions=4,
+    )
+    emit(
+        "Detection sensitivity (Poisson baseline, lambda = 30/interval)",
+        format_sensitivity(rows)
+        + "\n(threshold ~= lambda + 2*sqrt(lambda) + margin -> knee near 1.4x)",
+    )
+    by_factor = {row.spike_factor: row for row in rows}
+    # Below the knee: unreliable.
+    assert by_factor[1.1].detection_rate < 1.0
+    # Above the knee: every run detects...
+    for factor in (1.5, 2.0, 3.0, 5.0):
+        assert by_factor[factor].detection_rate == 1.0
+    # ...and clearly-above-threshold spikes land in the first interval(s).
+    assert by_factor[5.0].mean_detection_intervals <= 2.0
+    # Detection rate is monotone in the spike intensity.
+    rates = [row.detection_rate for row in rows]
+    assert rates == sorted(rates)

@@ -1,0 +1,16 @@
+"""Bench: Table 2 — approximate square-root error per input decade."""
+
+from conftest import emit, once
+
+from repro.experiments.table2_sqrt import format_table2, run_table2
+
+
+def test_table2_sqrt_error(benchmark):
+    rows = once(benchmark, run_table2)
+    emit("Table 2: square-root estimation error", format_table2(rows))
+    # Shape assertions: error falls with magnitude, paper-band magnitudes.
+    maxima = [row.max_normalized for row in rows]
+    assert maxima == sorted(maxima, reverse=True)
+    by_range = {(r.lo, r.hi): r for r in rows}
+    assert 10 <= by_range[(1, 10)].max_normalized <= 45
+    assert by_range[(1000, 10000)].max_normalized < 0.5

@@ -1,0 +1,26 @@
+"""Bench: Table 3 — online-median estimation error before/after N/2."""
+
+from conftest import emit, once
+
+from repro.experiments.table3_median import format_table3, run_table3
+
+#: Paper: 20 repetitions.  The 65536 domain uses fewer to keep the bench
+#: under ~10 s; tests cover the small domains at full repetitions.
+SIZES_SMALL = ((100, "packet types"), (1000, "per-ms traffic"))
+SIZES_LARGE = ((65536, "16-bit field"),)
+
+
+def test_table3_median_error(benchmark):
+    def driver():
+        rows = run_table3(sizes=SIZES_SMALL, repetitions=20)
+        rows += run_table3(sizes=SIZES_LARGE, repetitions=5)
+        return rows
+
+    rows = once(benchmark, driver)
+    emit("Table 3: median estimation error", format_table3(rows))
+    for row in rows:
+        # "The estimation error is always <= 1%, except early in our
+        # simulations, when distributions are sparse."
+        assert row.after_p50 <= 0.5
+        assert row.after_p90 <= 2.0
+        assert row.before_p90 > row.after_p90

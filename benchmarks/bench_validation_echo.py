@@ -1,0 +1,24 @@
+"""Bench: Figure 5 / Sec. 3 — the echo validation over the full stack.
+
+The paper validates with up to 10,000 packets; the bench runs the full
+count once and asserts the paper's claim: switch-side N, Xsum, Xsumsq and
+σ²_NX exactly equal the host-side computation on every reply.
+"""
+
+from conftest import emit, once
+
+from repro.experiments.validation import run_validation
+
+
+def test_validation_10000_packets(benchmark):
+    result = once(benchmark, run_validation, packets=10_000, seed=0)
+    emit(
+        "Figure 5: echo validation",
+        f"packets={result.packets_sent} replies={result.replies} "
+        f"mismatching fields={result.mismatches} "
+        f"max sigma excess error={result.max_sd_relative_error * 100:.2f}% "
+        f"(paper: all values equal; sigma consistent with Sec. 2)",
+    )
+    assert result.replies == 10_000
+    assert result.mismatches == 0
+    assert result.passed

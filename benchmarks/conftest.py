@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures (see
+DESIGN.md's per-experiment index) and prints the measured rows next to the
+paper's numbers.  Heavy experiment drivers run once per bench via
+``benchmark.pedantic`` — the interesting output is the experimental result,
+not the wall-clock of the driver.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled experiment block (visible with -s)."""
+    bar = "=" * len(title)
+    print(f"\n{title}\n{bar}\n{body}\n")

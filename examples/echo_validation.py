@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""The Sec.-3 validation experiment (Figure 5), runnable end to end.
+
+A host sends frames carrying random integers in [-255, 255]; the switch
+tracks their frequency distribution with Stat4 and echoes back N, Xsum,
+Xsumsq, σ²_NX, σ_NX and the tracked median in every reply; the host checks
+each reply against its own software computation.
+
+Run: ``python examples/echo_validation.py [packets]``
+"""
+
+import sys
+
+from repro.experiments.validation import run_validation
+
+
+def main():
+    packets = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    print(f"sending {packets} echo requests through the simulated network...")
+    result = run_validation(packets=packets)
+    print(f"replies received:       {result.replies}/{result.packets_sent}")
+    print(f"mismatching fields:     {result.mismatches} "
+          "(paper: switch values equal host values)")
+    for detail in result.mismatch_details:
+        print(f"  {detail}")
+    print(f"max sigma excess error: {result.max_sd_relative_error * 100:.2f}% "
+          "(inside the Sec.-2 approximation envelope)")
+    print(f"validation {'PASSED' if result.passed else 'FAILED'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Quickstart: the Stat4 statistics primitives in five minutes.
+
+Walks the paper's core ideas bottom-up:
+
+1. the division-free scaled moments (N, Xsum, Xsumsq);
+2. the Figure-2 approximate square root;
+3. the N·x > Xsum + 2σ outlier test;
+4. the Figure-3 online median;
+5. a Stat4 instance fed real packets through binding tables.
+
+Run: ``python examples/quickstart.py``
+"""
+
+import math
+import random
+
+from repro.core import PercentileTracker, ScaledStats, approx_isqrt
+from repro.p4 import headers as hdr
+from repro.p4.parser import standard_parser
+from repro.p4.switch import PacketContext, StandardMetadata
+from repro.stat4 import BindingMatch, ExtractSpec, Stat4, Stat4Runtime
+from repro.traffic.builders import udp_to
+
+
+def section(title):
+    print(f"\n=== {title} ===")
+
+
+def main():
+    rng = random.Random(0)
+
+    section("1. Scaled moments: mean and variance without division")
+    stats = ScaledStats()
+    rates = [rng.randint(95, 105) for _ in range(50)]
+    for rate in rates:
+        stats.add_value(rate)
+    print(f"values: 50 samples around 100 packets/interval")
+    print(f"N = {stats.count}, Xsum = {stats.xsum}, Xsumsq = {stats.xsumsq}")
+    print(f"mean of NX (exactly Xsum): {stats.mean_nx}")
+    print(f"variance of NX = N*Xsumsq - Xsum^2 = {stats.variance_nx}")
+
+    section("2. Approximate square root (Figure 2)")
+    for y in (106, 3, 9, 5000):
+        print(f"approx_isqrt({y}) = {approx_isqrt(y)}  (true: {math.sqrt(y):.2f})")
+
+    section("3. The outlier test: N*x > Xsum + 2*sigma_NX")
+    print(f"sigma_NX ~= {stats.stddev_nx}")
+    for sample in (104, 150, 300):
+        verdict = "OUTLIER" if stats.is_outlier(sample, 2) else "normal"
+        print(f"rate {sample}: {verdict}")
+
+    section("4. Online median, one step per packet (Figure 3)")
+    tracker = PercentileTracker(256, percent=50)
+    for _ in range(500):
+        tracker.observe(rng.randint(40, 60))
+    print(f"median of U[40,60] stream: {tracker.value} "
+          f"(exact: {tracker.true_value()})")
+    p90 = PercentileTracker(256, percent=90)
+    for _ in range(500):
+        p90.observe(rng.randint(0, 100))
+    print(f"90th percentile of U[0,100] stream: {p90.value}")
+
+    section("5. Stat4 on packets: binding tables and alerts")
+    stat4 = Stat4()
+    runtime = Stat4Runtime(stat4)
+    spec = runtime.frequency_of(
+        dist=0,
+        extract=ExtractSpec.field("ipv4.dst", mask=0xFF),  # host octet
+        k_sigma=2,
+        alert="imbalance",
+        min_samples=6,
+        margin=2,
+        cooldown=0.5,
+    )
+    runtime.bind(0, BindingMatch.ipv4_prefix("10.0.1.0", 24), spec)
+    parser = standard_parser()
+
+    def process(packet, now):
+        ctx = PacketContext(
+            parsed=parser.parse(packet),
+            meta=StandardMetadata(ingress_port=0, timestamp=now),
+        )
+        ctx.user["frame_bytes"] = len(packet)
+        stat4.process(ctx)
+        return ctx.digests
+
+    now = 0.0
+    alerts = []
+    for i in range(600):  # balanced load over 6 servers
+        alerts += process(udp_to(hdr.ip_to_int(f"10.0.1.{i % 6 + 1}")), now)
+        now += 0.001
+    print(f"balanced phase: {len(alerts)} alerts (expected 0)")
+    for _ in range(900):  # server .3 becomes a hotspot
+        alerts += process(udp_to(hdr.ip_to_int("10.0.1.3")), now)
+        now += 0.001
+    print(f"hotspot phase: {len(alerts)} alert(s)")
+    if alerts:
+        first = alerts[0]
+        print(f"first digest: {first.name} fields={first.fields}")
+    print(f"per-server counts: {stat4.read_cells(0)[1:7]}")
+    print(f"register measures: {stat4.read_measures(0)}")
+
+
+if __name__ == "__main__":
+    main()

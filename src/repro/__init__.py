@@ -1,0 +1,22 @@
+"""Reproduction of "Stats 101 in P4: Towards In-Switch Anomaly Detection".
+
+HotNets '21, Gao, Handley, Vissicchio.  The package implements the Stat4
+in-switch statistics library, the P4 behavioral-model substrate it runs on,
+a discrete-event network simulator for the paper's case study, the
+controller-side drill-down logic, and the sketch-only baseline architecture
+the paper argues against.
+
+Quickstart::
+
+    from repro.core import ScaledStats, PercentileTracker, approx_isqrt
+
+    stats = ScaledStats()
+    for rate in [10, 12, 11, 9, 10, 11]:
+        stats.add_value(rate)
+    stats.is_outlier(40)   # True: 40 is far above the mean
+
+See ``examples/quickstart.py`` for the full tour and DESIGN.md for the
+architecture.
+"""
+
+__version__ = "1.0.0"

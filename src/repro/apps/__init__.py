@@ -1,0 +1,34 @@
+"""Applications built on Stat4, one per paper use case.
+
+- :mod:`repro.apps.echo` — the Sec. 3 validation application (Figure 5).
+- :mod:`repro.apps.anomaly` — the Sec. 4 case study (Figure 6).
+- :mod:`repro.apps.syn_flood`, :mod:`repro.apps.load_balance`,
+  :mod:`repro.apps.classification` — the remaining Table-1 use cases.
+"""
+
+from repro.apps.anomaly import CaseStudyParams, build_case_study_app
+from repro.apps.classification import ClassificationParams, build_classification_app
+from repro.apps.common import AppBundle
+from repro.apps.echo import ECHO_DOMAIN, build_echo_app
+from repro.apps.failure import FailureParams, build_failure_app
+from repro.apps.load_balance import LoadBalanceParams, build_load_balance_app
+from repro.apps.mitigation import MitigationParams, build_mitigating_app
+from repro.apps.syn_flood import SynFloodParams, build_syn_flood_app
+
+__all__ = [
+    "AppBundle",
+    "build_echo_app",
+    "ECHO_DOMAIN",
+    "build_case_study_app",
+    "CaseStudyParams",
+    "build_syn_flood_app",
+    "SynFloodParams",
+    "build_load_balance_app",
+    "LoadBalanceParams",
+    "build_classification_app",
+    "ClassificationParams",
+    "build_mitigating_app",
+    "MitigationParams",
+    "build_failure_app",
+    "FailureParams",
+]

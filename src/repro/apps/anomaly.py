@@ -1,0 +1,141 @@
+"""The Sec. 4 case-study application: spike detection with drill-down.
+
+The switch provides connectivity for a /8 aggregate (forwarding by LPM) and
+"runs statistical checks on the crossing traffic": initially just packets
+per time interval for the whole /8, checked against mean + 2σ over a
+circular window of intervals.  Binding stage 1 is left empty for the
+controller — on a spike alert it installs the per-/24 tracking rule there,
+then refines it to per-destination (see
+:class:`repro.controller.drilldown.DrillDownController`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.p4 import headers as hdr
+from repro.p4.parser import standard_parser
+from repro.p4.pipeline import PipelineProgram
+from repro.p4.registers import RegisterFile
+from repro.p4.switch import PacketContext
+from repro.p4.tables import ActionSpec, Table, lpm_key
+from repro.stat4.binding import BindingMatch
+from repro.stat4.config import Stat4Config
+from repro.stat4.library import Stat4
+from repro.stat4.runtime import Stat4Runtime
+
+from repro.apps.common import AppBundle
+
+__all__ = ["CaseStudyParams", "build_case_study_app"]
+
+
+@dataclass(frozen=True)
+class CaseStudyParams:
+    """Tunables of the case-study deployment (paper defaults).
+
+    Attributes:
+        base_prefix: the monitored aggregate ("10.0.0.0"/8).
+        interval: time-interval length in seconds (8 ms default; the sweep
+            goes up to 2 s).
+        window: circular-buffer length in intervals (default 100; the sweep
+            goes down to 10).
+        k_sigma: the spike check's k (2, per the paper).
+        margin: flat margin in packets-per-interval on top of k·σ, set by
+            the operator from the expected load (suppresses the 2σ rule's
+            false fires on ultra-low-variance baselines).
+        min_samples: intervals required before checks may fire.
+        cooldown: per-binding alert cooldown in seconds.
+        counter_size: STAT_COUNTER_SIZE for the deployment (must cover both
+            the window and the drill-down octet domain).
+    """
+
+    base_prefix: str = "10.0.0.0"
+    base_len: int = 8
+    interval: float = 0.008
+    window: int = 100
+    k_sigma: int = 2
+    margin: int = 3
+    min_samples: int = 5
+    cooldown: float = 0.1
+    counter_size: int = 256
+
+
+def build_case_study_app(
+    params: CaseStudyParams = CaseStudyParams(),
+    routes: Dict[int, Sequence[str]] = None,
+) -> AppBundle:
+    """Build the case-study program.
+
+    Args:
+        params: deployment tunables.
+        routes: ``port -> ["10.0.1.0/24-style prefixes"]`` forwarding map;
+            defaults to sending everything in the base prefix to port 1.
+    """
+    if params.window > params.counter_size:
+        raise ValueError("window cannot exceed STAT_COUNTER_SIZE")
+    config = Stat4Config(
+        counter_num=2,
+        counter_size=params.counter_size,
+        binding_stages=2,
+    )
+    registers = RegisterFile()
+    stat4 = Stat4(config, registers)
+    runtime = Stat4Runtime(stat4)
+
+    monitor_spec = runtime.rate_over_time(
+        dist=0,
+        interval=params.interval,
+        k_sigma=params.k_sigma,
+        alert="traffic_spike",
+        min_samples=params.min_samples,
+        margin=params.margin,
+        cooldown=params.cooldown,
+        window=params.window,
+    )
+    monitor_handle, _ = runtime.bind(
+        0,
+        BindingMatch.ipv4_prefix(params.base_prefix, params.base_len),
+        monitor_spec,
+    )
+
+    route_table = Table(
+        name="ipv4_routes",
+        keys=[lpm_key("dst", 32)],
+        actions=[ActionSpec("fwd", ("port",)), ActionSpec("drop")],
+        max_size=256,
+    )
+    if routes is None:
+        routes = {1: [f"{params.base_prefix}/{params.base_len}"]}
+    for port, prefixes in routes.items():
+        for prefix in prefixes:
+            address, _, length = prefix.partition("/")
+            route_table.add_entry(
+                [(hdr.ip_to_int(address), int(length))], "fwd", {"port": port}
+            )
+
+    def ingress(ctx: PacketContext) -> None:
+        stat4.process(ctx)
+        if not ctx.parsed.has("ipv4"):
+            ctx.drop()
+            return
+        entry = route_table.lookup([ctx.parsed["ipv4"].get("dst")])
+        if entry is None or entry.action != "fwd":
+            ctx.drop()
+            return
+        ctx.meta.egress_spec = entry.params["port"]
+
+    program = PipelineProgram(
+        name="stat4_case_study",
+        parser=standard_parser(),
+        registers=registers,
+        ingress=ingress,
+    )
+    stat4.install_into(program)
+    program.add_table(route_table)
+    return AppBundle(
+        program=program,
+        stat4=stat4,
+        runtime=runtime,
+        handles={"monitor": monitor_handle},
+    )

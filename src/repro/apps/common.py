@@ -1,0 +1,30 @@
+"""Shared plumbing for the bundled applications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.p4.pipeline import PipelineProgram
+from repro.stat4.library import Stat4
+from repro.stat4.runtime import BindingHandle, Stat4Runtime
+
+__all__ = ["AppBundle"]
+
+
+@dataclass
+class AppBundle:
+    """Everything an application build function hands back.
+
+    Attributes:
+        program: the deployable pipeline program.
+        stat4: the library instance wired into the program's ingress.
+        runtime: a local control-plane handle (tests and standalone runs
+            tune bindings through it; networked runs use a controller).
+        handles: named binding handles for the pre-installed rules.
+    """
+
+    program: PipelineProgram
+    stat4: Stat4
+    runtime: Stat4Runtime
+    handles: Dict[str, BindingHandle] = field(default_factory=dict)

@@ -1,0 +1,91 @@
+"""The Sec. 3 validation application (Figure 5).
+
+"For each packet it receives, this application instructs the switch to
+report the tracked statistical measures in a reply packet.  […] The host
+sends Ethernet frames whose payload only contains a randomly generated
+integer between −255 and 255.  The switch tracks the occurrences of the
+integers in the received frames" — i.e. a frequency distribution over the
+(offset) value domain — "and replies with a frame including the updated
+statistical measures of the distribution."
+
+The build function returns a pipeline program whose ingress feeds the echo
+value into Stat4, copies N / Xsum / Xsumsq / σ²_NX / σ_NX and the tracked
+median out of the registers into the reply header, swaps the Ethernet
+addresses, and bounces the frame out of its ingress port.
+"""
+
+from __future__ import annotations
+
+from repro.p4 import headers as hdr
+from repro.p4.parser import standard_parser
+from repro.p4.pipeline import PipelineProgram
+from repro.p4.registers import RegisterFile
+from repro.p4.switch import PacketContext
+from repro.stat4.binding import BindingMatch
+from repro.stat4.config import Stat4Config
+from repro.stat4.extract import ExtractSpec
+from repro.stat4.library import Stat4
+from repro.stat4.runtime import Stat4Runtime
+
+from repro.apps.common import AppBundle
+
+__all__ = ["ECHO_DOMAIN", "build_echo_app"]
+
+#: Echo values live in [-255, 255], offset by 256 on the wire: 512 cells.
+ECHO_DOMAIN = 512
+
+
+def build_echo_app(track_median: bool = True) -> AppBundle:
+    """Build the echo validation application.
+
+    Args:
+        track_median: also run the online median tracker over the value
+            distribution (reported in the reply's ``median`` field).
+    """
+    config = Stat4Config(
+        counter_num=1, counter_size=ECHO_DOMAIN, binding_stages=1
+    )
+    registers = RegisterFile()
+    stat4 = Stat4(config, registers)
+    runtime = Stat4Runtime(stat4)
+    spec = runtime.frequency_of(
+        dist=0,
+        extract=ExtractSpec.field("stat4_echo.value"),
+        percent=50 if track_median else None,
+    )
+    handle, _ = runtime.bind(0, BindingMatch.echo_packets(), spec)
+
+    def ingress(ctx: PacketContext) -> None:
+        if not ctx.parsed.has("stat4_echo"):
+            ctx.drop()
+            return
+        echo = ctx.parsed["stat4_echo"]
+        if echo.get("op") != hdr.ECHO_OP_REQUEST:
+            # A reflected reply must not feed the distribution again.
+            ctx.drop()
+            return
+        stat4.process(ctx)
+        measures = stat4.read_measures(0)
+        echo["op"] = hdr.ECHO_OP_REPLY
+        echo["n"] = measures["n"]
+        echo["xsum"] = measures["xsum"]
+        echo["xsumsq"] = measures["xsumsq"]
+        echo["variance"] = measures["variance"]
+        echo["stddev"] = measures["stddev"]
+        echo["median"] = measures["percentile_pos"]
+        ethernet = ctx.parsed["ethernet"]
+        dst, src = ethernet.get("dst"), ethernet.get("src")
+        ethernet["dst"] = src
+        ethernet["src"] = dst
+        ctx.meta.egress_spec = ctx.meta.ingress_port
+
+    program = PipelineProgram(
+        name="stat4_echo",
+        parser=standard_parser(),
+        registers=registers,
+        ingress=ingress,
+    )
+    stat4.install_into(program)
+    return AppBundle(
+        program=program, stat4=stat4, runtime=runtime, handles={"echo": handle}
+    )

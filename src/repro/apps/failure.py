@@ -1,0 +1,154 @@
+"""Remote-failure detection (Table 1: "remote failure — stalled flows over time").
+
+The paper's first use case — and the one its own citation [12] (Blink)
+pioneered: when a remote link or path fails, affected TCP flows stop making
+progress and *retransmit*; a burst of retransmissions across many flows is
+the data-plane-visible signature of the failure.
+
+The switch detects retransmissions statelessly-ish with a hashed
+last-sequence table (the Sec. 5 sparse machinery reused): for each TCP
+segment it looks up the flow's slot; seeing the *same* sequence number
+again marks a retransmission.  Stat4 then tracks **retransmissions per
+interval** in a circular window and raises ``remote_failure`` when an
+interval is a mean + kσ outlier — "the order of magnitude of stalled
+flows … likely changes when a failure occurs" (Sec. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.p4.parser import standard_parser
+from repro.p4.pipeline import PipelineProgram
+from repro.p4.registers import RegisterFile
+from repro.p4.switch import PacketContext
+from repro.stat4.binding import BindingMatch
+from repro.stat4.config import Stat4Config
+from repro.stat4.extract import ExtractSpec
+from repro.stat4.library import Stat4
+from repro.stat4.runtime import Stat4Runtime
+
+from repro.apps.common import AppBundle
+
+__all__ = ["FailureParams", "build_failure_app"]
+
+# Multiply-shift seeds for the flow and sequence hashing.
+_FLOW_SEED = 0x9E3779B97F4A7C15
+_SLOT_SEED = 0xC2B2AE3D27D4EB4F
+
+
+@dataclass(frozen=True)
+class FailureParams:
+    """Tunables of the failure monitor.
+
+    Attributes:
+        interval: retransmission-count interval in seconds.
+        window: circular window length in intervals.
+        flow_slots: hashed flow-state slots (power of two).
+        k_sigma: outlier check k.
+        margin: flat margin in retransmissions per interval.
+        min_samples: intervals required before checks fire.
+        cooldown: alert cooldown in seconds.
+    """
+
+    interval: float = 0.05
+    window: int = 40
+    flow_slots: int = 1024
+    k_sigma: int = 2
+    margin: int = 3
+    min_samples: int = 5
+    cooldown: float = 0.25
+
+
+def build_failure_app(params: FailureParams = FailureParams()) -> AppBundle:
+    """Build the stalled-flows monitor (pass-through forwarding)."""
+    config = Stat4Config(
+        counter_num=1,
+        counter_size=max(params.window, 64),
+        binding_stages=1,
+    )
+    registers = RegisterFile()
+    stat4 = Stat4(config, registers)
+    runtime = Stat4Runtime(stat4)
+    # The time series counts *retransmissions*, not packets: its extractor
+    # reads the 0/1 flag the retransmission detector computes into user
+    # metadata earlier in the ingress (P4 passes derived values between
+    # pipeline stages through metadata exactly like this).
+    from repro.stat4.distributions import DistributionKind, TrackSpec
+
+    spec = TrackSpec(
+        dist=0,
+        kind=DistributionKind.TIME_SERIES,
+        extract=ExtractSpec.metadata("retransmission"),
+        interval=params.interval,
+        k_sigma=params.k_sigma,
+        alert="remote_failure",
+        min_samples=params.min_samples,
+        margin=params.margin,
+        cooldown=params.cooldown,
+        window=params.window,
+    )
+    handle, _ = runtime.bind(
+        0,
+        BindingMatch(ether_type=0x0800, protocol=6),
+        spec,
+    )
+
+    # Hashed per-flow last-sequence slots: [flow_tag(32) | seq(32)].
+    flow_state = registers.declare("failure_flow_seq", 64, params.flow_slots)
+    slots_mask = params.flow_slots - 1
+    counters = {"retransmissions": 0, "new_flows": 0, "collisions": 0}
+
+    def flow_slot(src: int, dst: int, sport: int, dport: int) -> int:
+        key = (((src << 32) | dst) * _FLOW_SEED + ((sport << 16) | dport)) & (
+            (1 << 64) - 1
+        )
+        return (key >> 20) & slots_mask
+
+    def flow_tag(src: int, dst: int, sport: int, dport: int) -> int:
+        key = (((dst << 32) | src) * _SLOT_SEED + ((dport << 16) | sport)) & (
+            (1 << 64) - 1
+        )
+        return (key >> 32) & 0xFFFFFFFF
+
+    def ingress(ctx: PacketContext) -> None:
+        ctx.user["retransmission"] = 0
+        if ctx.parsed.has("tcp") and ctx.parsed.has("ipv4"):
+            ipv4 = ctx.parsed["ipv4"]
+            tcp = ctx.parsed["tcp"]
+            slot = flow_slot(
+                ipv4.get("src"), ipv4.get("dst"),
+                tcp.get("src_port"), tcp.get("dst_port"),
+            )
+            tag = flow_tag(
+                ipv4.get("src"), ipv4.get("dst"),
+                tcp.get("src_port"), tcp.get("dst_port"),
+            )
+            seq = tcp.get("seq_no")
+            stored = flow_state.read(slot)
+            stored_tag = stored >> 32
+            stored_seq = stored & 0xFFFFFFFF
+            if stored_tag == tag and stored_seq == seq and stored != 0:
+                ctx.user["retransmission"] = 1
+                counters["retransmissions"] += 1
+            else:
+                if stored == 0:
+                    counters["new_flows"] += 1
+                elif stored_tag != tag:
+                    counters["collisions"] += 1
+                flow_state.write(slot, (tag << 32) | seq)
+        stat4.process(ctx)
+        ctx.meta.egress_spec = 1
+
+    program = PipelineProgram(
+        name="stat4_failure",
+        parser=standard_parser(),
+        registers=registers,
+        ingress=ingress,
+    )
+    stat4.install_into(program)
+    bundle = AppBundle(
+        program=program, stat4=stat4, runtime=runtime, handles={"failure": handle}
+    )
+    bundle.counters = counters
+    return bundle

@@ -1,0 +1,89 @@
+"""Load-balance monitoring (Table 1: "load balancing — avoid imbalances").
+
+Tracks the traffic share of each server behind a virtual IP prefix as a
+frequency distribution over the host octet, raising ``server_overload``
+when one server's share becomes an outlier.  Optionally also tracks the
+median share — a drifting median is an early signal that the balancing hash
+has gone stale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.p4.parser import standard_parser
+from repro.p4.pipeline import PipelineProgram
+from repro.p4.registers import RegisterFile
+from repro.p4.switch import PacketContext
+from repro.stat4.binding import BindingMatch
+from repro.stat4.config import Stat4Config
+from repro.stat4.extract import ExtractSpec
+from repro.stat4.library import Stat4
+from repro.stat4.runtime import Stat4Runtime
+
+from repro.apps.common import AppBundle
+
+__all__ = ["LoadBalanceParams", "build_load_balance_app"]
+
+
+@dataclass(frozen=True)
+class LoadBalanceParams:
+    """Tunables for the load-balance monitor.
+
+    Attributes:
+        pool_prefix: the server pool's prefix (servers differ in host octet).
+        prefix_len: its length.
+        k_sigma: imbalance check k.
+        margin: flat margin in packets.
+        min_samples: servers that must be seen before checks fire.
+        track_median: also maintain the median per-server share.
+        cooldown: alert cooldown in seconds.
+        per_byte: weight servers by bytes instead of packets.
+    """
+
+    pool_prefix: str = "10.0.1.0"
+    prefix_len: int = 24
+    k_sigma: int = 2
+    margin: int = 2
+    min_samples: int = 3
+    track_median: bool = True
+    cooldown: float = 0.25
+    per_byte: bool = False
+
+
+def build_load_balance_app(params: LoadBalanceParams = LoadBalanceParams()) -> AppBundle:
+    """Build the load-balance monitoring program (pass-through forwarding)."""
+    config = Stat4Config(counter_num=1, counter_size=256, binding_stages=1)
+    registers = RegisterFile()
+    stat4 = Stat4(config, registers)
+    runtime = Stat4Runtime(stat4)
+
+    spec = runtime.frequency_of(
+        dist=0,
+        extract=ExtractSpec.field("ipv4.dst", mask=0xFF),
+        k_sigma=params.k_sigma,
+        alert="server_overload",
+        percent=50 if params.track_median else None,
+        min_samples=params.min_samples,
+        margin=params.margin,
+        cooldown=params.cooldown,
+    )
+    handle, _ = runtime.bind(
+        0, BindingMatch.ipv4_prefix(params.pool_prefix, params.prefix_len), spec
+    )
+
+    def ingress(ctx: PacketContext) -> None:
+        stat4.process(ctx)
+        ctx.meta.egress_spec = 1
+
+    program = PipelineProgram(
+        name="stat4_load_balance",
+        parser=standard_parser(),
+        registers=registers,
+        ingress=ingress,
+    )
+    stat4.install_into(program)
+    return AppBundle(
+        program=program, stat4=stat4, runtime=runtime, handles={"pool": handle}
+    )

@@ -1,0 +1,159 @@
+"""Local in-switch reaction: detect a spike, then rate-limit it — no controller.
+
+The paper's Figure-1c architecture lets switches "locally react to
+anomalies (e.g., rate limiting some flows or rerouting packets) and notify
+the controller for longer-term reaction".  This application composes the
+case-study monitor with a token-bucket policer:
+
+- Stat4 tracks packets-per-interval for the protected aggregate and runs
+  the mean + 2σ check;
+- when the check fires, the ingress arms a pre-configured policer (a
+  register flag; the rate is installed by the operator at deployment like
+  any meter configuration) *in the same pipeline* — reaction latency is one
+  interval, not a control-channel round trip;
+- arming **freezes the pre-spike threshold** (``Xsum + k·σ`` at alert
+  time).  The rolling window keeps absorbing the spike and would normalize
+  it within one window length — the adaptive check alone cannot *hold* a
+  mitigation — so while armed, each completed interval is compared against
+  the frozen threshold (register reads and one constant multiply);
+- the policer disarms once no interval has exceeded the frozen threshold
+  for ``hold`` seconds.
+
+The digest is still pushed, so the controller can drill down in parallel —
+exactly the division of labor the paper sketches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.p4 import headers as hdr
+from repro.p4.meter import TokenBucket
+from repro.p4.parser import standard_parser
+from repro.p4.pipeline import PipelineProgram
+from repro.p4.registers import RegisterFile
+from repro.p4.switch import PacketContext
+from repro.stat4.binding import BindingMatch
+from repro.stat4.config import Stat4Config
+from repro.stat4.library import Stat4
+from repro.stat4.runtime import Stat4Runtime
+
+from repro.apps.common import AppBundle
+
+__all__ = ["MitigationParams", "build_mitigating_app"]
+
+
+@dataclass(frozen=True)
+class MitigationParams:
+    """Tunables of the self-defending monitor.
+
+    Attributes:
+        prefix: the protected aggregate.
+        prefix_len: its length.
+        interval: monitoring interval (seconds).
+        window: circular window length (intervals).
+        limit_pps: policer rate armed during an anomaly — the operator sets
+            it to a generous multiple of the expected load.
+        limit_burst: policer depth in packets.
+        hold: seconds the policer stays armed after the last alert.
+        k_sigma / margin / min_samples / cooldown: the detection knobs.
+    """
+
+    prefix: str = "10.0.0.0"
+    prefix_len: int = 8
+    interval: float = 0.01
+    window: int = 50
+    limit_pps: int = 2000
+    limit_burst: int = 64
+    hold: float = 0.25
+    k_sigma: int = 2
+    margin: int = 3
+    min_samples: int = 5
+    cooldown: float = 0.05
+
+
+def build_mitigating_app(params: MitigationParams = MitigationParams()) -> AppBundle:
+    """Build the detect-and-rate-limit program (forwarding out port 1)."""
+    config = Stat4Config(
+        counter_num=1,
+        counter_size=max(params.window, 64),
+        binding_stages=1,
+    )
+    registers = RegisterFile()
+    stat4 = Stat4(config, registers)
+    runtime = Stat4Runtime(stat4)
+    spec = runtime.rate_over_time(
+        dist=0,
+        interval=params.interval,
+        k_sigma=params.k_sigma,
+        alert="traffic_spike",
+        min_samples=params.min_samples,
+        margin=params.margin,
+        cooldown=params.cooldown,
+        window=params.window,
+    )
+    handle, _ = runtime.bind(
+        0, BindingMatch.ipv4_prefix(params.prefix, params.prefix_len), spec
+    )
+    policer = TokenBucket(
+        params.limit_pps, params.limit_burst, registers=registers, name="mitigation"
+    )
+    # [0] = armed flag, [1] = last-exceeded timestamp (us),
+    # [2] = frozen scaled threshold (Xsum + k*sigma + N*margin at arming),
+    # [3] = frozen N (the threshold's scale).
+    armed = registers.declare("mitigation_armed", 64, 4)
+    prefix_value = hdr.ip_to_int(params.prefix)
+    prefix_shift = 32 - params.prefix_len
+    window = params.window if params.window > 0 else config.counter_size
+
+    def in_aggregate(ctx: PacketContext) -> bool:
+        if not ctx.parsed.has("ipv4"):
+            return False
+        dst = ctx.parsed["ipv4"].get("dst")
+        return (dst >> prefix_shift) == (prefix_value >> prefix_shift)
+
+    def last_completed_count() -> int:
+        index = stat4.reg_window_index.read(0)
+        previous = index - 1 if index > 0 else window - 1
+        return stat4.counters.read(config.cell_index(0, previous))
+
+    def ingress(ctx: PacketContext) -> None:
+        now = ctx.meta.timestamp
+        stat4.process(ctx)
+        now_us = int(now * 1_000_000)
+        spike = next((d for d in ctx.digests if d.name == "traffic_spike"), None)
+        if spike is not None and armed.read(0) == 0:
+            # Arm the local policer and freeze the pre-spike threshold the
+            # alert was judged against (the rolling window will absorb the
+            # spike; the frozen threshold is what "back to normal" means).
+            armed.write(0, 1)
+            armed.write(1, now_us)
+            armed.write(2, spike.fields["xsum"] + params.k_sigma * spike.fields["stddev_nx"])
+            armed.write(3, spike.fields["count"])
+        elif armed.read(0) == 1:
+            # Does the most recently completed interval still exceed the
+            # frozen (pre-spike) threshold?
+            frozen_n = armed.read(3)
+            if frozen_n * last_completed_count() > armed.read(2):
+                armed.write(1, now_us)
+            elif now_us - armed.read(1) > int(params.hold * 1_000_000):
+                armed.write(0, 0)
+        if armed.read(0) == 1 and in_aggregate(ctx):
+            if not policer.allow(now):
+                ctx.drop()
+                return
+        ctx.meta.egress_spec = 1
+
+    program = PipelineProgram(
+        name="stat4_mitigation",
+        parser=standard_parser(),
+        registers=registers,
+        ingress=ingress,
+    )
+    stat4.install_into(program)
+    bundle = AppBundle(
+        program=program, stat4=stat4, runtime=runtime, handles={"monitor": handle}
+    )
+    bundle.policer = policer  # exposed for tests/experiments
+    bundle.armed_register = armed
+    return bundle

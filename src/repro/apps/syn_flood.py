@@ -1,0 +1,102 @@
+"""SYN-flood monitoring (Table 1: "SYN flood — protect servers").
+
+Two bindings over TCP SYN packets only:
+
+- stage 0 tracks the *SYN rate over time* in a circular window and raises
+  ``syn_flood`` when an interval's SYN count is an outlier;
+- stage 1 tracks *SYNs per destination* (host octet) and raises
+  ``syn_target`` naming the flooded server — so a single alert identifies
+  both the attack and its victim without controller round trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.p4.parser import standard_parser
+from repro.p4.pipeline import PipelineProgram
+from repro.p4.registers import RegisterFile
+from repro.p4.switch import PacketContext
+from repro.stat4.binding import BindingMatch
+from repro.stat4.config import Stat4Config
+from repro.stat4.extract import ExtractSpec
+from repro.stat4.library import Stat4
+from repro.stat4.runtime import Stat4Runtime
+
+from repro.apps.common import AppBundle
+
+__all__ = ["SynFloodParams", "build_syn_flood_app"]
+
+
+@dataclass(frozen=True)
+class SynFloodParams:
+    """Tunables for the SYN-flood monitor.
+
+    Attributes:
+        server_prefix: destination prefix hosting the protected servers.
+        prefix_len: its length.
+        interval: SYN-rate interval in seconds.
+        window: circular window length in intervals.
+        k_sigma: outlier check k for both bindings.
+        margin: flat margin in SYNs.
+        cooldown: alert cooldown in seconds.
+    """
+
+    server_prefix: str = "10.0.0.0"
+    prefix_len: int = 24
+    interval: float = 0.1
+    window: int = 50
+    k_sigma: int = 2
+    margin: int = 3
+    cooldown: float = 0.5
+
+
+def build_syn_flood_app(params: SynFloodParams = SynFloodParams()) -> AppBundle:
+    """Build the SYN-flood monitoring program (forwarding: pass-through)."""
+    config = Stat4Config(counter_num=2, counter_size=256, binding_stages=2)
+    registers = RegisterFile()
+    stat4 = Stat4(config, registers)
+    runtime = Stat4Runtime(stat4)
+
+    syn_match = BindingMatch.syn_packets(params.server_prefix, params.prefix_len)
+    rate_spec = runtime.rate_over_time(
+        dist=0,
+        interval=params.interval,
+        k_sigma=params.k_sigma,
+        alert="syn_flood",
+        min_samples=4,
+        margin=params.margin,
+        cooldown=params.cooldown,
+        window=params.window,
+    )
+    rate_handle, _ = runtime.bind(0, syn_match, rate_spec)
+
+    target_spec = runtime.frequency_of(
+        dist=1,
+        extract=ExtractSpec.field("ipv4.dst", mask=0xFF),
+        k_sigma=params.k_sigma,
+        alert="syn_target",
+        min_samples=2,
+        margin=params.margin,
+        cooldown=params.cooldown,
+    )
+    target_handle, _ = runtime.bind(1, syn_match, target_spec)
+
+    def ingress(ctx: PacketContext) -> None:
+        stat4.process(ctx)
+        # Monitoring tap: forward everything out of port 1.
+        ctx.meta.egress_spec = 1
+
+    program = PipelineProgram(
+        name="stat4_syn_flood",
+        parser=standard_parser(),
+        registers=registers,
+        ingress=ingress,
+    )
+    stat4.install_into(program)
+    return AppBundle(
+        program=program,
+        stat4=stat4,
+        runtime=runtime,
+        handles={"syn_rate": rate_handle, "syn_target": target_handle},
+    )

@@ -1,0 +1,29 @@
+"""Baseline architectures the paper compares against (or builds on).
+
+- :mod:`repro.baselines.countmin` — the sketch substrate.
+- :mod:`repro.baselines.sketch_only` — the Figure-1b pull architecture.
+- :mod:`repro.baselines.threshold` — static in-switch thresholding.
+"""
+
+from repro.baselines.countmin import CountMinSketch
+from repro.baselines.hybrid import HybridApp, HybridController, build_hybrid_app
+from repro.baselines.quantile_sketch import KLLSketch
+from repro.baselines.sketch_only import (
+    SketchOnlyApp,
+    SketchPollingController,
+    build_sketch_only_app,
+)
+from repro.baselines.threshold import ThresholdApp, build_threshold_app
+
+__all__ = [
+    "CountMinSketch",
+    "KLLSketch",
+    "HybridApp",
+    "HybridController",
+    "build_hybrid_app",
+    "SketchOnlyApp",
+    "SketchPollingController",
+    "build_sketch_only_app",
+    "ThresholdApp",
+    "build_threshold_app",
+]

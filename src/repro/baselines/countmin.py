@@ -1,0 +1,109 @@
+"""Count-min sketch — the canonical data structure of the sketch-only world.
+
+The paper's Figure-1b architecture keeps "custom sketches" in the data
+plane for the controller to pull.  A count-min sketch is the standard
+choice for per-key counts (heavy hitters, per-prefix volumes), so the
+sketch-only baseline deploys one next to its interval counters.
+
+The implementation is register-backed: ``depth`` rows each live in one
+:class:`~repro.p4.registers.RegisterArray` of ``width`` cells, updated with
+pairwise-independent universal hashes (multiply-shift — P4 can do constant
+multiplies).  Optional conservative update reduces overestimation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.p4.errors import ValueRangeError
+from repro.p4.registers import RegisterArray, RegisterFile
+
+__all__ = ["CountMinSketch"]
+
+# 64-bit odd multipliers for multiply-shift hashing (fixed, compile-time).
+_DEFAULT_SEEDS = (
+    0x9E3779B97F4A7C15,
+    0xC2B2AE3D27D4EB4F,
+    0x165667B19E3779F9,
+    0xD6E8FEB86659FD93,
+    0xA0761D6478BD642F,
+    0xE7037ED1A0B428DB,
+)
+
+
+class CountMinSketch:
+    """A register-backed count-min sketch.
+
+    Args:
+        width: cells per row (power of two recommended; the index is the
+            top ``log2(width)`` bits of the hash, a shift).
+        depth: number of rows/hashes (≤ 6 with the default seed set).
+        registers: register file to allocate rows in (None = private).
+        name: register name prefix.
+        conservative: apply conservative update (only raise the minimum).
+        cell_width: bit width of each counter cell.
+    """
+
+    def __init__(
+        self,
+        width: int = 1024,
+        depth: int = 3,
+        registers: Optional[RegisterFile] = None,
+        name: str = "cms",
+        conservative: bool = False,
+        cell_width: int = 32,
+    ):
+        if width <= 0:
+            raise ValueRangeError("sketch width must be positive")
+        if not 0 < depth <= len(_DEFAULT_SEEDS):
+            raise ValueRangeError(
+                f"sketch depth must be in [1, {len(_DEFAULT_SEEDS)}]"
+            )
+        self.width = width
+        self.depth = depth
+        self.conservative = conservative
+        self._seeds = _DEFAULT_SEEDS[:depth]
+        owner = registers if registers is not None else RegisterFile()
+        self.registers = owner
+        self.rows: List[RegisterArray] = [
+            owner.declare(f"{name}_row{row}", cell_width, width)
+            for row in range(depth)
+        ]
+        self.updates = 0
+
+    def _index(self, key: int, seed: int) -> int:
+        # Multiply-shift universal hashing, folded into the row width.
+        hashed = (key * seed) & 0xFFFFFFFFFFFFFFFF
+        return (hashed * self.width) >> 64
+
+    def update(self, key: int, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``key``."""
+        if count < 0:
+            raise ValueRangeError("count-min counts are non-negative")
+        self.updates += 1
+        if self.conservative:
+            indices = [self._index(key, seed) for seed in self._seeds]
+            current = [row.read(i) for row, i in zip(self.rows, indices)]
+            target = min(current) + count
+            for row, i, value in zip(self.rows, indices, current):
+                if target > value:
+                    row.write(i, target)
+        else:
+            for row, seed in zip(self.rows, self._seeds):
+                row.add(self._index(key, seed), count)
+
+    def query(self, key: int) -> int:
+        """Point estimate: the minimum over the rows (never underestimates)."""
+        return min(
+            row.read(self._index(key, seed))
+            for row, seed in zip(self.rows, self._seeds)
+        )
+
+    def heavy_keys(self, candidates: Sequence[int], threshold: int) -> List[int]:
+        """Candidates whose estimate meets the threshold (controller-side)."""
+        return [key for key in candidates if self.query(key) >= threshold]
+
+    @property
+    def bytes_used(self) -> int:
+        """Total sketch memory."""
+        return sum(row.bytes_used for row in self.rows)

@@ -1,0 +1,159 @@
+"""The hybrid architecture the paper's Sec. 5 envisions.
+
+"future monitoring systems will profitably combine in-switch and
+controller-based techniques. For example, they may use in-switch anomaly
+detection to decide when a controller should extract sketches from
+switches, e.g., to properly process a received alert."
+
+Data plane: a Stat4 rate monitor (the push detector) *plus* a count-min
+sketch of per-destination traffic that nobody reads during normal
+operation.  Controller: on a spike digest it pulls the sketch **once** and
+identifies the heavy destination host-side — one control round trip,
+instead of either continuous pulling (Figure 1b) or two binding-table
+rebind cycles (the Sec. 4 drill-down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.baselines.countmin import CountMinSketch
+from repro.controller.base import Controller
+from repro.netsim.messages import RegisterReadReply
+from repro.p4.parser import standard_parser
+from repro.p4.pipeline import PipelineProgram
+from repro.p4.registers import RegisterFile
+from repro.p4.switch import Digest, PacketContext
+from repro.stat4.binding import BindingMatch
+from repro.stat4.config import Stat4Config
+from repro.stat4.library import Stat4
+from repro.stat4.runtime import Stat4Runtime
+
+__all__ = ["HybridApp", "build_hybrid_app", "HybridController"]
+
+
+@dataclass
+class HybridApp:
+    """The hybrid data plane and its handles."""
+
+    program: PipelineProgram
+    stat4: Stat4
+    sketch: CountMinSketch
+    sketch_registers: List[str]
+
+
+def build_hybrid_app(
+    interval: float = 0.008,
+    window: int = 100,
+    k_sigma: int = 2,
+    margin: int = 3,
+    min_samples: int = 5,
+    cooldown: float = 0.1,
+    sketch_width: int = 512,
+    sketch_depth: int = 3,
+    prefix: str = "10.0.0.0",
+    prefix_len: int = 8,
+) -> HybridApp:
+    """Stat4 spike monitor + passive count-min of per-destination packets."""
+    config = Stat4Config(
+        counter_num=1, counter_size=max(window, 64), binding_stages=1
+    )
+    registers = RegisterFile()
+    stat4 = Stat4(config, registers)
+    runtime = Stat4Runtime(stat4)
+    spec = runtime.rate_over_time(
+        dist=0,
+        interval=interval,
+        k_sigma=k_sigma,
+        alert="traffic_spike",
+        min_samples=min_samples,
+        margin=margin,
+        cooldown=cooldown,
+        window=window,
+    )
+    runtime.bind(0, BindingMatch.ipv4_prefix(prefix, prefix_len), spec)
+    sketch = CountMinSketch(
+        width=sketch_width, depth=sketch_depth, registers=registers, name="hy_cms"
+    )
+
+    def ingress(ctx: PacketContext) -> None:
+        stat4.process(ctx)
+        if ctx.parsed.has("ipv4"):
+            sketch.update(ctx.parsed["ipv4"].get("dst"))
+        ctx.meta.egress_spec = 1
+
+    program = PipelineProgram(
+        name="stat4_hybrid",
+        parser=standard_parser(),
+        registers=registers,
+        ingress=ingress,
+    )
+    stat4.install_into(program)
+    return HybridApp(
+        program=program,
+        stat4=stat4,
+        sketch=sketch,
+        sketch_registers=[row.name for row in sketch.rows],
+    )
+
+
+class HybridController(Controller):
+    """Pulls the sketch exactly once per alert and names the heavy key.
+
+    Args:
+        name: node name.
+        candidates: destination addresses the operator cares about (the
+            controller knows its own network; full key recovery would use
+            a reversible sketch, out of scope here).
+        sketch_registers: register names of the count-min rows.
+        sketch_width: row width (to rebuild the query function).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        candidates: Sequence[int],
+        sketch_registers: Sequence[str],
+        sketch_width: int = 512,
+    ):
+        super().__init__(name)
+        self.candidates = list(candidates)
+        self.sketch_registers = list(sketch_registers)
+        self.sketch_width = sketch_width
+        self.alert_seen_at: Optional[float] = None
+        self.identified: Optional[int] = None
+        self.identified_at: Optional[float] = None
+        self.pulls = 0
+
+    def on_digest(self, switch: str, digest: Digest, now: float) -> None:
+        """One alert → one sketch pull."""
+        if digest.name != "traffic_spike" or self.alert_seen_at is not None:
+            return
+        self.alert_seen_at = now
+        self.pulls += 1
+        self.read_registers(self.sketch_registers, callback=self._on_sketch)
+
+    def _on_sketch(self, reply: RegisterReadReply) -> None:
+        assert self.network is not None
+        rows = [reply.values[name] for name in self.sketch_registers]
+        # Rebuild count-min point queries host-side.
+        from repro.baselines.countmin import _DEFAULT_SEEDS
+
+        def query(key: int) -> int:
+            estimate = None
+            for row, seed in zip(rows, _DEFAULT_SEEDS):
+                hashed = (key * seed) & 0xFFFFFFFFFFFFFFFF
+                index = (hashed * self.sketch_width) >> 64
+                value = row[index]
+                estimate = value if estimate is None else min(estimate, value)
+            return estimate or 0
+        self.identified = max(self.candidates, key=query)
+        self.identified_at = self.network.sim.now
+
+    @property
+    def pinpoint_latency(self) -> Optional[float]:
+        """Alert arrival → victim identified (one pull round trip)."""
+        if self.alert_seen_at is None or self.identified_at is None:
+            return None
+        return self.identified_at - self.alert_seen_at

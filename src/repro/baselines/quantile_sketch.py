@@ -1,0 +1,123 @@
+"""A KLL-style quantile sketch — the QPipe comparison point.
+
+The paper cites QPipe [13] ("QPipe also explores estimating quantiles in
+sketches") as the sketch-world approach to the percentile problem Stat4
+solves with per-value frequency cells.  The trade-off is the interesting
+part:
+
+- **Stat4's tracker** needs one cell per possible value (STAT_COUNTER_SIZE
+  bounds the domain) but is deterministic, exact after convergence, and
+  updates in O(1) with no sorting;
+- **a KLL sketch** needs O(k·log(n/k)) items *independent of the domain*,
+  so it scales to 32-bit values — at the price of randomized ε-approximate
+  answers and compaction work that QPipe's contribution was squeezing into
+  the data plane.
+
+This implementation keeps the classic compactor hierarchy (level ``i``
+items carry weight ``2^i``; a full level sorts, keeps a random parity, and
+promotes).  Queries are controller-side.  The quantile-memory ablation
+feeds both structures identical streams and reports memory and error.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.p4.errors import ValueRangeError
+
+__all__ = ["KLLSketch"]
+
+
+class KLLSketch:
+    """A fixed-``k`` KLL compactor hierarchy.
+
+    Args:
+        k: buffer capacity per level (accuracy knob; ε ≈ O(1/k)).
+        seed: RNG seed for compaction parity (determinism for tests).
+        item_bytes: storage cost per item in the memory accounting.
+    """
+
+    def __init__(self, k: int = 64, seed: int = 0, item_bytes: int = 4):
+        if k < 4:
+            raise ValueRangeError("k must be at least 4")
+        self.k = k
+        self.item_bytes = item_bytes
+        self._rng = random.Random(seed)
+        self._levels: List[List[int]] = [[]]
+        self.count = 0
+        self.compactions = 0
+
+    def update(self, value: int) -> None:
+        """Insert one observation."""
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueRangeError("KLL stores integers")
+        self._levels[0].append(value)
+        self.count += 1
+        level = 0
+        while len(self._levels[level]) >= self.k:
+            self._compact(level)
+            level += 1
+            if level == len(self._levels):
+                break
+
+    def _compact(self, level: int) -> None:
+        buffer = sorted(self._levels[level])
+        keep_odd = self._rng.getrandbits(1)
+        promoted = buffer[keep_odd::2]
+        self._levels[level] = []
+        if level + 1 == len(self._levels):
+            self._levels.append([])
+        self._levels[level + 1].extend(promoted)
+        self.compactions += 1
+
+    # -- queries (controller-side) -------------------------------------------
+
+    def _weighted_items(self) -> List[Tuple[int, int]]:
+        items: List[Tuple[int, int]] = []
+        for level, buffer in enumerate(self._levels):
+            weight = 1 << level
+            items.extend((value, weight) for value in buffer)
+        items.sort(key=lambda pair: pair[0])
+        return items
+
+    def quantile(self, fraction: float) -> int:
+        """The value at the given rank fraction (0 < fraction < 1)."""
+        if not 0 < fraction < 1:
+            raise ValueRangeError("fraction must be in (0, 1)")
+        items = self._weighted_items()
+        if not items:
+            raise ValueRangeError("empty sketch")
+        total = sum(weight for _, weight in items)
+        target = fraction * total
+        running = 0
+        for value, weight in items:
+            running += weight
+            if running >= target:
+                return value
+        return items[-1][0]
+
+    def rank(self, value: int) -> float:
+        """Estimated fraction of observations ``<= value``."""
+        items = self._weighted_items()
+        if not items:
+            return 0.0
+        total = sum(weight for _, weight in items)
+        below = sum(weight for v, weight in items if v <= value)
+        return below / total
+
+    @property
+    def items_stored(self) -> int:
+        """Resident items across all levels."""
+        return sum(len(buffer) for buffer in self._levels)
+
+    @property
+    def bytes_used(self) -> int:
+        """Worst-case allocated memory: every level's full buffer."""
+        return len(self._levels) * self.k * self.item_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"KLLSketch(k={self.k}, levels={len(self._levels)}, "
+            f"items={self.items_stored}, n={self.count})"
+        )

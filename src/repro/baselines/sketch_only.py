@@ -1,0 +1,183 @@
+"""The sketch-only architecture (Figure 1b) — the paper's comparison point.
+
+The data plane keeps sketches only: a circular window of per-interval
+packet counts plus a count-min of per-destination volume.  **No checks run
+in the switch.**  A :class:`SketchPollingController` pulls the registers
+every ``period`` seconds and performs the anomaly detection itself.
+
+This reproduces the trade-off the paper's introduction builds on: the
+controller's detection delay is bounded below by the pull period (plus the
+channel RTT plus the register read time), while the overhead it imposes is
+inversely proportional to that same period.  The reactivity experiment
+sweeps the period and plots both against the in-switch push architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.controller.base import Controller
+from repro.core.welford import WelfordAccumulator
+from repro.netsim.messages import RegisterReadReply
+from repro.p4.parser import standard_parser
+from repro.p4.pipeline import PipelineProgram
+from repro.p4.registers import RegisterFile
+from repro.p4.switch import PacketContext
+from repro.baselines.countmin import CountMinSketch
+
+__all__ = ["SketchOnlyApp", "build_sketch_only_app", "SketchPollingController"]
+
+
+@dataclass
+class SketchOnlyApp:
+    """The sketch-only data plane: program plus its sketch handles."""
+
+    program: PipelineProgram
+    sketch: CountMinSketch
+    window: int
+    interval: float
+
+
+def build_sketch_only_app(
+    interval: float = 0.008,
+    window: int = 100,
+    sketch_width: int = 256,
+    sketch_depth: int = 3,
+) -> SketchOnlyApp:
+    """Build the Figure-1b data plane.
+
+    Maintains exactly the state Stat4's monitor binding would (per-interval
+    counts in a circular window) *without* any in-switch statistics or
+    checks, plus a count-min of per-destination packet counts.
+    """
+    registers = RegisterFile()
+    intervals = registers.declare("so_intervals", 32, window)
+    cursor = registers.declare("so_cursor", 32, 2)  # [index, filled]
+    current = registers.declare("so_current", 64, 1)
+    started = registers.declare("so_interval_start", 64, 1)
+    sketch = CountMinSketch(
+        width=sketch_width, depth=sketch_depth, registers=registers, name="so_cms"
+    )
+
+    state = {"start": None}
+
+    def ingress(ctx: PacketContext) -> None:
+        now = ctx.meta.timestamp
+        if state["start"] is None:
+            state["start"] = now
+            started.write(0, int(now * 1_000_000))
+        elif now - state["start"] >= interval:
+            index = cursor.read(0)
+            intervals.write(index, current.read(0))
+            next_index = index + 1
+            if next_index == window:
+                next_index = 0
+            cursor.write(0, next_index)
+            filled = cursor.read(1)
+            if filled < window:
+                cursor.write(1, filled + 1)
+            current.write(0, 0)
+            state["start"] = state["start"] + interval
+            if now - state["start"] >= interval:
+                state["start"] = now
+            started.write(0, int(state["start"] * 1_000_000))
+        current.add(0, 1)
+        if ctx.parsed.has("ipv4"):
+            sketch.update(ctx.parsed["ipv4"].get("dst"))
+        ctx.meta.egress_spec = 1
+
+    program = PipelineProgram(
+        name="sketch_only",
+        parser=standard_parser(),
+        registers=registers,
+        ingress=ingress,
+    )
+    return SketchOnlyApp(
+        program=program, sketch=sketch, window=window, interval=interval
+    )
+
+
+class SketchPollingController(Controller):
+    """Pulls the sketch registers periodically and detects spikes itself.
+
+    Args:
+        name: node name.
+        period: pull period in seconds — the architecture's central knob.
+        window: the data plane's window length (to interpret the dump).
+        k_sigma: detection rule, matching the in-switch check.
+        margin: flat margin in packets, matching the in-switch check.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        period: float,
+        window: int,
+        k_sigma: float = 2.0,
+        margin: float = 3.0,
+    ):
+        super().__init__(name)
+        self.period = period
+        self.window = window
+        self.k_sigma = k_sigma
+        self.margin = margin
+        self.polls = 0
+        self.detections: List[float] = []
+        self._seen_cells: Optional[List[int]] = None
+        self._running = False
+
+    def start(self, at: float = 0.0) -> None:
+        """Begin the polling loop."""
+        if self.network is None:
+            raise RuntimeError(f"controller {self.name!r} is not attached")
+        self._running = True
+        self.network.sim.schedule_at(at, self._poll)
+
+    def stop(self) -> None:
+        """Stop scheduling further polls."""
+        self._running = False
+
+    def _poll(self) -> None:
+        if not self._running:
+            return
+        self.polls += 1
+        self.read_registers(
+            ["so_intervals", "so_cursor"], callback=self._on_dump
+        )
+        assert self.network is not None
+        self.network.sim.schedule(self.period, self._poll)
+
+    def _on_dump(self, reply: RegisterReadReply) -> None:
+        assert self.network is not None
+        now = self.network.sim.now
+        cells = reply.values["so_intervals"]
+        filled = reply.values["so_cursor"][1]
+        live = cells[:filled]
+        previous = self._seen_cells
+        self._seen_cells = list(live)
+        if previous is None or len(previous) < 5:
+            # No baseline yet: the first useful dump only seeds it.
+            return
+        # Judge only cells that changed since the previous dump (history
+        # must not be re-flagged), against statistics computed over the
+        # *previous* dump — the last window known before the change.
+        baseline = WelfordAccumulator()
+        baseline.extend(previous)
+        threshold = baseline.mean + self.k_sigma * baseline.stddev + self.margin
+        fresh = [
+            value
+            for i, value in enumerate(live)
+            if i >= len(previous) or previous[i] != value
+        ]
+        for value in fresh:
+            if value > threshold:
+                self.detections.append(now)
+                break
+
+    def first_detection_after(self, onset: float) -> Optional[float]:
+        """First detection at or after ``onset`` (None if never)."""
+        for when in self.detections:
+            if when >= onset:
+                return when
+        return None

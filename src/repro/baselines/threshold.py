@@ -1,0 +1,73 @@
+"""Static in-switch thresholding — the pre-Stat4 detector.
+
+Prior in-switch detection "use[s] basic algorithms such as thresholding to
+detect specific anomalies" (Sec. 1).  This baseline fires a digest whenever
+an interval's packet count exceeds a fixed ``threshold`` installed by the
+operator.  It shares the interval machinery with the sketch-only app so the
+comparison isolates the detection rule: a static threshold must be retuned
+whenever the baseline load changes, while Stat4's mean + 2σ adapts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.p4.parser import standard_parser
+from repro.p4.pipeline import PipelineProgram
+from repro.p4.registers import RegisterFile
+from repro.p4.switch import PacketContext
+
+__all__ = ["ThresholdApp", "build_threshold_app"]
+
+
+@dataclass
+class ThresholdApp:
+    """The thresholding data plane and its knobs."""
+
+    program: PipelineProgram
+    interval: float
+    threshold: int
+
+
+def build_threshold_app(
+    threshold: int,
+    interval: float = 0.008,
+    alert: str = "threshold_exceeded",
+    cooldown: float = 0.1,
+) -> ThresholdApp:
+    """Build a static-threshold interval monitor.
+
+    Args:
+        threshold: packets per interval above which to alert.
+        interval: interval length in seconds.
+        alert: digest stream name.
+        cooldown: minimum seconds between alerts.
+    """
+    registers = RegisterFile()
+    current = registers.declare("th_current", 64, 1)
+    state = {"start": None, "last_alert": None}
+
+    def ingress(ctx: PacketContext) -> None:
+        now = ctx.meta.timestamp
+        if state["start"] is None:
+            state["start"] = now
+        elif now - state["start"] >= interval:
+            count = current.read(0)
+            last = state["last_alert"]
+            if count > threshold and (last is None or now - last >= cooldown):
+                state["last_alert"] = now
+                ctx.emit_digest(alert, count=count, threshold=threshold)
+            current.write(0, 0)
+            state["start"] = state["start"] + interval
+            if now - state["start"] >= interval:
+                state["start"] = now
+        current.add(0, 1)
+        ctx.meta.egress_spec = 1
+
+    program = PipelineProgram(
+        name="static_threshold",
+        parser=standard_parser(),
+        registers=registers,
+        ingress=ingress,
+    )
+    return ThresholdApp(program=program, interval=interval, threshold=threshold)

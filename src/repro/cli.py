@@ -1,0 +1,254 @@
+"""Command-line interface: ``python -m repro <experiment> [options]``.
+
+Each subcommand runs one of the paper's experiments (or an extension) and
+prints the same formatted output the benchmarks emit — a convenience for
+exploring parameters without writing a script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Stats 101 in P4: Towards In-Switch Anomaly "
+            "Detection' (HotNets '21) — experiment runner"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table2", help="Table 2: approximate-sqrt error profile")
+
+    table3 = sub.add_parser("table3", help="Table 3: online-median error")
+    table3.add_argument("--repetitions", type=int, default=20)
+    table3.add_argument(
+        "--max-n", type=int, default=65536, help="largest domain size to run"
+    )
+
+    validate = sub.add_parser("validate", help="Figure 5: echo validation")
+    validate.add_argument("--packets", type=int, default=10_000)
+    validate.add_argument("--seed", type=int, default=0)
+
+    case = sub.add_parser("case-study", help="Figure 6: detection + drill-down")
+    case.add_argument("--interval", type=float, default=0.008, help="seconds")
+    case.add_argument("--window", type=int, default=100)
+    case.add_argument("--seed", type=int, default=1)
+    case.add_argument("--control-delay", type=float, default=0.02)
+    case.add_argument("--processing", type=float, default=0.05)
+    case.add_argument("--spike-intervals", type=int, default=80)
+    case.add_argument("--poisson", action="store_true")
+
+    sweep = sub.add_parser("sweep", help="Figure 6: interval/window sweep")
+    sweep.add_argument("--repetitions", type=int, default=1)
+
+    sub.add_parser("reactivity", help="Figure 1: push vs pull trade-off")
+    sub.add_parser("resources", help="Sec. 4: resource consumption report")
+    sub.add_parser("multiswitch", help="Sec. 5: cross-switch aggregation")
+    sub.add_parser("identify", help="victim-identification strategies")
+    sub.add_parser("ablations", help="all design-choice ablations")
+
+    generate = sub.add_parser(
+        "generate", help="emit the P4-16 program for a configuration"
+    )
+    generate.add_argument("--counter-num", type=int, default=8)
+    generate.add_argument("--counter-size", type=int, default=256)
+    generate.add_argument("--binding-stages", type=int, default=2)
+    generate.add_argument(
+        "--output", type=str, default="-", help="file path or - for stdout"
+    )
+    return parser
+
+
+def _cmd_table2() -> int:
+    from repro.experiments.table2_sqrt import format_table2, run_table2
+
+    print(format_table2(run_table2()))
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    from repro.experiments.table3_median import (
+        DEFAULT_SIZES,
+        format_table3,
+        run_table3,
+    )
+
+    sizes = [(n, label) for n, label in DEFAULT_SIZES if n <= args.max_n]
+    print(format_table3(run_table3(sizes=sizes, repetitions=args.repetitions)))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.experiments.validation import run_validation
+
+    result = run_validation(packets=args.packets, seed=args.seed)
+    print(
+        f"replies={result.replies}/{result.packets_sent} "
+        f"mismatches={result.mismatches} "
+        f"sigma-excess={result.max_sd_relative_error * 100:.2f}%"
+    )
+    print("PASSED" if result.passed else "FAILED")
+    return 0 if result.passed else 1
+
+
+def _cmd_case_study(args) -> int:
+    from repro.experiments.case_study import CaseStudySetup, run_case_study
+
+    setup = CaseStudySetup(
+        interval=args.interval,
+        window=args.window,
+        seed=args.seed,
+        control_delay=args.control_delay,
+        controller_processing=args.processing,
+        spike_intervals=args.spike_intervals,
+        poisson=args.poisson,
+    )
+    result = run_case_study(setup)
+    print(f"victim:     {result.victim}")
+    print(f"identified: {result.identified}")
+    if result.detection_intervals is not None:
+        print(f"detected:   {result.detection_intervals:.2f} intervals after onset")
+    if result.pinpoint_seconds is not None:
+        print(f"pinpoint:   {result.pinpoint_seconds:.2f} s after onset")
+    print(f"false alerts before onset: {result.false_alerts_before_onset}")
+    for when, what in result.timeline:
+        print(f"  t={when:.3f}s {what}")
+    return 0 if result.victim_correct else 1
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments.case_study import format_sweep, run_case_study_sweep
+
+    results = run_case_study_sweep(repetitions=args.repetitions)
+    print(format_sweep(results))
+    return 0 if all(r.victim_correct for r in results) else 1
+
+
+def _cmd_reactivity() -> int:
+    from repro.experiments.reactivity import format_reactivity, run_reactivity
+
+    print(format_reactivity(run_reactivity()))
+    return 0
+
+
+def _cmd_resources() -> int:
+    from repro.experiments.resources_report import build_case_study_report, summarize
+
+    print(summarize(build_case_study_report()))
+    return 0
+
+
+def _cmd_multiswitch() -> int:
+    from repro.experiments.multiswitch import run_multiswitch
+
+    result = run_multiswitch()
+    print(f"local alerts: {result.local_alerts}")
+    print(f"victim index: {result.victim_index}")
+    print(f"global outliers: {result.global_outliers}")
+    print(
+        "detected globally only: "
+        + ("yes" if result.detected_globally_only else "NO")
+    )
+    return 0 if result.detected_globally_only else 1
+
+
+def _cmd_identify() -> int:
+    from repro.experiments.hybrid import (
+        format_strategies,
+        run_identification_comparison,
+    )
+
+    print(format_strategies(run_identification_comparison()))
+    return 0
+
+
+def _cmd_ablations() -> int:
+    from repro.experiments.ablations import (
+        ablate_division_table,
+        ablate_lazy_sd,
+        ablate_median_steps,
+        ablate_square_approx,
+        ablate_unit_coarsening,
+        format_division_table,
+    )
+
+    lazy = ablate_lazy_sd()
+    print(f"lazy-sd amortization: {lazy.amortization:.1f}x fewer MSB comparisons")
+    square = ablate_square_approx()
+    print(
+        f"squaring: sigma error {square.mean_sd_error_exact:.3f} (exact) vs "
+        f"{square.mean_sd_error_approx:.3f} (shift-approx)"
+    )
+    for row in ablate_median_steps():
+        print(
+            f"median steps={row.steps_per_update}: converged after "
+            f"{row.samples_to_converge} samples"
+        )
+    print(format_division_table(ablate_division_table()))
+    for row in ablate_unit_coarsening():
+        print(
+            f"unit 2^{row.unit_shift}: {row.counter_bits_needed} counter bits, "
+            f"{row.mean_relative_error * 100:.3f}% error, "
+            f"{row.outlier_agreement * 100:.0f}% verdict agreement"
+        )
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.p4gen import generate_p4
+    from repro.stat4.config import Stat4Config
+
+    source = generate_p4(
+        Stat4Config(
+            counter_num=args.counter_num,
+            counter_size=args.counter_size,
+            binding_stages=args.binding_stages,
+        )
+    )
+    if args.output == "-":
+        print(source, end="")
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        print(f"wrote {args.output} ({len(source.splitlines())} lines)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "table2":
+        return _cmd_table2()
+    if args.command == "table3":
+        return _cmd_table3(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "case-study":
+        return _cmd_case_study(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "reactivity":
+        return _cmd_reactivity()
+    if args.command == "resources":
+        return _cmd_resources()
+    if args.command == "multiswitch":
+        return _cmd_multiswitch()
+    if args.command == "identify":
+        return _cmd_identify()
+    if args.command == "ablations":
+        return _cmd_ablations()
+    if args.command == "generate":
+        return _cmd_generate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Controller-side logic: alert handling and the drill-down state machine."""
+
+from repro.controller.aggregate import AggregatingController, merge_measures
+from repro.controller.base import Controller
+from repro.controller.drilldown import DrillDownController, Phase
+
+__all__ = [
+    "Controller",
+    "DrillDownController",
+    "Phase",
+    "AggregatingController",
+    "merge_measures",
+]

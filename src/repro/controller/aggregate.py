@@ -1,0 +1,134 @@
+"""Cross-switch statistical aggregation (paper Sec. 5).
+
+"A full exploration of how to analyze a wider range of distributions,
+possibly performing statistical analyses across multiple switches, is an
+interesting direction for future work."
+
+The key property making this cheap: Stat4's register encoding (N, Xsum,
+Xsumsq) is a *mergeable summary* — the controller sums the dumped integers
+from several switches and gets the exact network-wide moments, then runs
+the same division-free checks host-side.
+
+:class:`AggregatingController` subscribes to per-switch alerts and can also
+periodically merge register dumps to detect anomalies that no single
+switch's local view reveals (e.g. a destination receiving moderate traffic
+through *each* of several ingress switches but an outlier amount in total).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.controller.base import Controller
+from repro.core.stats import ScaledStats
+from repro.netsim.messages import RegisterReadReply
+from repro.netsim.network import Network
+
+__all__ = ["AggregatingController", "merge_measures"]
+
+
+def merge_measures(dumps: List[Dict[str, int]]) -> ScaledStats:
+    """Merge per-switch (n, xsum, xsumsq) measure dicts exactly."""
+    merged = ScaledStats.from_measures(0, 0, 0)
+    for dump in dumps:
+        merged = merged.merged_with(
+            ScaledStats.from_measures(dump["n"], dump["xsum"], dump["xsumsq"])
+        )
+    return merged
+
+
+class AggregatingController(Controller):
+    """Pulls one distribution's cells from several switches and merges them.
+
+    Unlike the sketch-only poller this is *alert-independent* aggregation
+    for analyses that need the global view; Sec. 5's hybrid designs combine
+    it with in-switch detection (see ``repro.baselines.hybrid``).
+
+    Args:
+        name: node name.
+        switch_ports: controller port wired to each switch's CPU port.
+        dist: the distribution slot to aggregate.
+        cells: number of value cells per switch (dense frequency slots).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        switch_ports: Dict[str, int],
+        dist: int = 0,
+        cells: int = 256,
+    ):
+        super().__init__(name)
+        self.switch_ports = dict(switch_ports)
+        self.dist = dist
+        self.cells = cells
+        self._pending: Dict[int, str] = {}
+        self._collected: Dict[str, List[int]] = {}
+        self._on_complete: Optional[Callable[[Dict[str, List[int]]], None]] = None
+        self.global_counts: List[int] = []
+        self.aggregations = 0
+
+    # The base class routes messages by a single port; aggregate over many.
+    def _send_to(self, switch: str, message) -> None:
+        if self.network is None:
+            raise RuntimeError(f"controller {self.name!r} is not attached")
+        self.messages_sent += 1
+        self.network.transmit(self, self.switch_ports[switch], message)
+
+    def collect(
+        self, on_complete: Optional[Callable[[Dict[str, List[int]]], None]] = None
+    ) -> None:
+        """Request the distribution's cells from every switch."""
+        from repro.netsim.messages import RegisterReadRequest
+
+        self._collected = {}
+        self._on_complete = on_complete
+        for switch in self.switch_ports:
+            request_id = next(self._request_ids)
+            self._pending[request_id] = switch
+            self._send_to(
+                switch,
+                RegisterReadRequest(
+                    registers=["stat4_counters"], request_id=request_id
+                ),
+            )
+
+    def receive(self, message, port: int, now: float) -> None:
+        """Route dump replies into the aggregation; defer rest to base."""
+        if isinstance(message, RegisterReadReply) and message.request_id in self._pending:
+            switch = self._pending.pop(message.request_id)
+            flat = message.values["stat4_counters"]
+            base = self.dist * self.cells
+            self._collected[switch] = flat[base : base + self.cells]
+            if not self._pending:
+                self._finish()
+            return
+        super().receive(message, port, now)
+
+    def _finish(self) -> None:
+        self.aggregations += 1
+        self.global_counts = [
+            sum(cells[i] for cells in self._collected.values())
+            for i in range(self.cells)
+        ]
+        if self._on_complete is not None:
+            self._on_complete(dict(self._collected))
+
+    # -- analyses on the merged view ------------------------------------------
+
+    def global_stats(self) -> ScaledStats:
+        """Exact network-wide moments of the merged frequency counts."""
+        stats = ScaledStats()
+        for count in self.global_counts:
+            if count > 0:
+                stats.add_value(count)
+        return stats
+
+    def global_outliers(self, k_sigma: int = 2, margin: int = 1) -> List[Tuple[int, int]]:
+        """Indices whose *merged* count is a k·σ outlier globally."""
+        stats = self.global_stats()
+        return [
+            (index, count)
+            for index, count in enumerate(self.global_counts)
+            if count > 0 and stats.is_outlier(count, k_sigma, margin=margin)
+        ]

@@ -1,0 +1,106 @@
+"""Controller base: a network node on the switch's control channel.
+
+Figure 1c's controller *receives* pushed alerts instead of polling; this
+base class handles the message plumbing (digests in, table operations out,
+register-read round trips) and records every alert with its arrival time so
+experiments can measure reaction latency.  Concrete controllers override
+:meth:`on_digest`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.netsim.messages import (
+    DigestMessage,
+    RegisterReadReply,
+    RegisterReadRequest,
+    TableAdd,
+    TableModify,
+)
+from repro.netsim.network import Network
+from repro.p4.switch import Digest
+
+__all__ = ["Controller"]
+
+
+class Controller:
+    """A controller attached to one switch's control channel.
+
+    Args:
+        name: node name.
+        port: the controller's port wired to the switch CPU port.
+    """
+
+    def __init__(self, name: str, port: int = 0):
+        self.name = name
+        self.port = port
+        self.network: Optional[Network] = None
+        self.alerts: List[Tuple[float, str, Digest]] = []
+        self.messages_sent = 0
+        self._read_callbacks: Dict[int, Callable[[RegisterReadReply], None]] = {}
+        self._request_ids = itertools.count(1)
+
+    def attach(self, network: Network) -> None:
+        """Network callback on :meth:`Network.add`."""
+        self.network = network
+
+    # -- inbound --------------------------------------------------------------
+
+    def receive(self, message: Any, port: int, now: float) -> None:
+        """Dispatch control-channel arrivals."""
+        if isinstance(message, DigestMessage):
+            self.alerts.append((now, message.switch, message.digest))
+            self.on_digest(message.switch, message.digest, now)
+        elif isinstance(message, RegisterReadReply):
+            callback = self._read_callbacks.pop(message.request_id, None)
+            if callback is not None:
+                callback(message)
+            else:
+                self.on_register_reply(message, now)
+
+    def on_digest(self, switch: str, digest: Digest, now: float) -> None:
+        """Hook: a data-plane alert arrived.  Default: record only."""
+
+    def on_register_reply(self, reply: RegisterReadReply, now: float) -> None:
+        """Hook: an unsolicited register dump arrived."""
+
+    # -- outbound -------------------------------------------------------------
+
+    def _send(self, message: Any) -> None:
+        if self.network is None:
+            raise RuntimeError(f"controller {self.name!r} is not attached")
+        self.messages_sent += 1
+        self.network.transmit(self, self.port, message)
+
+    def send_table_add(self, message: TableAdd) -> None:
+        """Install a table entry on the switch."""
+        self._send(message)
+
+    def send_table_modify(self, message: TableModify) -> None:
+        """Rewrite a table entry on the switch."""
+        self._send(message)
+
+    def read_registers(
+        self,
+        registers: List[str],
+        callback: Optional[Callable[[RegisterReadReply], None]] = None,
+    ) -> int:
+        """Request a register dump; ``callback`` fires on the reply."""
+        request_id = next(self._request_ids)
+        if callback is not None:
+            self._read_callbacks[request_id] = callback
+        self._send(RegisterReadRequest(registers=registers, request_id=request_id))
+        return request_id
+
+    # -- experiment accessors -----------------------------------------------------
+
+    def alerts_named(self, name: str) -> List[Tuple[float, Digest]]:
+        """All recorded alerts from a given digest stream."""
+        return [(t, d) for (t, _s, d) in self.alerts if d.name == name]
+
+    def first_alert_at(self, name: str) -> Optional[float]:
+        """Arrival time of the first alert on a stream (None if none)."""
+        matches = self.alerts_named(name)
+        return matches[0][0] if matches else None

@@ -1,0 +1,159 @@
+"""Bimodal distribution handling (paper Sec. 5).
+
+"In our approach, the controller has access to all the values of
+distributions tracked by switches, as they are stored in switches'
+registers. It can therefore learn about the distribution at runtime, and
+adapt the switch's anomaly detection approach accordingly. For example, if
+a distribution is bimodal, the controller can instruct switches to
+separately track and check the two modes of the distribution."
+
+:func:`find_valley` is the controller-side analysis: given a dumped
+frequency histogram it looks for two mass concentrations separated by a
+low valley.  :class:`BimodalSplitter` applies the adaptation: it rebinds the
+single tracked distribution into two bindings whose ``accept`` filters
+bracket the valley, each with its own k·σ check — after which a surge
+*inside* one mode is detectable, where the pooled distribution's σ (inflated
+by the distance between the modes) would have hidden it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.stat4.binding import BindingMatch
+from repro.stat4.runtime import BindingHandle, Stat4Runtime
+
+__all__ = ["ValleySplit", "find_valley", "BimodalSplitter"]
+
+
+@dataclass(frozen=True)
+class ValleySplit:
+    """A detected bimodal structure.
+
+    Attributes:
+        valley: index separating the modes (first index of the upper mode).
+        lower_peak / upper_peak: the mode centers (histogram argmaxes).
+        separation_score: valley depth relative to the smaller peak
+            (0 = no valley, →1 = empty valley).
+    """
+
+    valley: int
+    lower_peak: int
+    upper_peak: int
+    separation_score: float
+
+
+def _smooth(cells: Sequence[int], radius: int) -> List[float]:
+    """Box smoothing (controller-side; floats allowed here)."""
+    if radius <= 0:
+        return [float(c) for c in cells]
+    smoothed = []
+    n = len(cells)
+    for i in range(n):
+        lo = max(0, i - radius)
+        hi = min(n, i + radius + 1)
+        smoothed.append(sum(cells[lo:hi]) / (hi - lo))
+    return smoothed
+
+
+def find_valley(
+    cells: Sequence[int],
+    smoothing_radius: int = 1,
+    min_separation: float = 0.5,
+    min_mode_mass: float = 0.1,
+) -> Optional[ValleySplit]:
+    """Detect a bimodal structure in a frequency histogram.
+
+    Finds the split point that maximizes ``min(peak_lo, peak_hi) − valley``
+    where the peaks are the maxima on each side; accepts it only when the
+    valley is at most ``(1 − min_separation)`` of the smaller peak and each
+    side holds at least ``min_mode_mass`` of the total mass.
+
+    Returns None when the histogram does not look bimodal.
+    """
+    total = sum(cells)
+    if total == 0:
+        return None
+    smoothed = _smooth(cells, smoothing_radius)
+    n = len(smoothed)
+    best: Optional[ValleySplit] = None
+    best_gap = 0.0
+    prefix_mass = 0
+    for split in range(1, n):
+        prefix_mass += cells[split - 1]
+        left_mass = prefix_mass
+        right_mass = total - prefix_mass
+        if left_mass < min_mode_mass * total or right_mass < min_mode_mass * total:
+            continue
+        left_peak_idx = max(range(split), key=lambda i: smoothed[i])
+        right_peak_idx = max(range(split, n), key=lambda i: smoothed[i])
+        valley_idx = min(range(left_peak_idx, right_peak_idx + 1),
+                         key=lambda i: smoothed[i])
+        smaller_peak = min(smoothed[left_peak_idx], smoothed[right_peak_idx])
+        if smaller_peak <= 0:
+            continue
+        score = 1.0 - smoothed[valley_idx] / smaller_peak
+        gap = smaller_peak - smoothed[valley_idx]
+        if score >= min_separation and gap > best_gap:
+            best_gap = gap
+            best = ValleySplit(
+                valley=valley_idx,
+                lower_peak=left_peak_idx,
+                upper_peak=right_peak_idx,
+                separation_score=score,
+            )
+    return best
+
+
+class BimodalSplitter:
+    """Rebinds a pooled distribution into per-mode bindings.
+
+    Args:
+        runtime: a (local or message-building) Stat4 runtime.
+        spare_dist: the distribution slot the upper mode moves into.
+        spare_stage: the binding stage used for the upper-mode rule.
+    """
+
+    def __init__(self, runtime: Stat4Runtime, spare_dist: int, spare_stage: int):
+        self.runtime = runtime
+        self.spare_dist = spare_dist
+        self.spare_stage = spare_stage
+        self.split: Optional[ValleySplit] = None
+
+    def maybe_split(
+        self,
+        handle: BindingHandle,
+        cells: Sequence[int],
+        **valley_kwargs,
+    ) -> Optional[Tuple[BindingHandle, BindingHandle]]:
+        """Analyze ``cells``; if bimodal, split the binding at the valley.
+
+        The existing binding keeps the lower mode (``accept_hi = valley``);
+        a new binding in ``spare_stage``/``spare_dist`` takes the upper mode
+        (``accept_lo = valley``).  Returns the two handles, or None when
+        the histogram is not bimodal.
+        """
+        split = find_valley(cells, **valley_kwargs)
+        if split is None:
+            return None
+        self.split = split
+        lower_spec = replace(
+            handle.spec,
+            accept_lo=0,
+            accept_hi=split.valley,
+            alert=f"{handle.spec.alert}_lower",
+        )
+        lower_handle, _ = self.runtime.rebind(handle, spec=lower_spec)
+        upper_spec = replace(
+            handle.spec,
+            dist=self.spare_dist,
+            accept_lo=split.valley,
+            accept_hi=0,
+            alert=f"{handle.spec.alert}_upper",
+            generation=handle.spec.generation + 1000,
+        )
+        upper_handle, _ = self.runtime.bind(
+            self.spare_stage, handle.match, upper_spec
+        )
+        return lower_handle, upper_handle

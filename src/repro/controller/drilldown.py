@@ -1,0 +1,212 @@
+"""The case study's drill-down controller (paper Sec. 4).
+
+State machine::
+
+    MONITOR ──traffic_spike──► SUBNET ──imbalance_subnet──► HOST ──imbalance_host──► DONE
+
+- In MONITOR the switch only tracks packets per interval for the whole /8.
+- On a traffic-spike alert the controller "adds an entry to a binding
+  table, requiring the switch to track the traffic per /24 subnet in
+  addition to the packet rate for the /8 over time".
+- On the resulting traffic-imbalance alert it "modifies the previously
+  added entry so that the switch tracks the traffic per destination within
+  the identified /24 instead of the traffic per subnet".
+- The next imbalance alert names the destination: the spike is pinpointed.
+
+Entry identifiers follow the deterministic contract of
+:class:`repro.p4.tables.Table` (sequential from 1), so the controller can
+modify the entry it installed without a read-back round trip — the same
+role P4Runtime's controller-chosen entry IDs play.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.controller.base import Controller
+from repro.p4 import headers as hdr
+from repro.p4.switch import Digest
+from repro.stat4.binding import BindingMatch
+from repro.stat4.runtime import BindingHandle, Stat4Runtime
+
+__all__ = ["DrillDownController", "Phase"]
+
+
+class Phase:
+    """Drill-down progress states."""
+
+    MONITOR = "monitor"
+    SUBNET = "subnet"
+    HOST = "host"
+    DONE = "done"
+
+
+class DrillDownController(Controller):
+    """Reacts to spike alerts by progressively refining what is tracked.
+
+    Args:
+        name: node name.
+        base_prefix: the monitored aggregate (the case study's "10.0.0.0").
+        base_len: its prefix length (8).
+        drill_dist: the distribution slot used for drill-down tracking.
+        drill_stage: the binding stage the drill-down entry lives in.
+        k_sigma: the imbalance check's k.
+        margin: the imbalance check's flat margin (value units).
+        min_samples: distinct values required before imbalance checks fire.
+        cooldown: per-binding alert cooldown in seconds.
+        processing_delay: controller-side think time before a table
+            operation leaves — models P4Runtime write latency and software
+            processing, which dominate the paper's 2–3 s pinpoint time.
+    """
+
+    SPIKE_ALERT = "traffic_spike"
+    SUBNET_ALERT = "imbalance_subnet"
+    HOST_ALERT = "imbalance_host"
+
+    def __init__(
+        self,
+        name: str,
+        base_prefix: str = "10.0.0.0",
+        base_len: int = 8,
+        drill_dist: int = 1,
+        drill_stage: int = 1,
+        k_sigma: int = 2,
+        margin: int = 2,
+        min_samples: int = 4,
+        cooldown: float = 0.05,
+        processing_delay: float = 0.0,
+    ):
+        super().__init__(name)
+        self.processing_delay = processing_delay
+        self.base_prefix = base_prefix
+        self.base_len = base_len
+        self.drill_dist = drill_dist
+        self.drill_stage = drill_stage
+        self.k_sigma = k_sigma
+        self.margin = margin
+        self.min_samples = min_samples
+        self.cooldown = cooldown
+        self.runtime = Stat4Runtime()  # message-only mode
+        self.phase = Phase.MONITOR
+        self.spike_detected_at: Optional[float] = None
+        self.subnet_identified_at: Optional[float] = None
+        self.victim_identified_at: Optional[float] = None
+        self.identified_subnet: Optional[int] = None
+        self.identified_victim: Optional[int] = None
+        self.timeline: List[Tuple[float, str]] = []
+        self._drill_handle: Optional[BindingHandle] = None
+        self._entries_added = 0
+
+    # -- digest handling -----------------------------------------------------
+
+    def on_digest(self, switch: str, digest: Digest, now: float) -> None:
+        """Advance the drill-down state machine on each alert."""
+        if digest.name == self.SPIKE_ALERT and self.phase == Phase.MONITOR:
+            self._start_subnet_tracking(now)
+        elif digest.name == self.SUBNET_ALERT and self.phase == Phase.SUBNET:
+            self._start_host_tracking(digest.fields["index"], now)
+        elif digest.name == self.HOST_ALERT and self.phase == Phase.HOST:
+            self._finish(digest.fields["index"], now)
+
+    def _start_subnet_tracking(self, now: float) -> None:
+        self.phase = Phase.SUBNET
+        self.spike_detected_at = now
+        self.timeline.append((now, "spike detected; tracking per-/24"))
+        match = BindingMatch.ipv4_prefix(self.base_prefix, self.base_len)
+        spec = self.runtime.frequency_of(
+            dist=self.drill_dist,
+            extract=self._subnet_extract(),
+            k_sigma=self.k_sigma,
+            alert=self.SUBNET_ALERT,
+            min_samples=self.min_samples,
+            margin=self.margin,
+            cooldown=self.cooldown,
+        )
+        handle, message = self.runtime.bind(self.drill_stage, match, spec)
+        # Deterministic entry-id contract: ids count from 1 per table.
+        self._entries_added += 1
+        self._drill_handle = BindingHandle(
+            self.drill_stage, self._entries_added, spec, match
+        )
+        self._send_after_processing(self.send_table_add, message)
+
+    def _start_host_tracking(self, subnet_index: int, now: float) -> None:
+        assert self._drill_handle is not None
+        self.phase = Phase.HOST
+        self.subnet_identified_at = now
+        self.identified_subnet = subnet_index
+        self.timeline.append(
+            (now, f"imbalanced /24 index {subnet_index}; tracking per-host")
+        )
+        subnet_address = self._subnet_address(subnet_index)
+        match = BindingMatch(
+            ether_type=hdr.ETHERTYPE_IPV4, dst_prefix=(subnet_address, 24)
+        )
+        spec = self.runtime.frequency_of(
+            dist=self.drill_dist,
+            extract=self._host_extract(),
+            k_sigma=self.k_sigma,
+            alert=self.HOST_ALERT,
+            min_samples=self.min_samples,
+            margin=self.margin,
+            cooldown=self.cooldown,
+        )
+        self._drill_handle, message = self.runtime.rebind(
+            self._drill_handle, match=match, spec=spec
+        )
+        self._send_after_processing(self.send_table_modify, message)
+
+    def _send_after_processing(self, sender, message) -> None:
+        if self.processing_delay <= 0 or self.network is None:
+            sender(message)
+        else:
+            self.network.sim.schedule(
+                self.processing_delay, lambda: sender(message)
+            )
+
+    def _finish(self, host_index: int, now: float) -> None:
+        assert self.identified_subnet is not None
+        self.phase = Phase.DONE
+        self.victim_identified_at = now
+        self.identified_victim = (
+            self._subnet_address(self.identified_subnet) | host_index
+        )
+        self.timeline.append(
+            (now, f"victim pinpointed: {hdr.int_to_ip(self.identified_victim)}")
+        )
+
+    # -- address arithmetic ------------------------------------------------------
+
+    def _subnet_address(self, subnet_index: int) -> int:
+        """The /24 network address with the given third octet."""
+        base = hdr.ip_to_int(self.base_prefix)
+        return (base & 0xFF000000) | (subnet_index << 8)
+
+    @staticmethod
+    def _subnet_extract():
+        """Index a destination by its /24 (third octet of a /8 aggregate)."""
+        from repro.stat4.extract import ExtractSpec
+
+        return ExtractSpec.field("ipv4.dst", shift=8, mask=0xFF)
+
+    @staticmethod
+    def _host_extract():
+        """Index a destination by its host octet within the /24."""
+        from repro.stat4.extract import ExtractSpec
+
+        return ExtractSpec.field("ipv4.dst", mask=0xFF)
+
+    # -- experiment accessors --------------------------------------------------------
+
+    @property
+    def pinpoint_latency(self) -> Optional[float]:
+        """Seconds from spike detection to victim identification."""
+        if self.spike_detected_at is None or self.victim_identified_at is None:
+            return None
+        return self.victim_identified_at - self.spike_detected_at
+
+    def victim_ip(self) -> Optional[str]:
+        """The identified victim, dotted-quad (None before DONE)."""
+        if self.identified_victim is None:
+            return None
+        return hdr.int_to_ip(self.identified_victim)

@@ -1,0 +1,134 @@
+"""Approximate square root and squaring using only shifts (paper Sec. 2).
+
+P4 targets have no square-root instruction and hardware targets cannot even
+square a runtime value.  The paper replaces both with bit-string
+manipulations:
+
+- :func:`approx_isqrt` implements the Figure-2 algorithm: write ``y`` in a
+  floating-point-style form (exponent = MSB position, mantissa = the bits
+  after the MSB), shift the *concatenated* (exponent ‖ mantissa) bit string
+  right by one, and read the result back as an integer.  Halving the
+  exponent makes the MSB of the result exact; halving the mantissa linearly
+  interpolates between consecutive even powers of two.  The paper's worked
+  example — ``approx_isqrt(106) == 10`` — is a unit test.
+- :func:`approx_square` is the analogous shift-based squaring fallback for
+  targets without a runtime multiplier, as the paper suggests citing Ding et
+  al.: double the exponent and keep the first-order mantissa term
+  (``(1+f)^2 ≈ 1 + 2f``).
+
+Both functions use only MSB search, shifts, masks and adds — all
+P4-expressible.  Exact references for the experiment harnesses live in
+:mod:`repro.core.welford`, which is not claimed to be P4-expressible.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.bitops import msb_position
+
+__all__ = [
+    "approx_isqrt",
+    "approx_isqrt_parts",
+    "approx_square",
+    "approx_square_error_bound",
+]
+
+
+def approx_isqrt_parts(y: int) -> Tuple[int, int, int]:
+    """The Figure-2 decomposition steps, exposed for tests and teaching.
+
+    Args:
+        y: a positive integer.
+
+    Returns:
+        ``(exponent, shifted_exponent, shifted_mantissa)`` where
+        ``shifted_mantissa`` is the mantissa field *after* the one-bit right
+        shift of the concatenated (exponent ‖ mantissa) string.  The mantissa
+        field keeps its original width ``exponent``.
+    """
+    exponent = msb_position(y)
+    if exponent == 0:
+        return 0, 0, 0
+    mantissa = y - (1 << exponent)
+    # Shifting (exponent ++ mantissa) right by one: the exponent's low bit
+    # becomes the mantissa's new top bit, and the mantissa drops its low bit.
+    shifted_exponent = exponent >> 1
+    carried_bit = exponent & 1
+    shifted_mantissa = (carried_bit << (exponent - 1)) | (mantissa >> 1)
+    return exponent, shifted_exponent, shifted_mantissa
+
+
+def approx_isqrt(y: int) -> int:
+    """Approximate integer square root via the paper's Figure-2 algorithm.
+
+    The result's MSB is placed at half the input's MSB position (exact for
+    even powers of two); the leftmost bits of the shifted mantissa fill the
+    bits below it, interpolating between ``2**(2k)`` squares.
+
+    Examples from the paper: ``approx_isqrt(106) == 10`` (√106 ≈ 10.3) and
+    ``approx_isqrt(3) == 1`` (the small-number footnote of Table 2).
+
+    Args:
+        y: a non-negative integer.
+
+    Returns:
+        an integer approximation of ``sqrt(y)``; exact when ``y`` is an even
+        power of two, within ~6.1 % relative error otherwise (see Table 2 of
+        EXPERIMENTS.md for the measured error profile).
+
+    Raises:
+        ValueError: if ``y`` is negative.
+    """
+    if y < 0:
+        raise ValueError(f"square root of negative value {y}")
+    if y == 0:
+        return 0
+    exponent, shifted_exponent, shifted_mantissa = approx_isqrt_parts(y)
+    if exponent == 0:
+        return 1
+    # Set the MSB of the result at the shifted exponent's position, then copy
+    # the leftmost `shifted_exponent` bits of the (width-`exponent`) mantissa
+    # field into the least significant bits.
+    top_bits = shifted_mantissa >> (exponent - shifted_exponent)
+    return (1 << shifted_exponent) | top_bits
+
+
+def approx_square(x: int) -> int:
+    """Approximate ``x*x`` using shifts only (hardware-target fallback).
+
+    "Some hardware switches do not support the squaring of values unknown at
+    compile time. Similarly to our square root approximation, we can
+    approximate squaring by using shifting operations" (Sec. 2).  Writing
+    ``x = 2**e * (1 + f)``, this returns ``2**(2e) * (1 + 2f)``, the
+    first-order expansion of ``(1+f)**2``: the exponent doubles (one shift)
+    and the mantissa contributes twice (one shift and an add).
+
+    Args:
+        x: a non-negative integer.
+
+    Returns:
+        an integer approximation of ``x*x``; exact for powers of two,
+        underestimating by at most 25 % (at ``f → 1``).
+
+    Raises:
+        ValueError: if ``x`` is negative.
+    """
+    if x < 0:
+        raise ValueError(f"cannot square negative value {x}")
+    if x == 0:
+        return 0
+    exponent = msb_position(x)
+    mantissa = x - (1 << exponent)
+    return (1 << (exponent + exponent)) + (mantissa << (exponent + 1))
+
+
+def approx_square_error_bound() -> Tuple[int, int]:
+    """Worst-case relative underestimation of :func:`approx_square`.
+
+    ``(1 + 2f) / (1 + f)**2`` is minimized at ``f → 1`` where it equals 3/4,
+    i.e. a 25 % underestimate.  Returned as the integer fraction ``(1, 4)``
+    (this module stays float-free to remain P4-expressible); tests and the
+    squaring ablation assert the measured error stays within the bound.
+    """
+    return (1, 4)

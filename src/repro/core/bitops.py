@@ -1,0 +1,122 @@
+"""Bit-level primitives used by the Stat4 statistics algorithms.
+
+The paper's square-root approximation (Sec. 2, Figure 2) needs the position
+of the most significant set bit (MSB).  P4 has no count-leading-zeros
+instruction, so Stat4 "identifies MSBs using a sequence of ifs, which is a
+costly operation" and amortizes it by computing the standard deviation
+lazily (Sec. 3).  We provide:
+
+- :func:`msb_position` — a *bounded, data-independent* binary search that a
+  P4 compiler would unroll into a fixed chain of ifs (six comparisons for a
+  64-bit value);
+- :func:`msb_position_if_chain` — the literal linear if-chain the paper
+  describes, returning both the result and the number of comparisons so the
+  lazy-vs-eager ablation can report the cost being amortized;
+- small helpers for masks and bit extraction used across the library.
+
+Everything here uses only operations expressible in P4: comparisons, shifts,
+masks, and wrapping adds.  No division, no loops whose trip count depends on
+data.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = [
+    "MAX_SUPPORTED_WIDTH",
+    "msb_position",
+    "msb_position_if_chain",
+    "mask_of_width",
+    "low_bits",
+    "is_power_of_two",
+]
+
+#: Widest value the unrolled MSB searches support.  Stat4 registers are at
+#: most 64 bits wide; variance values fit in 2*width+log2(N) bits, so the
+#: experiment drivers cap widths accordingly.
+MAX_SUPPORTED_WIDTH = 128
+
+# Steps of the unrolled binary search, widest first.  Each entry is
+# (threshold_shift, step): "if the value needs more than `threshold_shift`
+# bits, add `step` to the position and shift right by `step`".
+_BINARY_STEPS = (64, 32, 16, 8, 4, 2, 1)
+
+
+def msb_position(value: int) -> int:
+    """Position of the most significant set bit (0-indexed).
+
+    This is the exponent of ``value``'s floating-point-style representation
+    in Figure 2 of the paper.  Implemented as a fixed seven-step binary
+    search — the data-independent form a P4 compiler can unroll.
+
+    Args:
+        value: a positive integer below ``2**MAX_SUPPORTED_WIDTH``.
+
+    Returns:
+        ``floor(log2(value))``.
+
+    Raises:
+        ValueError: if ``value`` is not positive or too wide.
+    """
+    if value <= 0:
+        raise ValueError(f"msb_position requires a positive value, got {value}")
+    if value >> MAX_SUPPORTED_WIDTH:
+        raise ValueError(
+            f"value wider than {MAX_SUPPORTED_WIDTH} bits is not supported"
+        )
+    position = 0
+    remaining = value
+    for step in _BINARY_STEPS:
+        if remaining >> step:
+            remaining = remaining >> step
+            position = position + step
+    return position
+
+
+def msb_position_if_chain(value: int, width: int = 32) -> Tuple[int, int]:
+    """MSB position via the literal linear if-chain Stat4 uses.
+
+    "Stat4 currently identifies MSBs using a sequence of ifs, which is a
+    costly operation" (Sec. 3).  This walks from the top bit down, one
+    comparison per bit, and reports how many comparisons were evaluated so
+    ablation benches can quantify the cost that lazy standard-deviation
+    computation amortizes.
+
+    Args:
+        value: a positive integer that fits in ``width`` bits.
+        width: register width; the chain has ``width`` comparisons at most.
+
+    Returns:
+        ``(position, comparisons)``.
+
+    Raises:
+        ValueError: if ``value`` is not positive or does not fit.
+    """
+    if value <= 0:
+        raise ValueError(f"msb_position requires a positive value, got {value}")
+    if value >> width:
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    comparisons = 0
+    for position in range(width - 1, -1, -1):
+        comparisons = comparisons + 1
+        if value >> position:
+            return position, comparisons
+    raise AssertionError("unreachable: value was checked to be positive")
+
+
+def mask_of_width(width: int) -> int:
+    """``2**width - 1`` — the all-ones mask of the given width."""
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def low_bits(value: int, width: int) -> int:
+    """The low ``width`` bits of ``value``."""
+    return value & mask_of_width(width)
+
+
+def is_power_of_two(value: int) -> bool:
+    """Whether ``value`` is an exact power of two (P4-expressible test)."""
+    return value > 0 and (value & (value - 1)) == 0

@@ -1,0 +1,106 @@
+"""Anomaly rules built on the scaled statistics (paper Secs. 2 and 4).
+
+A rule inspects a :class:`~repro.core.stats.ScaledStats` (and optionally a
+new sample) and returns a :class:`Verdict`.  All comparisons are on the NX
+scale, so no division is ever needed:
+
+- :class:`KSigmaRule` — the paper's outlier test for (approximately) normal
+  distributions: ``N·xⱼ > Xsum + k·σ_NX``.  The Sec. 4 case study uses it
+  with ``k = 2`` ("the rate is higher than the mean of the stored
+  distribution plus two standard deviations").
+- :class:`MeanTargetRule` — "check that the average traffic rate matches a
+  value T … compare the mean of NX with N×T".
+- :class:`StaticThresholdRule` — plain thresholding on the raw sample, the
+  baseline technique prior in-switch detectors use (Sec. 1: "they use basic
+  algorithms such as thresholding").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.core.stats import ScaledStats
+
+__all__ = [
+    "Verdict",
+    "AnomalyRule",
+    "KSigmaRule",
+    "MeanTargetRule",
+    "StaticThresholdRule",
+]
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Outcome of an anomaly check.
+
+    Attributes:
+        anomalous: whether the rule fired.
+        observed: the compared quantity, on the scale the rule used.
+        threshold: the bound it was compared against (same scale).
+    """
+
+    anomalous: bool
+    observed: int
+    threshold: int
+
+
+class AnomalyRule(Protocol):
+    """Anything that can judge a new sample against tracked statistics."""
+
+    def check(self, stats: ScaledStats, sample: int) -> Verdict:
+        """Judge ``sample`` given the distribution summarized by ``stats``."""
+        ...
+
+
+@dataclass(frozen=True)
+class KSigmaRule:
+    """``N·xⱼ > Xsum + k·σ_NX`` — the paper's normal-distribution outlier test.
+
+    ``k_sigma`` is a compile-time constant, so the multiply lowers to
+    shift-and-add on any target.
+    """
+
+    k_sigma: int = 2
+    min_samples: int = 2
+
+    def check(self, stats: ScaledStats, sample: int) -> Verdict:
+        """Fire when the sample exceeds the mean by ``k`` standard deviations.
+
+        Refuses to fire before ``min_samples`` values are in the
+        distribution, since σ of a single sample is degenerate.
+        """
+        threshold = stats.xsum + self.k_sigma * stats.stddev_nx
+        if stats.count < self.min_samples:
+            return Verdict(False, 0, threshold)
+        observed = stats.scaled(sample)
+        return Verdict(observed > threshold, observed, threshold)
+
+
+@dataclass(frozen=True)
+class MeanTargetRule:
+    """Fire when the distribution mean drifts above a target ``T``.
+
+    Compares ``Xsum`` (the mean of NX) with ``N·T``; ``T`` is installed by
+    the control plane so it is a runtime value, but the multiply is by
+    ``N`` which is constant for windowed distributions.
+    """
+
+    target: int
+
+    def check(self, stats: ScaledStats, sample: int) -> Verdict:
+        """Judge the tracked mean (``sample`` is ignored)."""
+        threshold = stats.scaled(self.target)
+        return Verdict(stats.xsum > threshold, stats.xsum, threshold)
+
+
+@dataclass(frozen=True)
+class StaticThresholdRule:
+    """Plain ``xⱼ > T`` thresholding — the pre-Stat4 baseline detector."""
+
+    threshold: int
+
+    def check(self, stats: ScaledStats, sample: int) -> Verdict:
+        """Judge the raw sample against the static threshold."""
+        return Verdict(sample > self.threshold, sample, self.threshold)

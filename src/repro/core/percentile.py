@@ -1,0 +1,288 @@
+"""Online percentile tracking on frequency distributions (paper Sec. 2, Fig. 3).
+
+The median of a frequency distribution ``F = {f₁, …, f_N}`` is maintained by
+keeping, next to the tracked position ``m``:
+
+- ``low``  — the combined frequency of all values *below* ``m``;
+- ``high`` — the combined frequency of all values *above* ``m``.
+
+Every new observation updates one frequency and one of the two combined
+counters; the tracked position then *rebalances*: "if the combined frequency
+of values higher (resp., smaller) than the current median becomes bigger
+than the frequency of values lower (resp., higher) than the median plus the
+median itself, we move the median towards the higher (resp., lower) values".
+
+P4 has no iteration, and the paper refuses packet recirculation, so the
+position moves **by at most one unit per packet** — skipping a run of
+zero-frequency counters costs one packet per counter (Figure 3's example
+needs two packets to move the median from 4 to 6).  The estimation error
+this introduces is the subject of Table 3.
+
+Arbitrary percentiles only change the comparison weights: "tracking the
+90-th percentile p amounts to ensuring that the frequency of values lower
+than p is nine times bigger than the frequency of values higher than p".
+For a percentile ``p`` we use the compile-time constants ``a = p`` and
+``b = 100 − p`` and move up when ``a·high > b·(low + f[m])``, down when
+``b·low > a·(high + f[m])`` — which reduces to the paper's median rule at
+``p = 50`` and to the 9:1 rule at ``p = 90``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "PercentileTracker",
+    "MultiPercentileTracker",
+    "true_percentile_of_freqs",
+]
+
+
+def true_percentile_of_freqs(freqs: Sequence[int], percent: int) -> int:
+    """Exact percentile position of a frequency vector (ground truth).
+
+    Returns the smallest index ``m`` whose cumulative frequency reaches
+    ``percent/100`` of the total mass.  Used by tests and the Table-3
+    harness; *not* P4 code (it iterates).
+
+    Raises:
+        ValueError: if the distribution is empty.
+    """
+    total = sum(freqs)
+    if total == 0:
+        raise ValueError("percentile of an empty frequency distribution")
+    if not 0 < percent < 100:
+        raise ValueError(f"percent must be in (0, 100), got {percent}")
+    # Smallest m with cumulative*100 >= percent*total, done in integers.
+    cumulative = 0
+    for index, f in enumerate(freqs):
+        cumulative += f
+        if cumulative * 100 >= percent * total:
+            return index
+    return len(freqs) - 1
+
+
+class PercentileTracker:
+    """One-step-per-packet online percentile over a bounded value domain.
+
+    Args:
+        domain_size: number of possible values of interest (the paper's
+            ``N`` for frequency use cases — e.g. 100 packet types, 65536 for
+            a 16-bit header field).  Values are integers in
+            ``[0, domain_size)``.
+        percent: tracked percentile as an integer in ``(0, 100)``; 50 is the
+            median.
+        steps_per_update: how many single-unit moves a packet may trigger.
+            The paper's data-plane implementation uses 1 (no recirculation);
+            larger values exist for the ablation bench only.
+    """
+
+    def __init__(
+        self,
+        domain_size: int,
+        percent: int = 50,
+        steps_per_update: int = 1,
+    ):
+        if domain_size <= 0:
+            raise ValueError(f"domain_size must be positive, got {domain_size}")
+        if not 0 < percent < 100:
+            raise ValueError(f"percent must be in (0, 100), got {percent}")
+        if steps_per_update < 1:
+            raise ValueError("steps_per_update must be at least 1")
+        self.domain_size = domain_size
+        self.percent = percent
+        self.steps_per_update = steps_per_update
+        # Compile-time comparison weights: a·high vs b·low balance.
+        self._weight_low = percent
+        self._weight_high = 100 - percent
+        self.freqs: List[int] = [0] * domain_size
+        self.low = 0
+        self.high = 0
+        self.total = 0
+        self.moves = 0
+        self._position: Optional[int] = None
+
+    # -- observation ----------------------------------------------------------
+
+    def observe(self, value: int) -> None:
+        """Count one occurrence of ``value`` and rebalance by ≤ one step."""
+        if not 0 <= value < self.domain_size:
+            raise ValueError(
+                f"value {value} outside tracked domain [0, {self.domain_size})"
+            )
+        self.freqs[value] += 1
+        self.total += 1
+        if self._position is None:
+            # First observation: the tracked position starts on it.
+            self._position = value
+        elif value < self._position:
+            self.low += 1
+        elif value > self._position:
+            self.high += 1
+        self.rebalance(self.steps_per_update)
+
+    def tick(self) -> None:
+        """A packet with no value of interest still helps the position move.
+
+        "The error would be even lower when switches receive packets not
+        carrying values of interest, as those packets do contribute to
+        moving the median" (Sec. 2).
+        """
+        self.rebalance(self.steps_per_update)
+
+    # -- rebalancing ------------------------------------------------------------
+
+    def _should_move_up(self) -> bool:
+        at = self.freqs[self._position]
+        return self._weight_low * self.high > self._weight_high * (self.low + at)
+
+    def _should_move_down(self) -> bool:
+        at = self.freqs[self._position]
+        return self._weight_high * self.low > self._weight_low * (self.high + at)
+
+    def rebalance(self, max_steps: int = 1) -> int:
+        """Move the tracked position by at most ``max_steps`` single units.
+
+        Returns the number of unit moves performed.  With ``max_steps=1``
+        this is exactly the bounded, loop-free work P4 can do per packet.
+        """
+        if self._position is None:
+            return 0
+        steps = 0
+        while steps < max_steps:
+            if self._should_move_up() and self._position < self.domain_size - 1:
+                # Everything at the old position now lies below the tracker.
+                self.low += self.freqs[self._position]
+                self._position += 1
+                self.high -= self.freqs[self._position]
+                steps += 1
+            elif self._should_move_down() and self._position > 0:
+                self.high += self.freqs[self._position]
+                self._position -= 1
+                self.low -= self.freqs[self._position]
+                steps += 1
+            else:
+                break
+        self.moves += steps
+        return steps
+
+    # -- reads -------------------------------------------------------------------
+
+    @property
+    def value(self) -> int:
+        """The tracked percentile position.
+
+        Raises:
+            ValueError: before any observation.
+        """
+        if self._position is None:
+            raise ValueError("no values observed yet")
+        return self._position
+
+    @property
+    def has_value(self) -> bool:
+        """Whether at least one observation has arrived."""
+        return self._position is not None
+
+    def true_value(self) -> int:
+        """Exact percentile of the accumulated frequencies (ground truth)."""
+        return true_percentile_of_freqs(self.freqs, self.percent)
+
+    def error_units(self) -> int:
+        """Absolute distance (in value units) from the exact percentile."""
+        return abs(self.value - self.true_value())
+
+    def check_invariants(self) -> None:
+        """Assert the low/high bookkeeping matches the frequency vector.
+
+        Used by property-based tests; raises AssertionError on violation.
+        """
+        if self._position is None:
+            assert self.low == 0 and self.high == 0 and self.total == sum(self.freqs)
+            return
+        expected_low = sum(self.freqs[: self._position])
+        expected_high = sum(self.freqs[self._position + 1 :])
+        assert self.low == expected_low, (self.low, expected_low)
+        assert self.high == expected_high, (self.high, expected_high)
+        assert self.total == sum(self.freqs)
+
+
+class MultiPercentileTracker:
+    """Several percentiles of one distribution, tracked simultaneously.
+
+    "We support the online computation of any percentile by only adjusting
+    the comparisons" (Sec. 2) — and nothing stops a switch from running
+    several comparison sets against the *same* frequency registers: each
+    extra percentile costs two combined-frequency counters and one position
+    register, not another copy of the distribution.  This mirrors that
+    layout: one shared frequency vector, one (low, high, position) triple
+    per tracked percentile.
+
+    Args:
+        domain_size: number of possible values.
+        percents: the tracked percentiles, e.g. ``(50, 90, 99)``.
+        steps_per_update: per-packet movement budget of each tracker.
+    """
+
+    def __init__(
+        self,
+        domain_size: int,
+        percents: Sequence[int] = (50, 90, 99),
+        steps_per_update: int = 1,
+    ):
+        if not percents:
+            raise ValueError("track at least one percentile")
+        if len(set(percents)) != len(percents):
+            raise ValueError("duplicate percentiles")
+        self.domain_size = domain_size
+        self._trackers = {
+            percent: PercentileTracker(
+                domain_size, percent=percent, steps_per_update=steps_per_update
+            )
+            for percent in percents
+        }
+        # Share one frequency vector (one register array on the switch).
+        self.freqs: List[int] = [0] * domain_size
+        for tracker in self._trackers.values():
+            tracker.freqs = self.freqs
+
+    def observe(self, value: int) -> None:
+        """Count one occurrence; every percentile's bookkeeping updates."""
+        if not 0 <= value < self.domain_size:
+            raise ValueError(
+                f"value {value} outside tracked domain [0, {self.domain_size})"
+            )
+        self.freqs[value] += 1
+        for tracker in self._trackers.values():
+            tracker.total += 1
+            if tracker._position is None:
+                tracker._position = value
+            elif value < tracker._position:
+                tracker.low += 1
+            elif value > tracker._position:
+                tracker.high += 1
+            tracker.rebalance(tracker.steps_per_update)
+
+    def tick(self) -> None:
+        """Value-free packet: rebalance every tracker one step."""
+        for tracker in self._trackers.values():
+            tracker.tick()
+
+    def value(self, percent: int) -> int:
+        """The tracked position of one percentile."""
+        try:
+            return self._trackers[percent].value
+        except KeyError:
+            raise ValueError(f"percentile {percent} is not tracked") from None
+
+    def values(self) -> dict:
+        """All tracked positions, ``{percent: value}``."""
+        return {
+            percent: tracker.value
+            for percent, tracker in self._trackers.items()
+            if tracker.has_value
+        }
+
+    def tracker(self, percent: int) -> PercentileTracker:
+        """Access one underlying tracker (tests, invariant checks)."""
+        return self._trackers[percent]

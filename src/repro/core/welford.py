@@ -1,0 +1,145 @@
+"""Floating-point reference statistics (Welford) and exact percentiles.
+
+The paper explicitly *cannot* use Welford's online algorithm in the data
+plane ("we cannot rely on prior online algorithms (e.g., [26]), because P4
+does not support division and square root", Sec. 2).  We implement it anyway
+— host-side, like the validation host in Figure 5 — as the ground truth the
+experiments compare Stat4's integer algorithms against.
+
+Nothing in this module is claimed to be P4-expressible; it is deliberately
+excluded from the P4-expressibility lint applied to the rest of
+:mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right, insort
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+__all__ = [
+    "WelfordAccumulator",
+    "RunningPercentile",
+    "population_variance",
+    "population_stddev",
+    "exact_percentile",
+]
+
+
+@dataclass
+class WelfordAccumulator:
+    """Numerically stable online mean/variance (Welford 1962, the paper's [26]).
+
+    Tracks the *population* variance to match the paper's definition
+    ``σ²_X = E[X²] − E[X]²``.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+    def add(self, x: float) -> None:
+        """Fold one observation into the running moments."""
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (x - self.mean)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many observations."""
+        for x in values:
+            self.add(x)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "WelfordAccumulator") -> "WelfordAccumulator":
+        """Combine two accumulators (Chan et al. parallel update)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count, self.mean, self.m2 = other.count, other.mean, other.m2
+            return self
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.m2 += other.m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        return self
+
+
+def population_variance(values: Sequence[float]) -> float:
+    """Batch population variance ``E[X²] − E[X]²`` (paper's definition)."""
+    n = len(values)
+    if n == 0:
+        return 0.0
+    mean = sum(values) / n
+    return sum((v - mean) ** 2 for v in values) / n
+
+
+def population_stddev(values: Sequence[float]) -> float:
+    """Batch population standard deviation."""
+    return math.sqrt(population_variance(values))
+
+
+def exact_percentile(values: Sequence[float], percent: float) -> float:
+    """Exact percentile by sorting (nearest-rank, lower interpolation).
+
+    Uses the same convention as the online tracker's ground truth: the
+    percentile is the smallest value ``v`` such that at least
+    ``percent/100`` of the observations are ``<= v``.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 < percent < 100:
+        raise ValueError(f"percent must be in (0, 100), got {percent}")
+    ordered = sorted(values)
+    rank = math.ceil(percent / 100.0 * len(ordered))
+    index = max(rank - 1, 0)
+    return ordered[index]
+
+
+@dataclass
+class RunningPercentile:
+    """Exact running percentile over a growing multiset (sorted inserts).
+
+    This is the host-side ground truth used by the Table-3 experiment: after
+    each insertion it can report the exact current percentile in O(log n).
+    """
+
+    percent: float = 50.0
+    _sorted: List[float] = field(default_factory=list)
+
+    def add(self, x: float) -> None:
+        """Insert one observation, keeping the multiset sorted."""
+        insort(self._sorted, x)
+
+    @property
+    def count(self) -> int:
+        """Number of observations so far."""
+        return len(self._sorted)
+
+    @property
+    def value(self) -> float:
+        """The exact current percentile (nearest-rank)."""
+        return exact_percentile(self._sorted, self.percent)
+
+    def rank_of(self, x: float) -> float:
+        """Fraction of observations strictly below ``x``."""
+        if not self._sorted:
+            return 0.0
+        return bisect_left(self._sorted, x) / len(self._sorted)
+
+    def count_at_most(self, x: float) -> int:
+        """Number of observations ``<= x``."""
+        return bisect_right(self._sorted, x)

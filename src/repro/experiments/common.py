@@ -1,0 +1,79 @@
+"""Shared helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+__all__ = ["percentile_of", "FenwickMedian", "format_rows"]
+
+
+def percentile_of(values: Sequence[float], percent: float) -> float:
+    """Nearest-rank percentile of a sample (host-side analysis helper)."""
+    if not values:
+        raise ValueError("percentile of empty sample")
+    ordered = sorted(values)
+    rank = math.ceil(percent / 100.0 * len(ordered))
+    return ordered[max(rank - 1, 0)]
+
+
+class FenwickMedian:
+    """Exact running percentile over a *bounded integer domain*.
+
+    A Fenwick (binary indexed) tree over the value domain gives O(log N)
+    insertion and O(log N) percentile queries — fast enough to serve as the
+    ground truth for the Table-3 experiment at N = 65536 without the O(n)
+    cost of sorted-list insertion.
+    """
+
+    def __init__(self, domain_size: int, percent: int = 50):
+        if domain_size <= 0:
+            raise ValueError("domain_size must be positive")
+        if not 0 < percent < 100:
+            raise ValueError("percent must be in (0, 100)")
+        self.domain_size = domain_size
+        self.percent = percent
+        self._tree: List[int] = [0] * (domain_size + 1)
+        self.count = 0
+        # Highest power of two <= domain_size, for the descending search.
+        self._top_bit = 1 << (domain_size.bit_length() - 1)
+
+    def add(self, value: int) -> None:
+        """Insert one observation."""
+        if not 0 <= value < self.domain_size:
+            raise ValueError(f"value {value} outside [0, {self.domain_size})")
+        index = value + 1
+        while index <= self.domain_size:
+            self._tree[index] += 1
+            index += index & (-index)
+        self.count += 1
+
+    def value(self) -> int:
+        """The exact current percentile (smallest value reaching the rank)."""
+        if self.count == 0:
+            raise ValueError("no observations yet")
+        target = math.ceil(self.percent / 100.0 * self.count)
+        position = 0
+        remaining = target
+        bit = self._top_bit
+        while bit:
+            candidate = position + bit
+            if candidate <= self.domain_size and self._tree[candidate] < remaining:
+                position = candidate
+                remaining -= self._tree[candidate]
+            bit >>= 1
+        return position  # zero-based domain value
+
+
+def format_rows(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render an aligned text table (for bench output and EXPERIMENTS.md)."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def render(cells):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [render(header), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,245 @@
+"""Figure 1 / Sec. 1: reactivity of push vs pull architectures.
+
+The paper's motivation: "for any sketch-only system, a delay is inevitable
+between when a traffic change is theoretically detectable and when the
+system is actually able to detect the change: this delay is inversely
+proportional to the generated overhead".
+
+This experiment makes that trade-off measurable.  The same spike workload
+runs against
+
+- the **in-switch** architecture (Figure 1c): a Stat4 monitor binding that
+  pushes a digest when an interval is an outlier, and
+- the **sketch-only** architecture (Figure 1b): the same interval counts,
+  pulled by a controller every ``period`` seconds and checked host-side,
+  for a sweep of periods.
+
+For each run we report the detection delay after spike onset and the
+control-channel overhead in bytes per second of monitoring.  The expected
+shape: sketch-only delay grows with the period while its overhead shrinks
+(the hyperbola), and the in-switch point sits below the whole curve with
+near-zero overhead.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.apps.anomaly import CaseStudyParams, build_case_study_app
+from repro.baselines.sketch_only import SketchPollingController, build_sketch_only_app
+from repro.controller.base import Controller
+from repro.netsim.hosts import Host
+from repro.netsim.network import Network
+from repro.netsim.switchnode import SwitchNode
+from repro.p4 import headers as hdr
+from repro.p4.switch import CPU_PORT
+from repro.traffic.profiles import spike_phase, uniform_phase
+from repro.traffic.source import TrafficSource
+from repro.experiments.common import format_rows
+
+__all__ = ["ReactivityPoint", "run_reactivity", "format_reactivity"]
+
+
+@dataclass(frozen=True)
+class ReactivityPoint:
+    """One architecture/configuration's measured trade-off.
+
+    Attributes:
+        architecture: ``"in-switch"`` or ``"sketch-only"``.
+        period: pull period in seconds (0 for the push architecture).
+        detection_delay: spike onset → controller knows, in seconds
+            (None = never detected within the run).
+        control_bytes: bytes that crossed the control channel.
+        monitor_seconds: length of the monitored run.
+        overhead_bps: control bytes per monitored second.
+    """
+
+    architecture: str
+    period: float
+    detection_delay: Optional[float]
+    control_bytes: int
+    monitor_seconds: float
+
+    @property
+    def overhead_bps(self) -> float:
+        """Control-channel overhead rate."""
+        if self.monitor_seconds <= 0:
+            return 0.0
+        return self.control_bytes / self.monitor_seconds
+
+
+def _workload(destinations, interval, ppi, warmup_intervals, spike_intervals, seed):
+    base_rate = ppi / interval
+    warmup = warmup_intervals * interval
+    return (
+        [
+            uniform_phase(destinations, duration=warmup, rate_pps=base_rate, poisson=False),
+            spike_phase(
+                destinations[0],
+                destinations,
+                duration=spike_intervals * interval,
+                rate_pps=base_rate * 8,
+                poisson=False,
+            ),
+        ],
+        warmup,
+    )
+
+
+def _run_in_switch(
+    interval: float,
+    window: int,
+    ppi: int,
+    warmup_intervals: int,
+    spike_intervals: int,
+    control_delay: float,
+    seed: int,
+) -> ReactivityPoint:
+    destinations = [hdr.ip_to_int(f"10.0.1.{h}") for h in range(1, 7)]
+    params = CaseStudyParams(
+        interval=interval,
+        window=window,
+        counter_size=max(window, 256),
+        margin=max(3, (ppi + 7) >> 3),
+    )
+    bundle = build_case_study_app(params)
+    network = Network()
+    switch = network.add(SwitchNode("p4", bundle.program))
+    controller = network.add(Controller("ctrl"))
+    sink = network.add(Host("sink"))
+    network.connect(switch, CPU_PORT, controller, 0, delay=control_delay)
+    network.connect(switch, 1, sink, 0)
+    phases, warmup = _workload(
+        destinations, interval, ppi, warmup_intervals, spike_intervals, seed
+    )
+    source = network.add(TrafficSource("src", phases, seed=seed))
+    network.connect(source, 0, switch, 0)
+    source.start()
+    network.run()
+    onset = source.phase_start_of("spike")
+    detections = [t for (t, d) in controller.alerts_named("traffic_spike") if t >= onset]
+    delay = detections[0] - onset if detections else None
+    cpu_bytes = (
+        network.link_of(switch, CPU_PORT).bytes_carried
+        + network.link_of(controller, 0).bytes_carried
+    )
+    return ReactivityPoint(
+        architecture="in-switch",
+        period=0.0,
+        detection_delay=delay,
+        control_bytes=cpu_bytes,
+        monitor_seconds=network.now,
+    )
+
+
+def _run_sketch_only(
+    period: float,
+    interval: float,
+    window: int,
+    ppi: int,
+    warmup_intervals: int,
+    spike_intervals: int,
+    control_delay: float,
+    seed: int,
+) -> ReactivityPoint:
+    destinations = [hdr.ip_to_int(f"10.0.1.{h}") for h in range(1, 7)]
+    app = build_sketch_only_app(interval=interval, window=window)
+    network = Network()
+    switch = network.add(SwitchNode("p4", app.program))
+    controller = network.add(
+        SketchPollingController(
+            "ctrl",
+            period=period,
+            window=window,
+            margin=max(3, (ppi + 7) >> 3),
+        )
+    )
+    sink = network.add(Host("sink"))
+    network.connect(switch, CPU_PORT, controller, 0, delay=control_delay)
+    network.connect(switch, 1, sink, 0)
+    phases, warmup = _workload(
+        destinations, interval, ppi, warmup_intervals, spike_intervals, seed
+    )
+    source = network.add(TrafficSource("src", phases, seed=seed))
+    network.connect(source, 0, switch, 0)
+    source.start()
+    controller.start()
+    total = warmup + spike_intervals * interval
+    network.run(until=total + 2.0)
+    controller.stop()
+    network.run()
+    onset = source.phase_start_of("spike")
+    detected = controller.first_detection_after(onset) if onset is not None else None
+    delay = detected - onset if detected is not None else None
+    # Control overhead: everything on the CPU-port link, both directions.
+    cpu_bytes = (
+        network.link_of(switch, CPU_PORT).bytes_carried
+        + network.link_of(controller, 0).bytes_carried
+    )
+    return ReactivityPoint(
+        architecture="sketch-only",
+        period=period,
+        detection_delay=delay,
+        control_bytes=cpu_bytes,
+        monitor_seconds=network.now,
+    )
+
+
+def run_reactivity(
+    periods: Sequence[float] = (0.01, 0.05, 0.1, 0.5, 1.0),
+    interval: float = 0.008,
+    window: int = 100,
+    ppi: int = 30,
+    warmup_intervals: int = 40,
+    spike_intervals: int = 150,
+    control_delay: float = 0.005,
+    seed: int = 0,
+) -> List[ReactivityPoint]:
+    """Run the full comparison: one in-switch point plus the pull sweep.
+
+    Keep ``spike_intervals * interval`` above the largest period, or slow
+    pollers legitimately miss the spike altogether (a finding in itself —
+    the paper's "may simply not be supported by the network" case).
+    Similarly, a poller needs at least ~3 clean pulls of baseline before
+    the spike, so the warm-up is stretched to cover the slowest period.
+    """
+    if periods:
+        needed = int(3 * max(periods) / interval) + 5
+        warmup_intervals = max(warmup_intervals, needed)
+    points = [
+        _run_in_switch(
+            interval, window, ppi, warmup_intervals, spike_intervals, control_delay, seed
+        )
+    ]
+    for period in periods:
+        points.append(
+            _run_sketch_only(
+                period,
+                interval,
+                window,
+                ppi,
+                warmup_intervals,
+                spike_intervals,
+                control_delay,
+                seed,
+            )
+        )
+    return points
+
+
+def format_reactivity(points: Sequence[ReactivityPoint]) -> str:
+    """Render the trade-off table."""
+    header = ["architecture", "pull period", "detection delay", "overhead (B/s)"]
+    rows = []
+    for p in points:
+        rows.append(
+            [
+                p.architecture,
+                f"{p.period * 1000:g} ms" if p.period else "push",
+                f"{p.detection_delay * 1000:.1f} ms" if p.detection_delay is not None else "missed",
+                f"{p.overhead_bps:.0f}",
+            ]
+        )
+    return format_rows(header, rows)

@@ -1,0 +1,74 @@
+"""Sec. 4 "Resource Consumption": the case-study app's footprint.
+
+The paper reports that the case-study application "occupies 3.1KB",
+"entails at most one dependency between match-action rules, since at most
+two rules with independent actions match each packet", and has a longest
+dependency chain of "12 sequential steps, used to override the oldest
+counter in distributions of traffic over time", deployable on targets with
+"more than 10 pipeline stages".
+
+We build the case-study program in its end-of-experiment state (monitor
+binding installed, drill-down binding installed, routes populated) and run
+the static analyzer over it.
+"""
+
+from __future__ import annotations
+
+from repro.apps.anomaly import CaseStudyParams, build_case_study_app
+from repro.p4.values import TOFINO_LIKE
+from repro.resources.model import ResourceReport, analyze_program
+from repro.stat4.binding import BindingMatch
+from repro.stat4.extract import ExtractSpec
+
+__all__ = ["build_case_study_report", "PAPER_TOTAL_KB", "PAPER_CHAIN", "PAPER_RULE_DEPS"]
+
+#: The paper's reported numbers.
+PAPER_TOTAL_KB = 3.1
+PAPER_CHAIN = 12
+PAPER_RULE_DEPS = 1
+
+
+def build_case_study_report(
+    params: CaseStudyParams = CaseStudyParams(),
+    with_drilldown: bool = True,
+) -> ResourceReport:
+    """Analyze the case-study program's resource consumption.
+
+    Args:
+        params: the app configuration (paper defaults: 100-interval window).
+        with_drilldown: include the controller-installed per-/24 binding,
+            matching the two-rules-per-packet state the paper describes.
+    """
+    bundle = build_case_study_app(params)
+    if with_drilldown:
+        spec = bundle.runtime.frequency_of(
+            dist=1,
+            extract=ExtractSpec.field("ipv4.dst", shift=8, mask=0xFF),
+            k_sigma=2,
+            alert="imbalance_subnet",
+        )
+        bundle.runtime.bind(
+            1, BindingMatch.ipv4_prefix(params.base_prefix, params.base_len), spec
+        )
+    report = analyze_program(bundle.program)
+    return report
+
+
+def summarize(report: ResourceReport) -> str:
+    """The report plus the paper-vs-measured comparison lines."""
+    lines = report.summary_lines()
+    lines.append("")
+    lines.append(
+        f"paper: {PAPER_TOTAL_KB} KB total, chain {PAPER_CHAIN}, "
+        f"{PAPER_RULE_DEPS} rule dependency"
+    )
+    lines.append(
+        f"measured: {report.total_bytes / 1024:.1f} KB total, "
+        f"chain {report.longest_chain}, "
+        f"{report.rule_dependencies} rule dependency"
+    )
+    lines.append(
+        f"fits tofino-like stage budget ({TOFINO_LIKE.max_pipeline_stages}): "
+        f"{report.fits_target(TOFINO_LIKE)}"
+    )
+    return "\n".join(lines)

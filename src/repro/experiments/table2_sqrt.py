@@ -1,0 +1,118 @@
+"""Table 2: percentage error of the approximate square root.
+
+The paper reports, per input decade, the 50th/90th-percentile and maximum
+"percentage error in square root estimation with respect to the fractional
+square root value", with a footnote that small inputs have high percentage
+error but low absolute error (√3 → 1).
+
+We compute two error definitions for every integer in each range:
+
+- ``relative``: ``|approx − √y| / √y`` — the naive reading;
+- ``input-normalized``: ``|approx − √y| / y`` — absolute error on the
+  square-root scale normalized by the input.
+
+The paper's numbers (20 % → 3.8 % → 0.44 % → 0.05 % maxima, falling with
+magnitude) are reproduced by the input-normalized definition; the relative
+definition cannot fall with magnitude because the algorithm interpolates
+between powers of two with a constant ~6 % worst case (see DESIGN.md).
+EXPERIMENTS.md reports both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.approx import approx_isqrt
+from repro.experiments.common import format_rows, percentile_of
+
+__all__ = ["SqrtErrorRow", "PAPER_TABLE2", "run_table2", "format_table2"]
+
+#: The ranges of Table 2.
+DEFAULT_RANGES: Tuple[Tuple[int, int], ...] = (
+    (1, 10),
+    (10, 100),
+    (100, 1000),
+    (1000, 10000),
+)
+
+#: The paper's reported values (input-normalized metric), for comparison:
+#: range -> (p50, p90, max) in percent.  "<x" entries use x.
+PAPER_TABLE2 = {
+    (1, 10): (3.0, 10.0, 20.0),
+    (10, 100): (0.4, 1.4, 3.8),
+    (100, 1000): (0.05, 0.14, 0.44),
+    (1000, 10000): (0.01, 0.01, 0.05),
+}
+
+
+@dataclass(frozen=True)
+class SqrtErrorRow:
+    """Error summary for one input range (all values in percent)."""
+
+    lo: int
+    hi: int
+    p50_normalized: float
+    p90_normalized: float
+    max_normalized: float
+    p50_relative: float
+    p90_relative: float
+    max_relative: float
+
+
+def run_table2(ranges: Sequence[Tuple[int, int]] = DEFAULT_RANGES) -> List[SqrtErrorRow]:
+    """Evaluate the square-root error exhaustively over each range."""
+    rows = []
+    for lo, hi in ranges:
+        normalized = []
+        relative = []
+        for y in range(lo, hi + 1):
+            true = math.sqrt(y)
+            error = abs(approx_isqrt(y) - true)
+            normalized.append(error / y * 100.0)
+            relative.append(error / true * 100.0)
+        rows.append(
+            SqrtErrorRow(
+                lo=lo,
+                hi=hi,
+                p50_normalized=percentile_of(normalized, 50),
+                p90_normalized=percentile_of(normalized, 90),
+                max_normalized=max(normalized),
+                p50_relative=percentile_of(relative, 50),
+                p90_relative=percentile_of(relative, 90),
+                max_relative=max(relative),
+            )
+        )
+    return rows
+
+
+def format_table2(rows: Sequence[SqrtErrorRow]) -> str:
+    """Render the measured table next to the paper's values."""
+    header = [
+        "input number y",
+        "50th perc",
+        "90th perc",
+        "max",
+        "paper (50/90/max)",
+        "rel 50th",
+        "rel max",
+    ]
+    body = []
+    for row in rows:
+        paper = PAPER_TABLE2.get((row.lo, row.hi))
+        paper_txt = (
+            f"{paper[0]:g}% / {paper[1]:g}% / {paper[2]:g}%" if paper else "-"
+        )
+        body.append(
+            [
+                f"{row.lo}-{row.hi}",
+                f"{row.p50_normalized:.2f}%",
+                f"{row.p90_normalized:.2f}%",
+                f"{row.max_normalized:.2f}%",
+                paper_txt,
+                f"{row.p50_relative:.2f}%",
+                f"{row.max_relative:.2f}%",
+            ]
+        )
+    return format_rows(header, body)

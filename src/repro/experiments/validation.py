@@ -1,0 +1,171 @@
+"""Sec. 3 validation (Figure 5): the echo application.
+
+"We simulate a minimal network with a single host connected to a bmv2
+switch running the echo application. […] The host sends Ethernet frames
+whose payload only contains a randomly generated integer between −255 and
+255. […] In all our experiments (with up to 10,000 packets), the values of
+N, Xsum, Xsumsq and σ²_NX stored at the switch are equal to those computed
+at the host, and the output of our online algorithms is consistent with
+results in Sec. 2."
+
+The validation host mirrors the switch's integer algorithms in software
+(the same :class:`ScaledStats`/:class:`PercentileTracker` definitions) and
+additionally cross-checks against floating-point Welford: the integer
+variance over N² must match Welford's population variance, and the
+approximate σ must sit within the Table-2 error envelope of the true σ.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.apps.echo import build_echo_app
+from repro.core.percentile import PercentileTracker
+from repro.core.stats import ScaledStats
+from repro.core.welford import WelfordAccumulator
+from repro.netsim.hosts import Host
+from repro.netsim.network import Network
+from repro.netsim.switchnode import SwitchNode
+from repro.p4 import headers as hdr
+from repro.p4.packet import Packet
+from repro.p4.parser import standard_parser
+from repro.traffic.builders import echo_frame
+
+__all__ = ["ValidationResult", "EchoValidationHost", "run_validation"]
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of one validation run.
+
+    Attributes:
+        packets_sent: echo requests sent.
+        replies: echo replies received and checked.
+        mismatches: integer fields that differed from the host's mirror
+            (the paper's claim is that this is zero).
+        mismatch_details: first few mismatch descriptions, for debugging.
+        max_sd_relative_error: worst ``(|σ_switch − σ_true| − 1) / σ_true``
+            seen (the "consistent with Sec. 2" check; one integer quantum is
+            subtracted because σ is truncated to an integer, which dominates
+            when the variance is small — the Table-2 footnote's regime).
+        max_variance_drift: worst |integer variance/N² − Welford variance|.
+    """
+
+    packets_sent: int = 0
+    replies: int = 0
+    mismatches: int = 0
+    mismatch_details: List[str] = field(default_factory=list)
+    max_sd_relative_error: float = 0.0
+    max_variance_drift: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        """The paper's validation criterion."""
+        return (
+            self.replies == self.packets_sent
+            and self.mismatches == 0
+            and self.max_sd_relative_error < 0.07
+        )
+
+
+class EchoValidationHost(Host):
+    """The Figure-5 host: sends values, checks every reply against mirrors."""
+
+    def __init__(self, name: str, values: List[int]):
+        super().__init__(name)
+        self.values = values
+        self.result = ValidationResult(packets_sent=len(values))
+        # Software mirrors of the switch-side algorithms.
+        self._mirror_stats = ScaledStats()
+        self._mirror_median = PercentileTracker(512)
+        self._mirror_counts = {}
+        self._welford = WelfordAccumulator()
+        self._next_to_fold = 0
+        self._parser = standard_parser()
+
+    def send_all(self, start: float = 0.0, gap: float = 0.001) -> None:
+        """Schedule every echo request at a fixed cadence."""
+        for index, value in enumerate(self.values):
+            self.send_at(start + index * gap, echo_frame(value))
+
+    def on_packet(self, packet: Packet, port: int, now: float) -> None:
+        """Check one reply against the mirrors (replies arrive in order)."""
+        parsed = self._parser.parse(packet)
+        if not parsed.has("stat4_echo"):
+            return
+        echo = parsed["stat4_echo"]
+        if echo.get("op") != hdr.ECHO_OP_REPLY:
+            return
+        # Fold the value this reply corresponds to into the mirrors.
+        value = self.values[self._next_to_fold] + 256
+        self._next_to_fold += 1
+        old = self._mirror_counts.get(value, 0)
+        self._mirror_counts[value] = self._mirror_stats.observe_frequency(old)
+        self._mirror_median.observe(value)
+        self.result.replies += 1
+        self._check(echo)
+
+    def _check(self, echo) -> None:
+        mirror = self._mirror_stats
+        expectations = {
+            "n": mirror.count,
+            "xsum": mirror.xsum,
+            "xsumsq": mirror.xsumsq,
+            "variance": mirror.variance_nx,
+            "stddev": mirror.stddev_nx,
+            "median": self._mirror_median.value,
+        }
+        for name, expected in expectations.items():
+            got = echo.get(name)
+            if got != expected:
+                self.result.mismatches += 1
+                if len(self.result.mismatch_details) < 10:
+                    self.result.mismatch_details.append(
+                        f"reply {self.result.replies}: {name} switch={got} "
+                        f"host={expected}"
+                    )
+        # Consistency with Sec. 2: the approximate sigma tracks the true one.
+        counts = list(self._mirror_counts.values())
+        self._welford = WelfordAccumulator()
+        self._welford.extend(counts)
+        n = len(counts)
+        true_var = self._welford.variance * n * n
+        if true_var > 0:
+            true_sd = math.sqrt(true_var)
+            excess = max(abs(echo.get("stddev") - true_sd) - 1.0, 0.0)
+            self.result.max_sd_relative_error = max(
+                self.result.max_sd_relative_error, excess / true_sd
+            )
+        drift = abs(mirror.variance_nx - true_var)
+        self.result.max_variance_drift = max(self.result.max_variance_drift, drift)
+
+
+def run_validation(
+    packets: int = 10_000,
+    seed: int = 0,
+    link_delay: float = 0.0001,
+    gap: float = 0.0005,
+) -> ValidationResult:
+    """Run the full Figure-5 validation through the simulated network.
+
+    Args:
+        packets: echo requests to send (paper: up to 10,000).
+        seed: RNG seed for the value stream.
+        link_delay: host↔switch one-way delay.
+        gap: inter-packet spacing.
+    """
+    rng = random.Random(seed)
+    values = [rng.randint(-255, 255) for _ in range(packets)]
+    bundle = build_echo_app()
+    network = Network()
+    host = EchoValidationHost("h1", values)
+    switch = SwitchNode("s1", bundle.program)
+    network.add(host)
+    network.add(switch)
+    network.connect(host, 0, switch, 0, delay=link_delay)
+    host.send_all(gap=gap)
+    network.run()
+    return host.result

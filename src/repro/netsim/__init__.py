@@ -1,0 +1,37 @@
+"""Discrete-event network simulation substrate.
+
+Replaces the paper's Mininet/OVS emulation: explicit virtual time, delay
+links, end hosts, behavioral switches, and a switch↔controller control
+channel whose latency and byte counts are first-class measurements.
+"""
+
+from repro.netsim.events import SimulationError, Simulator
+from repro.netsim.hosts import Host
+from repro.netsim.messages import (
+    ControlMessage,
+    DigestMessage,
+    RegisterReadReply,
+    RegisterReadRequest,
+    TableAdd,
+    TableDelete,
+    TableModify,
+)
+from repro.netsim.network import Link, Network, WiringError
+from repro.netsim.switchnode import SwitchNode
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "Host",
+    "Network",
+    "Link",
+    "WiringError",
+    "SwitchNode",
+    "ControlMessage",
+    "DigestMessage",
+    "TableAdd",
+    "TableModify",
+    "TableDelete",
+    "RegisterReadRequest",
+    "RegisterReadReply",
+]

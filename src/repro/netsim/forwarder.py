@@ -1,0 +1,74 @@
+"""A plain L3 forwarder — the stand-in for the OVS boxes of Figure 6.
+
+The paper's emulated topology interposes two Open vSwitch instances between
+the P4 switch and the destinations.  They do no monitoring; they only
+forward.  :class:`StaticForwarder` reproduces that role with a static
+longest-prefix routing table (implemented with the same
+:class:`~repro.p4.tables.Table` machinery, exact where possible).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.netsim.network import Network
+from repro.p4 import headers as hdr
+from repro.p4.packet import Packet
+from repro.p4.parser import standard_parser
+from repro.p4.tables import ActionSpec, Table, lpm_key
+
+__all__ = ["StaticForwarder"]
+
+
+class StaticForwarder:
+    """Forwards IPv4 packets by longest-prefix match on the destination.
+
+    Args:
+        name: node name.
+        routes: ``prefix string -> port`` map, e.g. ``{"10.0.1.1/32": 2}``.
+    """
+
+    def __init__(self, name: str, routes: Dict[str, int]):
+        self.name = name
+        self.network: Optional[Network] = None
+        self._parser = standard_parser()
+        self.table = Table(
+            name=f"{name}_routes",
+            keys=[lpm_key("dst", 32)],
+            actions=[ActionSpec("fwd", ("port",))],
+            max_size=1024,
+        )
+        for prefix, port in routes.items():
+            address, _, length = prefix.partition("/")
+            self.table.add_entry(
+                [(hdr.ip_to_int(address), int(length))], "fwd", {"port": port}
+            )
+        self.forwarded = 0
+        self.dropped = 0
+
+    def attach(self, network: Network) -> None:
+        """Network callback on :meth:`Network.add`."""
+        self.network = network
+
+    def receive(self, message: Any, port: int, now: float) -> None:
+        """Route one packet (non-packets and misses are dropped)."""
+        if not isinstance(message, Packet):
+            return
+        assert self.network is not None
+        try:
+            parsed = self._parser.parse(message)
+        except Exception:
+            self.dropped += 1
+            return
+        if not parsed.has("ipv4"):
+            self.dropped += 1
+            return
+        entry = self.table.lookup([parsed["ipv4"].get("dst")])
+        if entry is None:
+            self.dropped += 1
+            return
+        self.forwarded += 1
+        self.network.transmit(self, entry.params["port"], message)
+
+    def __repr__(self) -> str:
+        return f"StaticForwarder({self.name!r})"

@@ -1,0 +1,69 @@
+"""End hosts for the simulated topologies.
+
+:class:`Host` is the minimal endpoint: it can send packets into the network
+and records everything it receives (with receive timestamps), which is all
+the validation experiment's echo host (Figure 5) and the case study's
+destinations (Figure 6) need.  Subclasses hook :meth:`on_packet` for custom
+behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.netsim.network import Network
+from repro.p4.packet import Packet
+
+__all__ = ["Host"]
+
+
+class Host:
+    """A single-homed endpoint.
+
+    Args:
+        name: node name.
+        ip: the host's IPv4 address as an int (optional; experiment sugar).
+        mac: the host's MAC as an int.
+    """
+
+    def __init__(self, name: str, ip: Optional[int] = None, mac: int = 0):
+        self.name = name
+        self.ip = ip
+        self.mac = mac
+        self.network: Optional[Network] = None
+        self.received: List[Tuple[float, Packet]] = []
+        self.sent = 0
+
+    def attach(self, network: Network) -> None:
+        """Network callback on :meth:`Network.add`."""
+        self.network = network
+
+    def send(self, packet: Packet, port: int = 0) -> None:
+        """Transmit a packet out of the host's (single) port."""
+        if self.network is None:
+            raise RuntimeError(f"host {self.name!r} is not attached")
+        self.sent += 1
+        self.network.transmit(self, port, packet)
+
+    def send_at(self, time: float, packet: Packet, port: int = 0) -> None:
+        """Schedule a transmission at an absolute simulation time."""
+        if self.network is None:
+            raise RuntimeError(f"host {self.name!r} is not attached")
+        self.network.sim.schedule_at(time, lambda: self.send(packet, port))
+
+    def receive(self, message: Any, port: int, now: float) -> None:
+        """Record arrivals; non-packet control messages are ignored."""
+        if isinstance(message, Packet):
+            self.received.append((now, message))
+            self.on_packet(message, port, now)
+
+    def on_packet(self, packet: Packet, port: int, now: float) -> None:
+        """Hook for subclasses; default does nothing further."""
+
+    @property
+    def packets_received(self) -> int:
+        """Convenience counter."""
+        return len(self.received)
+
+    def __repr__(self) -> str:
+        return f"Host({self.name!r})"

@@ -1,0 +1,163 @@
+"""Topology wiring: nodes, ports, and delay links.
+
+A :class:`Network` owns a :class:`~repro.netsim.events.Simulator` and a set
+of named nodes.  Ports are wired pairwise with a per-link one-way delay
+(and an optional serialization rate); transmitting on a port schedules the
+peer's ``receive`` after the delay.  The control channel between switch and
+controller is just another link — its delay is the knob behind the paper's
+observation that drill-down "typically takes 2-3 seconds because of the
+interaction between the control and data planes".
+
+Links carry either data-plane :class:`~repro.p4.packet.Packet` objects or
+small control messages (digest notifications, table operations); the
+byte-overhead accounting that the reactivity experiment bills pull-based
+monitoring by lives on the link, so both kinds of traffic are charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Protocol, Tuple
+
+from repro.netsim.events import Simulator
+
+__all__ = ["Node", "Link", "Network", "WiringError"]
+
+
+class WiringError(Exception):
+    """Raised on invalid topology construction or transmission."""
+
+
+class Node(Protocol):
+    """Anything attachable to a network."""
+
+    name: str
+
+    def attach(self, network: "Network") -> None:
+        """Called when the node joins the network."""
+        ...
+
+    def receive(self, message: Any, port: int, now: float) -> None:
+        """Called when a message arrives on one of the node's ports."""
+        ...
+
+
+@dataclass
+class Link:
+    """One direction of a wired port pair.
+
+    Attributes:
+        peer: receiving node.
+        peer_port: port on the receiving node.
+        delay: one-way propagation delay in seconds.
+        bytes_per_second: serialization rate; None models an unloaded link
+            where only propagation delay matters.
+    """
+
+    peer: Any
+    peer_port: int
+    delay: float
+    bytes_per_second: Optional[float] = None
+    messages: int = 0
+    bytes_carried: int = 0
+
+    def latency_for(self, size_bytes: int) -> float:
+        """Propagation plus (optional) serialization delay."""
+        if self.bytes_per_second is None or size_bytes == 0:
+            return self.delay
+        return self.delay + size_bytes / self.bytes_per_second
+
+
+class Network:
+    """Nodes plus links plus the shared event clock."""
+
+    def __init__(self, simulator: Optional[Simulator] = None):
+        self.sim = simulator if simulator is not None else Simulator()
+        self._nodes: Dict[str, Node] = {}
+        self._links: Dict[Tuple[str, int], Link] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add(self, node: Node) -> Node:
+        """Attach a node; names must be unique."""
+        if node.name in self._nodes:
+            raise WiringError(f"node {node.name!r} already attached")
+        self._nodes[node.name] = node
+        node.attach(self)
+        return node
+
+    def node(self, name: str) -> Node:
+        """Look up an attached node."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise WiringError(f"no node named {name!r}") from None
+
+    def connect(
+        self,
+        node_a: Node,
+        port_a: int,
+        node_b: Node,
+        port_b: int,
+        delay: float = 0.0001,
+        bytes_per_second: Optional[float] = None,
+    ) -> None:
+        """Wire two ports together bidirectionally with the same delay."""
+        for node, port in ((node_a, port_a), (node_b, port_b)):
+            if node.name not in self._nodes:
+                raise WiringError(f"attach {node.name!r} before wiring it")
+            if (node.name, port) in self._links:
+                raise WiringError(f"{node.name!r} port {port} already wired")
+        self._links[(node_a.name, port_a)] = Link(
+            peer=node_b, peer_port=port_b, delay=delay, bytes_per_second=bytes_per_second
+        )
+        self._links[(node_b.name, port_b)] = Link(
+            peer=node_a, peer_port=port_a, delay=delay, bytes_per_second=bytes_per_second
+        )
+
+    def link_of(self, node: Node, port: int) -> Link:
+        """The outgoing link on a node's port."""
+        try:
+            return self._links[(node.name, port)]
+        except KeyError:
+            raise WiringError(f"{node.name!r} port {port} is not wired") from None
+
+    # -- transmission --------------------------------------------------------------
+
+    def transmit(self, sender: Node, port: int, message: Any) -> None:
+        """Send ``message`` out of ``sender``'s ``port``.
+
+        Delivery is scheduled after the link delay; unwired ports raise, as
+        a misconfigured topology is an experiment bug, not a network drop.
+        """
+        link = self.link_of(sender, port)
+        size = len(message) if hasattr(message, "__len__") else 64
+        link.messages += 1
+        link.bytes_carried += size
+        arrival_delay = link.latency_for(size)
+        peer, peer_port = link.peer, link.peer_port
+
+        def deliver():
+            peer.receive(message, peer_port, self.sim.now)
+
+        self.sim.schedule(arrival_delay, deliver)
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run the shared simulator (see :meth:`Simulator.run`)."""
+        self.sim.run(until=until)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.sim.now
+
+    def total_control_bytes(self, node_name: str) -> int:
+        """Bytes carried by every link touching ``node_name`` (overhead
+        accounting for controllers)."""
+        total = 0
+        for (name, _), link in self._links.items():
+            if name == node_name:
+                total += link.bytes_carried
+        return total

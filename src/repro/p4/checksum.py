@@ -1,0 +1,49 @@
+"""RFC 1071 internet checksum, as P4 deparsers compute it.
+
+Only shifts, masks and adds — the ones-complement fold is expressible in a
+P4 checksum extern and, like everything in this substrate, avoids division.
+"""
+
+from __future__ import annotations
+
+from repro.p4.packet import Header
+
+__all__ = [
+    "ones_complement_sum",
+    "internet_checksum",
+    "ipv4_header_checksum",
+    "verify_ipv4_checksum",
+]
+
+
+def ones_complement_sum(data: bytes) -> int:
+    """16-bit ones-complement sum of ``data`` (odd lengths zero-padded)."""
+    if len(data) & 1:
+        data = data + b"\x00"
+    total = 0
+    for index in range(0, len(data), 2):
+        total = total + ((data[index] << 8) | data[index + 1])
+        # Fold the carry immediately to stay within 16 bits.
+        total = (total & 0xFFFF) + (total >> 16)
+    return total & 0xFFFF
+
+
+def internet_checksum(data: bytes) -> int:
+    """The RFC 1071 checksum: complement of the ones-complement sum."""
+    return (~ones_complement_sum(data)) & 0xFFFF
+
+
+def ipv4_header_checksum(header: Header) -> int:
+    """Checksum of an IPv4 header with its checksum field zeroed."""
+    saved = header.get("hdr_checksum")
+    header["hdr_checksum"] = 0
+    try:
+        checksum = internet_checksum(header.pack())
+    finally:
+        header["hdr_checksum"] = saved
+    return checksum
+
+
+def verify_ipv4_checksum(header: Header) -> bool:
+    """Whether the stored IPv4 checksum matches the header contents."""
+    return header.get("hdr_checksum") == ipv4_header_checksum(header)

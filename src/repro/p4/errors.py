@@ -1,0 +1,58 @@
+"""Exception hierarchy for the P4 behavioral-model substrate.
+
+Every restriction of the P4 language and of programmable switch hardware that
+the paper works around (no division, no square root, no data-dependent loops,
+fixed register widths, bounded table sizes) is enforced at runtime by raising
+one of these exceptions.  Code that runs without tripping them is, by
+construction, expressible in P4.
+"""
+
+from __future__ import annotations
+
+
+class P4Error(Exception):
+    """Base class for all errors raised by the P4 substrate."""
+
+
+class UnsupportedOperationError(P4Error):
+    """An operation that the target cannot express was attempted.
+
+    Examples: division or modulo anywhere, multiplication of two runtime
+    values on a target without a runtime multiplier, conversion to float.
+    """
+
+
+class WidthMismatchError(P4Error):
+    """Two fixed-width values of different widths were combined.
+
+    P4 requires explicit casts between bit widths; this simulator mirrors
+    that by refusing implicit width coercion.
+    """
+
+
+class ValueRangeError(P4Error):
+    """A value does not fit in the declared bit width (on explicit checks)."""
+
+
+class RegisterIndexError(P4Error):
+    """A register array was indexed out of bounds."""
+
+
+class TableError(P4Error):
+    """Invalid match-action table configuration or entry manipulation."""
+
+
+class ParseError(P4Error):
+    """A packet could not be parsed by the parser state machine."""
+
+
+class DeparseError(P4Error):
+    """A header set could not be serialized back to bytes."""
+
+
+class PipelineError(P4Error):
+    """Invalid pipeline construction or execution."""
+
+
+class ResourceError(P4Error):
+    """A resource budget (registers, table entries, stages) was exceeded."""

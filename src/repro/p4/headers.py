@@ -1,0 +1,236 @@
+"""Standard header types and address helpers.
+
+Defines the protocol headers the experiments need — Ethernet, IPv4, TCP,
+UDP — plus the custom Stat4 echo header used by the Sec. 3 validation
+application (the host sends a value of interest; the switch echoes back the
+statistical measures it tracks).
+
+Addresses are plain integers inside the data plane (P4 sees ``bit<32>``);
+:func:`ip_to_int` / :func:`int_to_ip` convert at the human boundary.
+"""
+
+from __future__ import annotations
+
+from repro.p4.errors import ValueRangeError
+from repro.p4.packet import Header, HeaderType
+
+__all__ = [
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_STAT4_ECHO",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "TCP_FLAG_FIN",
+    "TCP_FLAG_SYN",
+    "TCP_FLAG_RST",
+    "TCP_FLAG_PSH",
+    "TCP_FLAG_ACK",
+    "ECHO_OP_REQUEST",
+    "ECHO_OP_REPLY",
+    "ETHERNET",
+    "IPV4",
+    "TCP",
+    "UDP",
+    "STAT4_ECHO",
+    "ip_to_int",
+    "int_to_ip",
+    "mac_to_int",
+    "int_to_mac",
+    "ethernet",
+    "ipv4",
+    "tcp",
+    "udp",
+    "echo_request",
+]
+
+# EtherTypes / protocol numbers --------------------------------------------------
+
+ETHERTYPE_IPV4 = 0x0800
+#: Local-experimental EtherType carrying the Stat4 echo header (Figure 5).
+ETHERTYPE_STAT4_ECHO = 0x88B5
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+TCP_FLAG_FIN = 0x01
+TCP_FLAG_SYN = 0x02
+TCP_FLAG_RST = 0x04
+TCP_FLAG_PSH = 0x08
+TCP_FLAG_ACK = 0x10
+
+ECHO_OP_REQUEST = 1
+ECHO_OP_REPLY = 2
+
+# Header types -------------------------------------------------------------------
+
+ETHERNET = HeaderType(
+    "ethernet",
+    [("dst", 48), ("src", 48), ("ether_type", 16)],
+)
+
+IPV4 = HeaderType(
+    "ipv4",
+    [
+        ("version", 4),
+        ("ihl", 4),
+        ("diffserv", 8),
+        ("total_len", 16),
+        ("identification", 16),
+        ("flags", 3),
+        ("frag_offset", 13),
+        ("ttl", 8),
+        ("protocol", 8),
+        ("hdr_checksum", 16),
+        ("src", 32),
+        ("dst", 32),
+    ],
+)
+
+TCP = HeaderType(
+    "tcp",
+    [
+        ("src_port", 16),
+        ("dst_port", 16),
+        ("seq_no", 32),
+        ("ack_no", 32),
+        ("data_offset", 4),
+        ("reserved", 4),
+        ("flags", 8),
+        ("window", 16),
+        ("checksum", 16),
+        ("urgent_ptr", 16),
+    ],
+)
+
+UDP = HeaderType(
+    "udp",
+    [("src_port", 16), ("dst_port", 16), ("length", 16), ("checksum", 16)],
+)
+
+#: The validation header (Sec. 3 / Figure 5).  ``value`` carries the signed
+#: integer of interest offset by 256 so it stays unsigned on the wire (the
+#: host draws from [-255, 255]); the remaining fields are filled in by the
+#: switch on the reply: the distribution's N, Xsum, Xsumsq, σ²_NX, σ_NX and
+#: the tracked median.
+STAT4_ECHO = HeaderType(
+    "stat4_echo",
+    [
+        ("op", 8),
+        ("value", 16),
+        ("n", 32),
+        ("xsum", 48),
+        ("xsumsq", 64),
+        ("variance", 64),
+        ("stddev", 32),
+        ("median", 16),
+    ],
+)
+
+#: Offset applied to echo values so [-255, 255] fits in an unsigned field.
+ECHO_VALUE_OFFSET = 256
+
+
+# Address helpers -----------------------------------------------------------------
+
+
+def ip_to_int(address: str) -> int:
+    """``"10.0.5.1"`` → 32-bit integer."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueRangeError(f"malformed IPv4 address {address!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueRangeError(f"malformed IPv4 address {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """32-bit integer → dotted quad."""
+    if not 0 <= value < (1 << 32):
+        raise ValueRangeError(f"{value} is not a 32-bit address")
+    return ".".join(
+        str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    )
+
+
+def mac_to_int(address: str) -> int:
+    """``"aa:bb:cc:dd:ee:ff"`` → 48-bit integer."""
+    parts = address.split(":")
+    if len(parts) != 6:
+        raise ValueRangeError(f"malformed MAC address {address!r}")
+    value = 0
+    for part in parts:
+        octet = int(part, 16)
+        if not 0 <= octet <= 255:
+            raise ValueRangeError(f"malformed MAC address {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_mac(value: int) -> str:
+    """48-bit integer → colon-hex MAC."""
+    if not 0 <= value < (1 << 48):
+        raise ValueRangeError(f"{value} is not a 48-bit address")
+    return ":".join(
+        format((value >> shift) & 0xFF, "02x") for shift in (40, 32, 24, 16, 8, 0)
+    )
+
+
+# Convenience builders --------------------------------------------------------------
+
+
+def ethernet(dst: int, src: int, ether_type: int) -> Header:
+    """Build a valid Ethernet header."""
+    return ETHERNET.instance(dst=dst, src=src, ether_type=ether_type)
+
+
+def ipv4(
+    src: int,
+    dst: int,
+    protocol: int,
+    total_len: int = 20,
+    ttl: int = 64,
+    identification: int = 0,
+) -> Header:
+    """Build a valid IPv4 header (checksum left zero; see p4.checksum)."""
+    return IPV4.instance(
+        version=4,
+        ihl=5,
+        total_len=total_len,
+        identification=identification,
+        ttl=ttl,
+        protocol=protocol,
+        src=src,
+        dst=dst,
+    )
+
+
+def tcp(src_port: int, dst_port: int, flags: int = TCP_FLAG_ACK, seq_no: int = 0) -> Header:
+    """Build a valid TCP header."""
+    return TCP.instance(
+        src_port=src_port,
+        dst_port=dst_port,
+        seq_no=seq_no,
+        data_offset=5,
+        flags=flags,
+    )
+
+
+def udp(src_port: int, dst_port: int, length: int = 8) -> Header:
+    """Build a valid UDP header."""
+    return UDP.instance(src_port=src_port, dst_port=dst_port, length=length)
+
+
+def echo_request(value: int) -> Header:
+    """Build the Figure-5 echo request carrying one value of interest.
+
+    Args:
+        value: the signed integer of interest, in ``[-255, 255]``.
+    """
+    if not -255 <= value <= 255:
+        raise ValueRangeError(
+            f"echo values are drawn from [-255, 255], got {value}"
+        )
+    return STAT4_ECHO.instance(op=ECHO_OP_REQUEST, value=value + ECHO_VALUE_OFFSET)

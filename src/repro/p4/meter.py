@@ -1,0 +1,94 @@
+"""A token-bucket policer — the v1model ``meter`` extern, modeled.
+
+The paper's envisioned architecture has switches "locally react to
+anomalies (e.g., rate limiting some flows or rerouting packets)" before the
+controller is even aware.  P4 targets expose rate limiting as a meter
+extern; this models the standard single-rate two-color token bucket with
+integer-only arithmetic:
+
+- time is integer microseconds (switch timestamp resolution);
+- the budget is kept in *token-microseconds* so refills are a single
+  multiply of the elapsed microseconds by the configured packets-per-second
+  rate (a control-plane-installed constant), with no division anywhere;
+- one packet costs ``1_000_000`` budget units (one token).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.p4.errors import ValueRangeError
+from repro.p4.registers import RegisterFile
+
+__all__ = ["TokenBucket"]
+
+#: Budget units per token (token-microseconds per packet).
+_UNITS_PER_TOKEN = 1_000_000
+
+
+class TokenBucket:
+    """Single-rate two-color policer with register-backed state.
+
+    Args:
+        rate_pps: tokens (packets) added per second.
+        burst: bucket depth in packets.
+        registers: register file to allocate state in (None = private).
+        name: register name prefix.
+    """
+
+    def __init__(
+        self,
+        rate_pps: int,
+        burst: int,
+        registers: Optional[RegisterFile] = None,
+        name: str = "meter",
+    ):
+        if rate_pps <= 0:
+            raise ValueRangeError("meter rate must be positive")
+        if burst <= 0:
+            raise ValueRangeError("meter burst must be positive")
+        owner = registers if registers is not None else RegisterFile()
+        self.registers = owner
+        # [0] = budget in token-microseconds, [1] = last refill timestamp us.
+        self._state = owner.declare(f"{name}_state", 64, 2)
+        self.rate_pps = rate_pps
+        self.burst = burst
+        self._cap = burst * _UNITS_PER_TOKEN
+        self._state.write(0, self._cap)  # start full
+        self.conforming = 0
+        self.dropped = 0
+
+    def configure(self, rate_pps: int, burst: Optional[int] = None) -> None:
+        """Control-plane reconfiguration (meters are runtime-tunable)."""
+        if rate_pps <= 0:
+            raise ValueRangeError("meter rate must be positive")
+        self.rate_pps = rate_pps
+        if burst is not None:
+            if burst <= 0:
+                raise ValueRangeError("meter burst must be positive")
+            self.burst = burst
+            self._cap = burst * _UNITS_PER_TOKEN
+
+    def allow(self, now: float) -> bool:
+        """Charge one packet at time ``now``; True = conforms (forward)."""
+        now_us = int(now * 1_000_000)
+        last_us = self._state.read(1)
+        budget = self._state.read(0)
+        if now_us > last_us:
+            # Refill: elapsed-us times pps — one multiply, no division.
+            budget = budget + (now_us - last_us) * self.rate_pps
+            if budget > self._cap:
+                budget = self._cap
+        self._state.write(1, now_us)
+        if budget >= _UNITS_PER_TOKEN:
+            self._state.write(0, budget - _UNITS_PER_TOKEN)
+            self.conforming += 1
+            return True
+        self._state.write(0, budget)
+        self.dropped += 1
+        return False
+
+    @property
+    def tokens(self) -> float:
+        """Current bucket level in packets (diagnostics)."""
+        return self._state.peek()[0] / _UNITS_PER_TOKEN

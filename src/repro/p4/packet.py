@@ -1,0 +1,254 @@
+"""Byte-exact packets and header types for the behavioral model.
+
+A :class:`HeaderType` declares an ordered list of named bit fields (like a
+P4 ``header`` declaration); a :class:`Header` is an instance holding
+:class:`~repro.p4.values.P4Int` values and a validity bit.  Headers pack to
+and parse from real bytes MSB-first, so the simulator moves actual octets
+between hosts and switches — the same contract bmv2 has with its veth
+interfaces in the paper's Figure 5 setup.
+
+:class:`Packet` couples raw bytes with link-level bookkeeping; the parser in
+:mod:`repro.p4.parser` turns it into a :class:`ParsedPacket` with a header
+stack and remaining payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.p4.errors import DeparseError, ParseError, ValueRangeError
+from repro.p4.values import P4Int
+
+__all__ = [
+    "FieldSpec",
+    "HeaderType",
+    "Header",
+    "Packet",
+    "ParsedPacket",
+]
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One field of a header: a name and a width in bits."""
+
+    name: str
+    width: int
+
+    def __post_init__(self):
+        if self.width <= 0:
+            raise ValueRangeError(
+                f"field {self.name!r} must have positive width, got {self.width}"
+            )
+
+
+class HeaderType:
+    """An ordered, byte-aligned collection of bit fields.
+
+    Args:
+        name: header name used in parser states and diagnostics.
+        fields: ``(name, width_bits)`` pairs; total width must be a multiple
+            of 8 so the header packs to whole octets.
+    """
+
+    def __init__(self, name: str, fields: Sequence[Tuple[str, int]]):
+        self.name = name
+        self.fields: Tuple[FieldSpec, ...] = tuple(
+            FieldSpec(fname, width) for fname, width in fields
+        )
+        seen = set()
+        for spec in self.fields:
+            if spec.name in seen:
+                raise ValueRangeError(f"duplicate field {spec.name!r} in {name}")
+            seen.add(spec.name)
+        self.bit_width = sum(spec.width for spec in self.fields)
+        if self.bit_width % 8 != 0:
+            raise ValueRangeError(
+                f"header {name!r} is {self.bit_width} bits; must be byte-aligned"
+            )
+        self.byte_width = self.bit_width >> 3
+        self._field_index = {spec.name: spec for spec in self.fields}
+
+    def __repr__(self) -> str:
+        return f"HeaderType({self.name!r}, {self.byte_width} bytes)"
+
+    def field(self, name: str) -> FieldSpec:
+        """Look up a field spec by name."""
+        try:
+            return self._field_index[name]
+        except KeyError:
+            raise ValueRangeError(f"{self.name} has no field {name!r}") from None
+
+    def instance(self, **values: int) -> "Header":
+        """Create a valid header instance, fields defaulting to zero."""
+        header = Header(self)
+        header.set_valid()
+        for name, value in values.items():
+            header[name] = value
+        return header
+
+    def parse(self, data: bytes, offset: int = 0) -> "Header":
+        """Extract a header instance from ``data`` starting at ``offset``."""
+        end = offset + self.byte_width
+        if end > len(data):
+            raise ParseError(
+                f"packet too short for {self.name}: need {end} bytes, "
+                f"have {len(data)}"
+            )
+        as_int = int.from_bytes(data[offset:end], "big")
+        header = Header(self)
+        header.set_valid()
+        shift = self.bit_width
+        for spec in self.fields:
+            shift -= spec.width
+            header._values[spec.name] = P4Int(
+                (as_int >> shift) & ((1 << spec.width) - 1), spec.width
+            )
+        return header
+
+
+class Header:
+    """A header instance: field values plus a validity bit (P4 semantics)."""
+
+    __slots__ = ("header_type", "_values", "_valid")
+
+    def __init__(self, header_type: HeaderType):
+        self.header_type = header_type
+        self._values: Dict[str, P4Int] = {
+            spec.name: P4Int(0, spec.width) for spec in header_type.fields
+        }
+        self._valid = False
+
+    # -- validity (P4's setValid/setInvalid/isValid) -------------------------
+
+    def is_valid(self) -> bool:
+        """Whether the header participates in deparsing."""
+        return self._valid
+
+    def set_valid(self) -> None:
+        """Mark the header present."""
+        self._valid = True
+
+    def set_invalid(self) -> None:
+        """Mark the header absent."""
+        self._valid = False
+
+    # -- field access -----------------------------------------------------------
+
+    def __getitem__(self, name: str) -> P4Int:
+        spec = self.header_type.field(name)
+        return self._values[spec.name]
+
+    def __setitem__(self, name: str, value) -> None:
+        spec = self.header_type.field(name)
+        raw = int(value)
+        if raw < 0 or raw >> spec.width:
+            raise ValueRangeError(
+                f"{self.header_type.name}.{name}: {raw} does not fit in "
+                f"{spec.width} bits"
+            )
+        self._values[name] = P4Int(raw, spec.width)
+
+    def get(self, name: str) -> int:
+        """Field value as a plain int (convenience for hosts/controllers)."""
+        return self[name].value
+
+    def items(self) -> List[Tuple[str, int]]:
+        """All field values in declaration order (name, int)."""
+        return [(spec.name, self._values[spec.name].value) for spec in self.header_type.fields]
+
+    def copy(self) -> "Header":
+        """An independent copy with the same validity and values."""
+        clone = Header(self.header_type)
+        clone._valid = self._valid
+        clone._values = dict(self._values)
+        return clone
+
+    # -- serialization -----------------------------------------------------------
+
+    def pack(self) -> bytes:
+        """Serialize to bytes, MSB-first.
+
+        Raises:
+            DeparseError: if the header is invalid.
+        """
+        if not self._valid:
+            raise DeparseError(
+                f"cannot deparse invalid header {self.header_type.name}"
+            )
+        as_int = 0
+        for spec in self.header_type.fields:
+            as_int = (as_int << spec.width) | self._values[spec.name].value
+        return as_int.to_bytes(self.header_type.byte_width, "big")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}={v}" for n, v in self.items())
+        state = "valid" if self._valid else "invalid"
+        return f"<{self.header_type.name} {state} {inner}>"
+
+
+@dataclass
+class Packet:
+    """Raw bytes on the wire plus link bookkeeping.
+
+    Attributes:
+        data: the full frame.
+        created_at: simulation time the packet was created (seconds).
+        trace_id: optional identifier for end-to-end tracking in experiments.
+    """
+
+    data: bytes
+    created_at: float = 0.0
+    trace_id: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def size_bytes(self) -> int:
+        """Frame length in bytes (used for byte-rate statistics)."""
+        return len(self.data)
+
+
+@dataclass
+class ParsedPacket:
+    """The parser's output: an ordered header stack plus leftover payload."""
+
+    headers: Dict[str, Header] = field(default_factory=dict)
+    order: List[str] = field(default_factory=list)
+    payload: bytes = b""
+
+    def add(self, name: str, header: Header) -> None:
+        """Append a parsed header under ``name``."""
+        self.headers[name] = header
+        self.order.append(name)
+
+    def has(self, name: str) -> bool:
+        """Whether a *valid* header ``name`` is present."""
+        header = self.headers.get(name)
+        return header is not None and header.is_valid()
+
+    def __getitem__(self, name: str) -> Header:
+        try:
+            return self.headers[name]
+        except KeyError:
+            raise ParseError(f"no header {name!r} parsed") from None
+
+    def deparse(self) -> bytes:
+        """Re-serialize all valid headers in parse order, then the payload.
+
+        This is the P4 deparser: invalid headers are skipped, which is how
+        switch programs strip or add headers.
+        """
+        parts = [
+            self.headers[name].pack()
+            for name in self.order
+            if self.headers[name].is_valid()
+        ]
+        parts.append(self.payload)
+        return b"".join(parts)
+
+    def to_packet(self, created_at: float = 0.0, trace_id: Optional[int] = None) -> Packet:
+        """Deparse into a fresh :class:`Packet`."""
+        return Packet(self.deparse(), created_at=created_at, trace_id=trace_id)

@@ -1,0 +1,131 @@
+"""The P4 parser: a state machine that extracts headers from bytes.
+
+Mirrors a P4 ``parser`` block: each state extracts one header and selects
+the next state on a field value.  :func:`standard_parser` builds the parse
+graph all experiments share::
+
+    start ──extract ethernet──► select(ether_type)
+        0x0800 ──extract ipv4──► select(protocol)
+            6  ──extract tcp──► accept
+            17 ──extract udp──► accept
+            *  ──► accept
+        0x88B5 ──extract stat4_echo──► accept
+        *      ──► accept
+
+States are bounded and acyclic, as P4 requires for line-rate parsing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.p4 import headers as hdr
+from repro.p4.errors import ParseError
+from repro.p4.packet import HeaderType, Packet, ParsedPacket
+
+__all__ = ["ParserState", "Parser", "standard_parser"]
+
+#: Name of the implicit accepting state.
+ACCEPT = "accept"
+
+
+@dataclass
+class ParserState:
+    """One parser state: extract a header, then pick the next state.
+
+    Attributes:
+        name: state name.
+        extracts: the header type extracted on entry (None = no extraction).
+        select_field: field of the just-extracted header steering the
+            transition (None = unconditional).
+        transitions: select value → next state name.
+        default: next state when no transition matches (``accept`` ends).
+    """
+
+    name: str
+    extracts: Optional[HeaderType] = None
+    select_field: Optional[str] = None
+    transitions: Dict[int, str] = field(default_factory=dict)
+    default: str = ACCEPT
+
+
+class Parser:
+    """An acyclic parse graph executed over packet bytes.
+
+    Args:
+        states: state name → :class:`ParserState`.
+        start: name of the initial state.
+        max_depth: safety bound on state traversals (parsers must terminate;
+            a P4 compiler enforces acyclicity, we enforce a depth cap).
+    """
+
+    def __init__(self, states: Dict[str, ParserState], start: str, max_depth: int = 16):
+        if start not in states:
+            raise ParseError(f"start state {start!r} not defined")
+        self.states = states
+        self.start = start
+        self.max_depth = max_depth
+
+    def parse(self, packet: Packet) -> ParsedPacket:
+        """Run the state machine over ``packet.data``.
+
+        Returns:
+            a :class:`ParsedPacket` with the extracted header stack and the
+            remaining bytes as payload.
+
+        Raises:
+            ParseError: on truncated packets or a runaway parse graph.
+        """
+        parsed = ParsedPacket()
+        offset = 0
+        state_name = self.start
+        for _ in range(self.max_depth):
+            if state_name == ACCEPT:
+                parsed.payload = packet.data[offset:]
+                return parsed
+            try:
+                state = self.states[state_name]
+            except KeyError:
+                raise ParseError(f"undefined parser state {state_name!r}") from None
+            header = None
+            if state.extracts is not None:
+                header = state.extracts.parse(packet.data, offset)
+                offset += state.extracts.byte_width
+                parsed.add(state.extracts.name, header)
+            if state.select_field is None:
+                state_name = state.default
+            else:
+                if header is None:
+                    raise ParseError(
+                        f"state {state_name!r} selects on "
+                        f"{state.select_field!r} but extracts nothing"
+                    )
+                key = header.get(state.select_field)
+                state_name = state.transitions.get(key, state.default)
+        raise ParseError(f"parser exceeded {self.max_depth} states")
+
+
+def standard_parser() -> Parser:
+    """The Ethernet/IPv4/TCP/UDP/Stat4-echo parse graph used throughout."""
+    states = {
+        "start": ParserState(
+            name="start",
+            extracts=hdr.ETHERNET,
+            select_field="ether_type",
+            transitions={
+                hdr.ETHERTYPE_IPV4: "parse_ipv4",
+                hdr.ETHERTYPE_STAT4_ECHO: "parse_echo",
+            },
+        ),
+        "parse_ipv4": ParserState(
+            name="parse_ipv4",
+            extracts=hdr.IPV4,
+            select_field="protocol",
+            transitions={hdr.PROTO_TCP: "parse_tcp", hdr.PROTO_UDP: "parse_udp"},
+        ),
+        "parse_tcp": ParserState(name="parse_tcp", extracts=hdr.TCP),
+        "parse_udp": ParserState(name="parse_udp", extracts=hdr.UDP),
+        "parse_echo": ParserState(name="parse_echo", extracts=hdr.STAT4_ECHO),
+    }
+    return Parser(states, start="start")

@@ -1,0 +1,177 @@
+"""Pipeline programs and their dependency structure.
+
+A :class:`PipelineProgram` bundles what a compiled P4 program deploys on a
+switch: a parser, register declarations, match-action tables, and an ingress
+control function.  Alongside the executable parts, programs *declare* their
+sequential structure as :class:`Step` records (what each step reads and
+writes); :class:`DependencyGraph` turns those declarations into the metric
+the paper reports in Sec. 4 — "the longest dependency chain in our code has
+12 sequential steps" — by finding the longest read-after-write /
+write-after-read / write-after-write chain.
+
+The declared steps are data, not execution: the behavioral switch runs the
+Python control function for speed, while the resource model analyses the
+declaration.  Tests cross-check that every register touched by execution is
+covered by a declared step, keeping the two views honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.p4.errors import PipelineError
+from repro.p4.parser import Parser
+from repro.p4.registers import RegisterFile
+from repro.p4.tables import Table
+
+__all__ = ["Step", "DependencyGraph", "PipelineProgram"]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One sequential step of a control block.
+
+    Attributes:
+        name: human-readable step name.
+        reads: resource names (register, metadata or header fields) read.
+        writes: resource names written.
+    """
+
+    name: str
+    reads: FrozenSet[str]
+    writes: FrozenSet[str]
+
+    @staticmethod
+    def make(name: str, reads: Iterable[str] = (), writes: Iterable[str] = ()) -> "Step":
+        """Convenience constructor taking any iterables."""
+        return Step(name=name, reads=frozenset(reads), writes=frozenset(writes))
+
+
+class DependencyGraph:
+    """Sequential steps plus the derived dependency DAG.
+
+    Step ``j`` depends on an earlier step ``i`` when they touch the same
+    resource and at least one of them writes it — the classic hazard triple
+    (RAW, WAR, WAW) that forces the steps into different hardware stages.
+    """
+
+    def __init__(self, steps: Sequence[Step] = ()):
+        self._steps: List[Step] = list(steps)
+
+    def add(self, name: str, reads: Iterable[str] = (), writes: Iterable[str] = ()) -> Step:
+        """Append a step to the sequential program."""
+        step = Step.make(name, reads, writes)
+        self._steps.append(step)
+        return step
+
+    def extend(self, steps: Iterable[Step]) -> None:
+        """Append many steps."""
+        self._steps.extend(steps)
+
+    @property
+    def steps(self) -> Tuple[Step, ...]:
+        """The declared steps, in program order."""
+        return tuple(self._steps)
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    @staticmethod
+    def _conflicts(earlier: Step, later: Step) -> bool:
+        return bool(
+            (later.reads & earlier.writes)
+            or (later.writes & earlier.reads)
+            or (later.writes & earlier.writes)
+        )
+
+    def dependencies(self) -> List[Tuple[int, int]]:
+        """All (earlier_index, later_index) hazard pairs."""
+        pairs = []
+        for j in range(len(self._steps)):
+            for i in range(j):
+                if self._conflicts(self._steps[i], self._steps[j]):
+                    pairs.append((i, j))
+        return pairs
+
+    def longest_chain(self) -> Tuple[int, List[str]]:
+        """Length and step names of the longest dependency chain.
+
+        This is the number the paper maps to pipeline stages: a chain of
+        length L needs at least L sequential stages on hardware.  Returns
+        ``(0, [])`` for an empty program.
+        """
+        n = len(self._steps)
+        if n == 0:
+            return 0, []
+        depth = [1] * n
+        parent = [-1] * n
+        for j in range(n):
+            for i in range(j):
+                if self._conflicts(self._steps[i], self._steps[j]):
+                    if depth[i] + 1 > depth[j]:
+                        depth[j] = depth[i] + 1
+                        parent[j] = i
+        best = max(range(n), key=lambda idx: depth[idx])
+        chain = []
+        node = best
+        while node != -1:
+            chain.append(self._steps[node].name)
+            node = parent[node]
+        chain.reverse()
+        return depth[best], chain
+
+    def touched_resources(self) -> FrozenSet[str]:
+        """Every resource named by any step."""
+        names = set()
+        for step in self._steps:
+            names |= step.reads
+            names |= step.writes
+        return frozenset(names)
+
+
+@dataclass
+class PipelineProgram:
+    """Everything a P4 program deploys onto one switch.
+
+    Attributes:
+        name: program name.
+        parser: the parse graph applied to arriving packets.
+        registers: declared register arrays.
+        tables: declared match-action tables by name.
+        ingress: the ingress control, called as ``ingress(ctx)`` where
+            ``ctx`` is a :class:`repro.p4.switch.PacketContext`.
+        egress: optional egress control.
+        graph: declared sequential steps for dependency analysis.
+        code_bytes: an optional estimate of program size contributed by the
+            application (tables/actions), reported by the resource model.
+    """
+
+    name: str
+    parser: Parser
+    registers: RegisterFile = field(default_factory=RegisterFile)
+    tables: Dict[str, Table] = field(default_factory=dict)
+    ingress: Optional[Callable[..., None]] = None
+    egress: Optional[Callable[..., None]] = None
+    graph: DependencyGraph = field(default_factory=DependencyGraph)
+    code_bytes: int = 0
+
+    def add_table(self, table: Table) -> Table:
+        """Register a table under its own name."""
+        if table.name in self.tables:
+            raise PipelineError(f"table {table.name!r} already declared")
+        self.tables[table.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up a declared table (control-plane handle)."""
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise PipelineError(f"program {self.name!r} has no table {name!r}") from None
+
+    def require_ingress(self) -> Callable[..., None]:
+        """The ingress control; raises if the program declared none."""
+        if self.ingress is None:
+            raise PipelineError(f"program {self.name!r} has no ingress control")
+        return self.ingress

@@ -1,0 +1,157 @@
+"""Register arrays — the switch state Stat4 stores distributions in.
+
+"Stat4 uses switches' registers to store the distributions and their
+statistical measures" (Sec. 3, Figure 4).  A :class:`RegisterArray` models a
+P4 ``register<bit<W>>(size)``: fixed width, fixed size, wrapping writes, and
+per-array read/write accounting.  The accounting matters twice: the resource
+model (Sec. 4) reports memory from the declared layouts, and the sketch-only
+baseline charges its controller pulls by registers read ("reading thousands
+of registers takes several milliseconds", Sec. 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.p4.errors import RegisterIndexError, ValueRangeError
+
+__all__ = ["RegisterArray", "RegisterFile"]
+
+
+class RegisterArray:
+    """A fixed-width, fixed-size array of unsigned cells.
+
+    Args:
+        name: register name (unique within a :class:`RegisterFile`).
+        width: cell width in bits.
+        size: number of cells.
+    """
+
+    def __init__(self, name: str, width: int, size: int):
+        if width <= 0:
+            raise ValueRangeError(f"register {name!r}: width must be positive")
+        if size <= 0:
+            raise ValueRangeError(f"register {name!r}: size must be positive")
+        self.name = name
+        self.width = width
+        self.size = size
+        self._mask = (1 << width) - 1
+        self._cells: List[int] = [0] * size
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, index: int) -> int:
+        """Read one cell."""
+        self._check(index)
+        self.reads += 1
+        return self._cells[index]
+
+    def write(self, index: int, value: int) -> None:
+        """Write one cell (value wraps to the register width, as P4 does)."""
+        self._check(index)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueRangeError(
+                f"register {self.name!r} stores integers, got {type(value).__name__}"
+            )
+        self.writes += 1
+        self._cells[index] = value & self._mask
+
+    def add(self, index: int, delta: int) -> int:
+        """Read-modify-write increment (one ALU slot in hardware).
+
+        Returns the new value.  Negative deltas wrap, matching P4 unsigned
+        subtraction.
+        """
+        self._check(index)
+        self.reads += 1
+        self.writes += 1
+        new_value = (self._cells[index] + delta) & self._mask
+        self._cells[index] = new_value
+        return new_value
+
+    def fill(self, value: int = 0) -> None:
+        """Control-plane reset of every cell (not charged as data-plane I/O)."""
+        masked = value & self._mask
+        self._cells = [masked] * self.size
+
+    def dump(self) -> List[int]:
+        """Control-plane snapshot of all cells.
+
+        Charged as ``size`` reads: this is exactly the per-pull cost the
+        sketch-only architecture pays.
+        """
+        self.reads += self.size
+        return list(self._cells)
+
+    def peek(self) -> List[int]:
+        """Test/debug snapshot without touching the read accounting."""
+        return list(self._cells)
+
+    @property
+    def bits(self) -> int:
+        """Total storage in bits."""
+        return self.width * self.size
+
+    @property
+    def bytes_used(self) -> int:
+        """Total storage in whole bytes (rounded up)."""
+        return (self.bits + 7) >> 3
+
+    def _check(self, index: int) -> None:
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise RegisterIndexError(
+                f"register {self.name!r}: index must be an integer"
+            )
+        if not 0 <= index < self.size:
+            raise RegisterIndexError(
+                f"register {self.name!r}: index {index} out of [0, {self.size})"
+            )
+
+    def __repr__(self) -> str:
+        return f"RegisterArray({self.name!r}, width={self.width}, size={self.size})"
+
+
+class RegisterFile:
+    """All register arrays declared by one P4 program.
+
+    The resource model walks this to compute the memory footprint the paper
+    reports in Sec. 4.
+    """
+
+    def __init__(self):
+        self._arrays: Dict[str, RegisterArray] = {}
+
+    def declare(self, name: str, width: int, size: int) -> RegisterArray:
+        """Declare a new array; names are unique, like P4 instances."""
+        if name in self._arrays:
+            raise ValueRangeError(f"register {name!r} already declared")
+        array = RegisterArray(name, width, size)
+        self._arrays[name] = array
+        return array
+
+    def __getitem__(self, name: str) -> RegisterArray:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise RegisterIndexError(f"no register named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def __iter__(self):
+        return iter(self._arrays.values())
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    @property
+    def total_bytes(self) -> int:
+        """Memory footprint of all declared arrays."""
+        return sum(array.bytes_used for array in self._arrays.values())
+
+    def io_counters(self) -> Dict[str, Dict[str, int]]:
+        """Per-array read/write counters (for overhead accounting)."""
+        return {
+            name: {"reads": array.reads, "writes": array.writes}
+            for name, array in self._arrays.items()
+        }

@@ -1,0 +1,185 @@
+"""The behavioral switch: ports, pipeline execution, and digests.
+
+Plays the role bmv2 plays in the paper: packets arrive on numbered ports,
+run parser → ingress → (egress) → deparser, and leave on the port the
+program selected.  Two additions matter for the paper's architecture
+(Figure 1c):
+
+- **digests** — the data plane *pushes* small alert records toward the
+  controller ("the data plane autonomously detects anomalies and pushes
+  alerts to the controller"); they are collected per packet and handed to
+  whoever drives the switch (the network simulator delivers them over the
+  control channel with its latency);
+- **control-plane handles** — tables and registers are reachable by name so
+  a controller can retune binding tables at runtime, and register dumps are
+  charged to the I/O accounting the sketch-only baseline is billed by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.p4.errors import PipelineError
+from repro.p4.packet import Packet, ParsedPacket
+from repro.p4.pipeline import PipelineProgram
+
+__all__ = [
+    "CPU_PORT",
+    "DROP",
+    "Digest",
+    "StandardMetadata",
+    "PacketContext",
+    "SwitchOutput",
+    "BehavioralSwitch",
+]
+
+#: Reserved port leading to the local control CPU (punted packets).
+CPU_PORT = 255
+
+#: Egress specification meaning "drop".
+DROP = 511
+
+
+@dataclass(frozen=True)
+class Digest:
+    """A small record the data plane pushes to the controller.
+
+    Attributes:
+        name: digest stream name (e.g. ``"traffic_spike"``).
+        fields: the payload — a few integers, as P4 digests carry.
+        timestamp: switch-local time the digest was generated.
+    """
+
+    name: str
+    fields: Dict[str, int]
+    timestamp: float
+
+
+@dataclass
+class StandardMetadata:
+    """The v1model-style intrinsic metadata the ingress control sees."""
+
+    ingress_port: int
+    timestamp: float
+    egress_spec: int = DROP
+    multicast_ports: Tuple[int, ...] = ()
+
+
+@dataclass
+class PacketContext:
+    """Everything one packet carries through the pipeline."""
+
+    parsed: ParsedPacket
+    meta: StandardMetadata
+    user: Dict[str, Any] = field(default_factory=dict)
+    digests: List[Digest] = field(default_factory=list)
+
+    def emit_digest(self, name: str, **fields: int) -> None:
+        """Queue a digest for the controller (the Figure-1c push path)."""
+        self.digests.append(
+            Digest(name=name, fields=dict(fields), timestamp=self.meta.timestamp)
+        )
+
+    def drop(self) -> None:
+        """Mark the packet for dropping."""
+        self.meta.egress_spec = DROP
+
+
+@dataclass
+class SwitchOutput:
+    """What one packet produced: transmissions and digests."""
+
+    sends: List[Tuple[int, Packet]] = field(default_factory=list)
+    digests: List[Digest] = field(default_factory=list)
+    dropped: bool = False
+
+
+class BehavioralSwitch:
+    """Executes a :class:`PipelineProgram` over packets, one at a time.
+
+    Args:
+        name: switch name (diagnostics).
+        program: the deployed pipeline program.
+    """
+
+    def __init__(self, name: str, program: PipelineProgram):
+        self.name = name
+        self.program = program
+        self.packets_in = 0
+        self.packets_out = 0
+        self.packets_dropped = 0
+        self.parse_errors = 0
+
+    def process(self, packet: Packet, ingress_port: int, now: float) -> SwitchOutput:
+        """Run one packet through parser → ingress → egress → deparser.
+
+        Args:
+            packet: the arriving frame.
+            ingress_port: port it arrived on.
+            now: switch-local time (seconds).
+
+        Returns:
+            the transmissions and digests the packet produced.  Parse errors
+            drop the packet (and are counted) rather than raising — a switch
+            must not crash on a malformed frame.
+        """
+        self.packets_in += 1
+        try:
+            parsed = self.program.parser.parse(packet)
+        except Exception:
+            self.parse_errors += 1
+            self.packets_dropped += 1
+            return SwitchOutput(dropped=True)
+
+        ctx = PacketContext(
+            parsed=parsed,
+            meta=StandardMetadata(ingress_port=ingress_port, timestamp=now),
+        )
+        # Frame length is intrinsic metadata in v1model (standard_metadata
+        # .packet_length); byte-rate statistics extract from it.
+        ctx.user["frame_bytes"] = len(packet)
+        self.program.require_ingress()(ctx)
+        if self.program.egress is not None and ctx.meta.egress_spec != DROP:
+            self.program.egress(ctx)
+
+        output = SwitchOutput(digests=list(ctx.digests))
+        out_ports: List[int] = []
+        if ctx.meta.egress_spec != DROP:
+            out_ports.append(ctx.meta.egress_spec)
+        out_ports.extend(ctx.meta.multicast_ports)
+        if not out_ports:
+            self.packets_dropped += 1
+            output.dropped = True
+            return output
+        for port in out_ports:
+            if port == DROP:
+                continue
+            out_packet = ctx.parsed.to_packet(
+                created_at=packet.created_at, trace_id=packet.trace_id
+            )
+            output.sends.append((port, out_packet))
+            self.packets_out += 1
+        return output
+
+    # -- control-plane surface ------------------------------------------------
+
+    def table(self, name: str):
+        """Control-plane handle to a match-action table."""
+        return self.program.table(name)
+
+    def read_registers(self, name: str) -> List[int]:
+        """Control-plane dump of a register array (charged as reads)."""
+        return self.program.registers[name].dump()
+
+    def counters(self) -> Dict[str, int]:
+        """Packet-level counters for experiments and tests."""
+        return {
+            "packets_in": self.packets_in,
+            "packets_out": self.packets_out,
+            "packets_dropped": self.packets_dropped,
+            "parse_errors": self.parse_errors,
+        }
+
+    def __repr__(self) -> str:
+        return f"BehavioralSwitch({self.name!r}, program={self.program.name!r})"

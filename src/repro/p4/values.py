@@ -1,0 +1,369 @@
+"""Fixed-width unsigned integers with P4 semantics.
+
+P4 arithmetic operates on ``bit<W>`` values: unsigned, wrapping on overflow,
+with no division, no modulo, and no floating point.  :class:`P4Int` mirrors
+those semantics exactly and *raises* on anything a P4 target cannot do, so
+that the statistics code built on top is mechanically portable to P4.
+
+Targets differ in one relevant capability: bmv2 (the software behavioral
+model the paper validates on) can multiply two runtime values, while
+Tofino-class hardware cannot square a value unknown at compile time (Sec. 2
+of the paper).  :class:`TargetProfile` captures that difference; the active
+profile is process-global and controlled with :func:`use_target`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.p4.errors import (
+    UnsupportedOperationError,
+    ValueRangeError,
+    WidthMismatchError,
+)
+
+__all__ = [
+    "TargetProfile",
+    "BMV2",
+    "TOFINO_LIKE",
+    "SOFTWARE",
+    "active_target",
+    "use_target",
+    "set_target",
+    "P4Int",
+    "u8",
+    "u16",
+    "u32",
+    "u48",
+    "u64",
+    "checked_multiply",
+]
+
+
+@dataclass(frozen=True)
+class TargetProfile:
+    """Capabilities of a P4 target relevant to in-switch statistics.
+
+    Attributes:
+        name: human-readable target name.
+        runtime_multiply: whether two values unknown at compile time can be
+            multiplied (true for bmv2, false for Tofino-class hardware).
+        max_pipeline_stages: rough stage budget used by the resource model.
+    """
+
+    name: str
+    runtime_multiply: bool
+    max_pipeline_stages: int
+
+
+#: The software behavioral model used by the paper for validation (Sec. 3).
+BMV2 = TargetProfile(name="bmv2", runtime_multiply=True, max_pipeline_stages=64)
+
+#: A hardware-like profile: no runtime*runtime multiply, ~12-20 stages
+#: ("they typically support more than 10 pipeline stages", Sec. 4).
+TOFINO_LIKE = TargetProfile(
+    name="tofino-like", runtime_multiply=False, max_pipeline_stages=12
+)
+
+#: Unconstrained profile for reference/baseline code that is *not* claimed to
+#: be P4-expressible (e.g. the controller or the Welford baseline).
+SOFTWARE = TargetProfile(
+    name="software", runtime_multiply=True, max_pipeline_stages=10**9
+)
+
+_ACTIVE: TargetProfile = BMV2
+
+
+def active_target() -> TargetProfile:
+    """Return the target profile P4Int arithmetic is currently checked against."""
+    return _ACTIVE
+
+
+def set_target(profile: TargetProfile) -> TargetProfile:
+    """Set the active target profile; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = profile
+    return previous
+
+
+@contextlib.contextmanager
+def use_target(profile: TargetProfile) -> Iterator[TargetProfile]:
+    """Context manager that switches the active target profile."""
+    previous = set_target(profile)
+    try:
+        yield profile
+    finally:
+        set_target(previous)
+
+
+def checked_multiply(a: int, b: int, *, runtime_operands: int = 2) -> int:
+    """Multiply under the active target's rules.
+
+    Args:
+        a: first operand.
+        b: second operand.
+        runtime_operands: how many of the operands are unknown at compile
+            time.  Multiplying by a compile-time constant is always legal
+            (compilers lower it to shifts and adds); multiplying two runtime
+            values requires ``runtime_multiply`` support.
+
+    Raises:
+        UnsupportedOperationError: if the active target cannot express the
+            multiplication.
+    """
+    if runtime_operands >= 2 and not _ACTIVE.runtime_multiply:
+        raise UnsupportedOperationError(
+            f"target {_ACTIVE.name!r} cannot multiply two runtime values; "
+            "use repro.core.approx.approx_square or a constant operand"
+        )
+    return a * b
+
+
+OtherInt = Union["P4Int", int]
+
+
+class P4Int:
+    """An unsigned ``bit<W>`` value with wrapping P4 arithmetic.
+
+    Binary operations require both operands to have the same width (ints are
+    treated as compile-time constants of the same width).  Division, modulo,
+    exponentiation, float conversion and negative shifts raise
+    :class:`UnsupportedOperationError`, matching what P4 targets support.
+    """
+
+    __slots__ = ("_value", "_width")
+
+    def __init__(self, value: int, width: int):
+        if width <= 0:
+            raise ValueRangeError(f"width must be positive, got {width}")
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise UnsupportedOperationError(
+                f"P4Int accepts only integers, got {type(value).__name__}"
+            )
+        self._width = width
+        self._value = value & self.mask
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def value(self) -> int:
+        """The integer value (always in ``[0, 2**width)``)."""
+        return self._value
+
+    @property
+    def width(self) -> int:
+        """Declared bit width."""
+        return self._width
+
+    @property
+    def mask(self) -> int:
+        """``2**width - 1``."""
+        return (1 << self._width) - 1
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable value."""
+        return self.mask
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"P4Int({self._value}, width={self._width})"
+
+    def __hash__(self) -> int:
+        return hash((self._value, self._width))
+
+    def bits(self) -> str:
+        """Binary string padded to the declared width (MSB first)."""
+        return format(self._value, f"0{self._width}b")
+
+    # -- width manipulation (explicit casts, as P4 requires) ---------------
+
+    def cast(self, width: int) -> "P4Int":
+        """Explicitly cast to another width (truncates or zero-extends)."""
+        return P4Int(self._value, width)
+
+    def concat(self, other: "P4Int") -> "P4Int":
+        """Bit-string concatenation ``self ++ other`` (P4's ``++``)."""
+        return P4Int(
+            (self._value << other._width) | other._value,
+            self._width + other._width,
+        )
+
+    def slice_bits(self, hi: int, lo: int) -> "P4Int":
+        """P4 bit slice ``value[hi:lo]`` (inclusive, hi >= lo)."""
+        if not 0 <= lo <= hi < self._width:
+            raise ValueRangeError(
+                f"slice [{hi}:{lo}] out of range for width {self._width}"
+            )
+        width = hi - lo + 1
+        return P4Int((self._value >> lo) & ((1 << width) - 1), width)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _coerce(self, other: OtherInt, op: str) -> int:
+        if isinstance(other, P4Int):
+            if other._width != self._width:
+                raise WidthMismatchError(
+                    f"{op}: width {self._width} vs {other._width}; "
+                    "cast explicitly"
+                )
+            return other._value
+        if isinstance(other, bool) or not isinstance(other, int):
+            raise UnsupportedOperationError(
+                f"{op}: P4Int cannot combine with {type(other).__name__}"
+            )
+        if other < 0:
+            raise ValueRangeError(f"{op}: negative constant {other}")
+        return other
+
+    def _wrap(self, value: int) -> "P4Int":
+        return P4Int(value & self.mask, self._width)
+
+    # -- arithmetic (wrapping, as in P4) ------------------------------------
+
+    def __add__(self, other: OtherInt) -> "P4Int":
+        return self._wrap(self._value + self._coerce(other, "add"))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: OtherInt) -> "P4Int":
+        return self._wrap(self._value - self._coerce(other, "sub"))
+
+    def __rsub__(self, other: OtherInt) -> "P4Int":
+        return self._wrap(self._coerce(other, "sub") - self._value)
+
+    def __mul__(self, other: OtherInt) -> "P4Int":
+        runtime = 2 if isinstance(other, P4Int) else 1
+        product = checked_multiply(
+            self._value, self._coerce(other, "mul"), runtime_operands=runtime
+        )
+        return self._wrap(product)
+
+    def __rmul__(self, other: OtherInt) -> "P4Int":
+        return self.__mul__(other)
+
+    # -- operations P4 does not have ----------------------------------------
+
+    def _unsupported(self, name: str):
+        raise UnsupportedOperationError(
+            f"P4 targets do not support {name}; the paper's techniques "
+            "exist precisely to avoid it (Sec. 2)"
+        )
+
+    def __truediv__(self, other):  # noqa: D105
+        self._unsupported("division")
+
+    __rtruediv__ = __truediv__
+
+    def __floordiv__(self, other):  # noqa: D105
+        self._unsupported("division")
+
+    __rfloordiv__ = __floordiv__
+
+    def __mod__(self, other):  # noqa: D105
+        self._unsupported("modulo")
+
+    __rmod__ = __mod__
+
+    def __pow__(self, other):  # noqa: D105
+        self._unsupported("exponentiation")
+
+    def __float__(self):  # noqa: D105
+        self._unsupported("floating point")
+
+    def __neg__(self):  # noqa: D105
+        self._unsupported("signed negation (use wrapping subtraction)")
+
+    # -- shifts and bitwise -------------------------------------------------
+
+    def _shift_amount(self, other: OtherInt) -> int:
+        amount = other._value if isinstance(other, P4Int) else other
+        if not isinstance(amount, int) or isinstance(amount, bool):
+            raise UnsupportedOperationError("shift amount must be an integer")
+        if amount < 0:
+            raise ValueRangeError("negative shift amount")
+        return amount
+
+    def __lshift__(self, other: OtherInt) -> "P4Int":
+        return self._wrap(self._value << self._shift_amount(other))
+
+    def __rshift__(self, other: OtherInt) -> "P4Int":
+        return self._wrap(self._value >> self._shift_amount(other))
+
+    def __and__(self, other: OtherInt) -> "P4Int":
+        return self._wrap(self._value & self._coerce(other, "and"))
+
+    __rand__ = __and__
+
+    def __or__(self, other: OtherInt) -> "P4Int":
+        return self._wrap(self._value | self._coerce(other, "or"))
+
+    __ror__ = __or__
+
+    def __xor__(self, other: OtherInt) -> "P4Int":
+        return self._wrap(self._value ^ self._coerce(other, "xor"))
+
+    __rxor__ = __xor__
+
+    def __invert__(self) -> "P4Int":
+        return self._wrap(~self._value)
+
+    # -- comparisons ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, P4Int):
+            return self._width == other._width and self._value == other._value
+        if isinstance(other, int) and not isinstance(other, bool):
+            return self._value == other
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __lt__(self, other: OtherInt) -> bool:
+        return self._value < self._coerce(other, "lt")
+
+    def __le__(self, other: OtherInt) -> bool:
+        return self._value <= self._coerce(other, "le")
+
+    def __gt__(self, other: OtherInt) -> bool:
+        return self._value > self._coerce(other, "gt")
+
+    def __ge__(self, other: OtherInt) -> bool:
+        return self._value >= self._coerce(other, "ge")
+
+
+def u8(value: int) -> P4Int:
+    """Construct a ``bit<8>`` value."""
+    return P4Int(value, 8)
+
+
+def u16(value: int) -> P4Int:
+    """Construct a ``bit<16>`` value."""
+    return P4Int(value, 16)
+
+
+def u32(value: int) -> P4Int:
+    """Construct a ``bit<32>`` value."""
+    return P4Int(value, 32)
+
+
+def u48(value: int) -> P4Int:
+    """Construct a ``bit<48>`` value (Ethernet addresses)."""
+    return P4Int(value, 48)
+
+
+def u64(value: int) -> P4Int:
+    """Construct a ``bit<64>`` value."""
+    return P4Int(value, 64)

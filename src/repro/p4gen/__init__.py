@@ -1,0 +1,12 @@
+"""P4-16 source generation from Stat4 configurations.
+
+Makes the simulator↔P4 correspondence concrete: the same
+:class:`~repro.stat4.config.Stat4Config` that sizes the simulated registers
+renders to a v1model P4-16 program, and installed bindings render to
+``simple_switch_CLI`` runtime commands.
+"""
+
+from repro.p4gen.emit import CodeWriter
+from repro.p4gen.generator import generate_p4, generate_runtime_commands
+
+__all__ = ["CodeWriter", "generate_p4", "generate_runtime_commands"]

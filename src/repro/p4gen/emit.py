@@ -1,0 +1,65 @@
+"""A small indentation-aware code writer for the P4 generator."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+__all__ = ["CodeWriter"]
+
+
+class CodeWriter:
+    """Accumulates lines with managed indentation."""
+
+    def __init__(self, indent: str = "    "):
+        self._indent = indent
+        self._depth = 0
+        self._lines: List[str] = []
+
+    def line(self, text: str = "") -> "CodeWriter":
+        """Append one line at the current depth (empty = blank line)."""
+        if text:
+            self._lines.append(self._indent * self._depth + text)
+        else:
+            self._lines.append("")
+        return self
+
+    def lines(self, *texts: str) -> "CodeWriter":
+        """Append several lines."""
+        for text in texts:
+            self.line(text)
+        return self
+
+    def blank(self) -> "CodeWriter":
+        """Append a blank line."""
+        return self.line()
+
+    def comment(self, text: str) -> "CodeWriter":
+        """Append a ``//`` comment."""
+        return self.line(f"// {text}")
+
+    class _Block:
+        def __init__(self, writer: "CodeWriter", opener: str, closer: str):
+            self.writer = writer
+            self.opener = opener
+            self.closer = closer
+
+        def __enter__(self):
+            self.writer.line(self.opener)
+            self.writer._depth += 1
+            return self.writer
+
+        def __exit__(self, *exc):
+            self.writer._depth -= 1
+            self.writer.line(self.closer)
+            return False
+
+    def block(self, opener: str, closer: str = "}") -> "_Block":
+        """Context manager: ``with w.block("control X {"): ...``."""
+        return CodeWriter._Block(self, opener, closer)
+
+    def render(self) -> str:
+        """The accumulated source text."""
+        return "\n".join(self._lines) + "\n"
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._lines)

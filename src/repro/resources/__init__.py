@@ -1,0 +1,33 @@
+"""Static analysis: resource footprints and P4-expressibility linting."""
+
+from repro.resources.lint import (
+    LintViolation,
+    assert_p4_expressible,
+    lint_module,
+    lint_source,
+)
+from repro.resources.model import (
+    ResourceReport,
+    TableCost,
+    analyze_program,
+    table_entry_bytes,
+)
+from repro.resources.overflow import (
+    OverflowBound,
+    analyze_overflow,
+    safe_unit_shift,
+)
+
+__all__ = [
+    "LintViolation",
+    "assert_p4_expressible",
+    "lint_module",
+    "lint_source",
+    "ResourceReport",
+    "TableCost",
+    "analyze_program",
+    "table_entry_bytes",
+    "OverflowBound",
+    "analyze_overflow",
+    "safe_unit_shift",
+]

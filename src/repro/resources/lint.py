@@ -1,0 +1,119 @@
+"""Static P4-expressibility lint.
+
+The whole point of the paper is that its statistics avoid operations P4
+cannot express.  This linter makes that claim *checkable*: it parses a
+module's source and reports every construct that has no P4 counterpart —
+
+- division (``/``, ``//``), modulo (``%``) and exponentiation (``**``);
+- float literals and calls into :mod:`math`;
+- ``while`` loops (data-dependent iteration; ``for`` over a fixed ``range``
+  is accepted as compiler unrolling, matching how the MSB if-chain and the
+  parser's bounded traversal map to hardware).
+
+The test suite runs it over every module that claims P4 expressibility
+(:mod:`repro.core` except the Welford reference, and the Stat4 update
+paths), so a regression that sneaks a division into the data plane fails CI
+rather than a hardware port.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from dataclasses import dataclass
+from types import ModuleType
+from typing import List, Union
+
+__all__ = ["LintViolation", "lint_source", "lint_module", "assert_p4_expressible"]
+
+_FORBIDDEN_BINOPS = {
+    ast.Div: "division",
+    ast.FloorDiv: "integer division",
+    ast.Mod: "modulo",
+    ast.Pow: "exponentiation",
+}
+
+_FORBIDDEN_CALL_MODULES = {"math", "numpy", "np", "statistics"}
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One P4-inexpressible construct found in the source."""
+
+    line: int
+    construct: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"line {self.line}: {self.construct} ({self.detail})"
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self):
+        self.violations: List[LintViolation] = []
+
+    def _flag(self, node: ast.AST, construct: str, detail: str) -> None:
+        self.violations.append(
+            LintViolation(line=getattr(node, "lineno", 0), construct=construct, detail=detail)
+        )
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        for op_type, name in _FORBIDDEN_BINOPS.items():
+            if isinstance(node.op, op_type):
+                self._flag(node, name, "P4 ALUs have no divider")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        for op_type, name in _FORBIDDEN_BINOPS.items():
+            if isinstance(node.op, op_type):
+                self._flag(node, name, "P4 ALUs have no divider")
+        self.generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if isinstance(node.value, float):
+            self._flag(node, "float literal", f"{node.value!r}")
+        self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._flag(node, "while loop", "data-dependent iteration")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            if func.value.id in _FORBIDDEN_CALL_MODULES:
+                self._flag(
+                    node,
+                    "library call",
+                    f"{func.value.id}.{func.attr} is not a switch primitive",
+                )
+        if isinstance(func, ast.Name) and func.id in {"float", "divmod", "pow"}:
+            self._flag(node, "builtin call", f"{func.id}()")
+        self.generic_visit(node)
+
+
+def lint_source(source: str) -> List[LintViolation]:
+    """Lint Python source text; returns all violations found."""
+    tree = ast.parse(source)
+    visitor = _Visitor()
+    visitor.visit(tree)
+    return visitor.violations
+
+
+def lint_module(module: Union[ModuleType, str]) -> List[LintViolation]:
+    """Lint an imported module (or a module's source path)."""
+    if isinstance(module, str):
+        with open(module, "r", encoding="utf-8") as handle:
+            return lint_source(handle.read())
+    return lint_source(inspect.getsource(module))
+
+
+def assert_p4_expressible(module: Union[ModuleType, str]) -> None:
+    """Raise AssertionError listing every violation, if any exist."""
+    violations = lint_module(module)
+    if violations:
+        name = module if isinstance(module, str) else module.__name__
+        listing = "\n  ".join(str(v) for v in violations)
+        raise AssertionError(
+            f"{name} uses P4-inexpressible constructs:\n  {listing}"
+        )

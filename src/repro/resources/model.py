@@ -1,0 +1,169 @@
+"""Static resource analysis of a pipeline program (paper Sec. 4).
+
+Reproduces the three numbers the paper reports for the case-study
+application:
+
+- **memory footprint** ("occupies 3.1KB") — register bytes plus installed
+  table-entry bytes;
+- **match-action rule dependencies** ("at most one dependency between
+  match-action rules, since at most two rules with independent actions
+  match each packet") — derived from how many sequential tables can match
+  one packet and whether their actions touch the same state;
+- **longest dependency chain** ("12 sequential steps") and whether it fits
+  a target's stage budget ("we expect that our code be deployable in most
+  commercial targets, as they typically support more than 10 pipeline
+  stages").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.p4.pipeline import PipelineProgram
+from repro.p4.tables import Table
+from repro.p4.values import TargetProfile, TOFINO_LIKE
+
+__all__ = ["TableCost", "ResourceReport", "analyze_program", "table_entry_bytes"]
+
+#: Flat per-entry cost model: match key bytes + action id + parameter words.
+_ENTRY_OVERHEAD_BYTES = 4
+
+
+def table_entry_bytes(table: Table) -> int:
+    """Estimated bytes consumed by a table's *installed* entries."""
+    key_bytes = sum((key.width + 7) >> 3 for key in table.keys)
+    total = 0
+    for entry in table.entries():
+        param_bytes = 8 * len(entry.params)
+        total += key_bytes + param_bytes + _ENTRY_OVERHEAD_BYTES
+    return total
+
+
+@dataclass
+class TableCost:
+    """Per-table footprint summary."""
+
+    name: str
+    entries: int
+    capacity: int
+    bytes_used: int
+
+
+@dataclass
+class ResourceReport:
+    """The Sec.-4 resource numbers for one program.
+
+    Attributes:
+        program: program name.
+        register_bytes: per-register-array byte usage.
+        table_costs: per-table entry counts and bytes.
+        longest_chain: length of the longest declared dependency chain.
+        chain_steps: the step names along that chain.
+        rule_dependencies: sequential dependencies between match-action
+            rules that can match the same packet.
+        rules_per_packet: maximum rules matching one packet.
+    """
+
+    program: str
+    register_bytes: Dict[str, int] = field(default_factory=dict)
+    table_costs: List[TableCost] = field(default_factory=list)
+    longest_chain: int = 0
+    chain_steps: List[str] = field(default_factory=list)
+    rule_dependencies: int = 0
+    rules_per_packet: int = 0
+
+    @property
+    def total_register_bytes(self) -> int:
+        """All register memory."""
+        return sum(self.register_bytes.values())
+
+    @property
+    def total_table_bytes(self) -> int:
+        """All installed-entry memory."""
+        return sum(cost.bytes_used for cost in self.table_costs)
+
+    @property
+    def total_bytes(self) -> int:
+        """The headline footprint (registers + installed entries)."""
+        return self.total_register_bytes + self.total_table_bytes
+
+    def fits_target(self, target: TargetProfile = TOFINO_LIKE) -> bool:
+        """Whether the longest chain fits the target's stage budget."""
+        return self.longest_chain <= target.max_pipeline_stages
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable report (printed by the resources bench)."""
+        lines = [f"program: {self.program}"]
+        lines.append(f"registers: {self.total_register_bytes} B")
+        for name, used in sorted(self.register_bytes.items()):
+            lines.append(f"  {name}: {used} B")
+        lines.append(f"table entries: {self.total_table_bytes} B")
+        for cost in self.table_costs:
+            lines.append(
+                f"  {cost.name}: {cost.entries}/{cost.capacity} entries, "
+                f"{cost.bytes_used} B"
+            )
+        lines.append(f"total: {self.total_bytes} B ({self.total_bytes / 1024:.1f} KB)")
+        lines.append(
+            f"longest dependency chain: {self.longest_chain} steps "
+            f"({' -> '.join(self.chain_steps)})"
+        )
+        lines.append(
+            f"match-action rules per packet: {self.rules_per_packet} "
+            f"({self.rule_dependencies} dependency)"
+        )
+        return lines
+
+
+def _binding_rule_structure(program: PipelineProgram) -> Tuple[int, int]:
+    """(max rules matching one packet, dependencies between them).
+
+    Sequential binding stages each contribute at most one matching rule.
+    Two rules depend on each other only if their actions update the same
+    distribution slot; the library's convention gives each binding its own
+    slot, so the common case is independent actions — one *ordering*
+    dependency between consecutive stages, as the paper counts it.
+    """
+    stages = [
+        table
+        for name, table in sorted(program.tables.items())
+        if name.startswith("stat4_binding_")
+    ]
+    populated = [table for table in stages if len(table) > 0]
+    rules_per_packet = len(populated)
+    if rules_per_packet <= 1:
+        return max(rules_per_packet, len(populated)), 0
+    # Count slot collisions across stages; independent actions otherwise.
+    slots_per_stage = [
+        {entry.params["spec"].dist for entry in table.entries()}
+        for table in populated
+    ]
+    dependencies = 0
+    for i in range(1, len(slots_per_stage)):
+        overlap = slots_per_stage[i] & set().union(*slots_per_stage[:i])
+        dependencies += 1 if not overlap else 2  # shared state costs extra
+    return rules_per_packet, dependencies
+
+
+def analyze_program(program: PipelineProgram) -> ResourceReport:
+    """Compute the full resource report for a program."""
+    report = ResourceReport(program=program.name)
+    for array in program.registers:
+        report.register_bytes[array.name] = array.bytes_used
+    for name, table in sorted(program.tables.items()):
+        report.table_costs.append(
+            TableCost(
+                name=name,
+                entries=len(table),
+                capacity=table.max_size,
+                bytes_used=table_entry_bytes(table),
+            )
+        )
+    length, chain = program.graph.longest_chain()
+    report.longest_chain = length
+    report.chain_steps = chain
+    rules, dependencies = _binding_rule_structure(program)
+    report.rules_per_packet = rules
+    report.rule_dependencies = dependencies
+    return report

@@ -1,0 +1,101 @@
+"""Compile-time configuration of the Stat4 library.
+
+"The size and number of those registers is controlled by two compiler
+macros whose values can be tuned by P4 applications using the library: the
+maximum number of distributions tracked simultaneously depends on the macro
+STAT_COUNTER_NUM, and the number of values per distribution on the macro
+STAT_COUNTER_SIZE" (Sec. 3).
+
+:class:`Stat4Config` is the reproduction of those macros plus the register
+widths.  It is fixed when the program is "compiled" (the :class:`Stat4`
+instance is built); everything else — which distributions to track, over
+which packets, with which checks — is runtime state in binding tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.p4.errors import ResourceError
+
+__all__ = ["Stat4Config", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True)
+class Stat4Config:
+    """Compile-time geometry of the Stat4 register layout.
+
+    Attributes:
+        counter_num: STAT_COUNTER_NUM — distributions tracked simultaneously.
+        counter_size: STAT_COUNTER_SIZE — values (cells) per distribution.
+        counter_width: bit width of each value cell.
+        stats_width: bit width of the derived-measure registers (Xsum,
+            Xsumsq, σ²; Xsumsq of ``counter_size`` squared 32-bit values
+            needs headroom, hence 64 by default).
+        binding_stages: number of binding tables applied in sequence; each
+            stage contributes at most one matching rule per packet, which is
+            how the paper keeps "at most one dependency between match-action
+            rules" with two rules matching each packet (Sec. 4).
+        alert_cooldown: minimum seconds between two digests from the same
+            distribution, so one anomaly does not flood the controller.
+        sparse_dists: distribution slots compiled with HashPipe-style hashed
+            storage instead of dense cells (the Sec. 5 sparse-distribution
+            extension); like everything else here, fixed at compile time.
+        sparse_slots: hashed slots per stage for those distributions.
+        sparse_stages: hashed probe stages (pipeline stages on hardware).
+    """
+
+    counter_num: int = 8
+    counter_size: int = 256
+    counter_width: int = 32
+    stats_width: int = 64
+    binding_stages: int = 2
+    alert_cooldown: float = 0.0
+    sparse_dists: Tuple[int, ...] = ()
+    sparse_slots: int = 64
+    sparse_stages: int = 2
+
+    def __post_init__(self):
+        if self.counter_num <= 0:
+            raise ResourceError("STAT_COUNTER_NUM must be positive")
+        if self.counter_size <= 0:
+            raise ResourceError("STAT_COUNTER_SIZE must be positive")
+        if self.counter_width <= 0 or self.stats_width <= 0:
+            raise ResourceError("register widths must be positive")
+        if self.binding_stages <= 0:
+            raise ResourceError("need at least one binding stage")
+        if self.alert_cooldown < 0:
+            raise ResourceError("alert_cooldown cannot be negative")
+        for dist in self.sparse_dists:
+            if not 0 <= dist < self.counter_num:
+                raise ResourceError(
+                    f"sparse slot {dist} outside [0, {self.counter_num})"
+                )
+        if self.sparse_dists:
+            if self.sparse_slots <= 0 or self.sparse_stages <= 0:
+                raise ResourceError("sparse geometry must be positive")
+
+    @property
+    def total_counter_cells(self) -> int:
+        """Flattened size of the shared value-cell register."""
+        return self.counter_num * self.counter_size
+
+    def cell_index(self, dist: int, offset: int) -> int:
+        """Flattened register index of ``(distribution, cell)``.
+
+        ``dist * counter_size`` is a compile-time-constant multiply.
+        """
+        if not 0 <= dist < self.counter_num:
+            raise ResourceError(
+                f"distribution {dist} out of range [0, {self.counter_num})"
+            )
+        if not 0 <= offset < self.counter_size:
+            raise ResourceError(
+                f"cell {offset} out of range [0, {self.counter_size})"
+            )
+        return dist * self.counter_size + offset
+
+
+#: The library's default geometry: 8 distributions of 256 values.
+DEFAULT_CONFIG = Stat4Config()

@@ -1,0 +1,122 @@
+"""Value-of-interest extraction from packets.
+
+A binding-table entry defines "(i) how to extract values of interest from
+packets, and (ii) how to update which registers" (Sec. 3).  Part (i) is an
+:class:`ExtractSpec`: a *source* (a header field, the frame size, or a
+constant) refined by a shift and a mask — exactly the arithmetic a P4
+action can apply to a header field before using it as a register index.
+
+Examples from the paper's use cases (Table 1):
+
+- traffic rate over time: ``ExtractSpec.constant(1)`` counted into a time
+  window (every matching packet contributes 1);
+- traffic volume over time: ``ExtractSpec.frame_size(shift=10)`` (KiB units
+  — the "order of magnitude" memory trick of Sec. 2);
+- load across /24 subnets of 10/8: ``ExtractSpec.field("ipv4.dst",
+  shift=8, mask=0xFF)`` (the third octet indexes the subnet);
+- SYN frequency per destination: match SYN in the binding table and extract
+  ``ExtractSpec.field("ipv4.dst", mask=0xFF)``;
+- packets by type: ``ExtractSpec.field("ipv4.protocol")``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.p4.errors import ValueRangeError
+from repro.p4.switch import PacketContext
+
+__all__ = ["ExtractSpec"]
+
+#: Pseudo-sources that do not name a header field.
+_FRAME_SIZE = "frame.size"
+_CONSTANT = "const"
+
+
+@dataclass(frozen=True)
+class ExtractSpec:
+    """How a binding entry turns a packet into an integer value of interest.
+
+    Attributes:
+        source: ``"<header>.<field>"`` (e.g. ``"ipv4.dst"``),
+            ``"meta.<key>"`` for user metadata an earlier pipeline stage
+            computed (P4 programs pass derived values — retransmission
+            flags, hash results — through metadata exactly like this),
+            the pseudo-source ``"frame.size"``, or ``"const"``.
+        shift: right shift applied to the raw value (unit coarsening or
+            octet selection).
+        mask: AND-mask applied after the shift (None = keep everything).
+        constant_value: the value produced when ``source == "const"``
+            (named to avoid colliding with the :meth:`constant` builder).
+    """
+
+    source: str
+    shift: int = 0
+    mask: Optional[int] = None
+    constant_value: int = 1
+
+    def __post_init__(self):
+        if self.shift < 0:
+            raise ValueRangeError("extract shift cannot be negative")
+        if self.mask is not None and self.mask < 0:
+            raise ValueRangeError("extract mask cannot be negative")
+        if not isinstance(self.constant_value, int) or self.constant_value < 0:
+            raise ValueRangeError("constant_value must be a non-negative int")
+        if self.source != _CONSTANT and self.source != _FRAME_SIZE:
+            if "." not in self.source:
+                raise ValueRangeError(
+                    f"extract source {self.source!r} must be "
+                    "'<header>.<field>', 'frame.size' or 'const'"
+                )
+
+    # -- constructors ----------------------------------------------------------
+
+    @staticmethod
+    def field(source: str, shift: int = 0, mask: Optional[int] = None) -> "ExtractSpec":
+        """Extract (part of) a header field."""
+        return ExtractSpec(source=source, shift=shift, mask=mask)
+
+    @staticmethod
+    def frame_size(shift: int = 0, mask: Optional[int] = None) -> "ExtractSpec":
+        """Extract the frame length (optionally coarsened by ``shift``)."""
+        return ExtractSpec(source=_FRAME_SIZE, shift=shift, mask=mask)
+
+    @staticmethod
+    def metadata(key: str, shift: int = 0, mask: Optional[int] = None) -> "ExtractSpec":
+        """Extract a user-metadata value computed earlier in the pipeline."""
+        return ExtractSpec(source=f"meta.{key}", shift=shift, mask=mask)
+
+    @staticmethod
+    def constant(value: int = 1) -> "ExtractSpec":
+        """Produce a constant — every matching packet counts ``value``."""
+        if value < 0:
+            raise ValueRangeError("constant extraction must be non-negative")
+        return ExtractSpec(source=_CONSTANT, constant_value=value)
+
+    # -- evaluation --------------------------------------------------------------
+
+    def extract(self, ctx: PacketContext, frame_bytes: int) -> Optional[int]:
+        """Evaluate against one packet.
+
+        Returns None when the named header is absent — the binding entry
+        matched, but the packet carries no value of interest (such packets
+        still tick percentile rebalancing).
+        """
+        if self.source == _CONSTANT:
+            raw = self.constant_value
+        elif self.source == _FRAME_SIZE:
+            raw = frame_bytes
+        elif self.source.startswith("meta."):
+            raw = ctx.user.get(self.source[5:])
+            if raw is None:
+                return None
+        else:
+            header_name, _, field_name = self.source.partition(".")
+            if not ctx.parsed.has(header_name):
+                return None
+            raw = ctx.parsed[header_name].get(field_name)
+        value = raw >> self.shift
+        if self.mask is not None:
+            value = value & self.mask
+        return value

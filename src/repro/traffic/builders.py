@@ -1,0 +1,75 @@
+"""Packet construction helpers shared by generators and experiments."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.p4 import headers as hdr
+from repro.p4.packet import Packet
+
+__all__ = ["udp_to", "tcp_to", "tcp_syn_to", "echo_frame", "PacketBuilder"]
+
+
+def udp_to(
+    dst_ip: int,
+    src_ip: int = 0x01010101,
+    sport: int = 40000,
+    dport: int = 9000,
+    payload_len: int = 0,
+    created_at: float = 0.0,
+    trace_id: Optional[int] = None,
+) -> Packet:
+    """A UDP datagram with ``payload_len`` filler bytes."""
+    eth = hdr.ethernet(dst=0x0200_0000_0001, src=0x0200_0000_0002, ether_type=hdr.ETHERTYPE_IPV4)
+    ip = hdr.ipv4(
+        src=src_ip,
+        dst=dst_ip,
+        protocol=hdr.PROTO_UDP,
+        total_len=20 + 8 + payload_len,
+    )
+    udp = hdr.udp(sport, dport, length=8 + payload_len)
+    data = eth.pack() + ip.pack() + udp.pack() + b"\x00" * payload_len
+    return Packet(data, created_at=created_at, trace_id=trace_id)
+
+
+def tcp_to(
+    dst_ip: int,
+    flags: int = hdr.TCP_FLAG_ACK,
+    src_ip: int = 0x01010101,
+    sport: int = 40000,
+    dport: int = 80,
+    created_at: float = 0.0,
+    trace_id: Optional[int] = None,
+) -> Packet:
+    """A bare TCP segment with the given flags."""
+    eth = hdr.ethernet(dst=0x0200_0000_0001, src=0x0200_0000_0002, ether_type=hdr.ETHERTYPE_IPV4)
+    ip = hdr.ipv4(src=src_ip, dst=dst_ip, protocol=hdr.PROTO_TCP, total_len=40)
+    tcp = hdr.tcp(sport, dport, flags=flags)
+    return Packet(eth.pack() + ip.pack() + tcp.pack(), created_at=created_at, trace_id=trace_id)
+
+
+def tcp_syn_to(dst_ip: int, src_ip: int = 0x01010101, **kwargs) -> Packet:
+    """A TCP SYN — the unit of a SYN flood."""
+    return tcp_to(dst_ip, flags=hdr.TCP_FLAG_SYN, src_ip=src_ip, **kwargs)
+
+
+def echo_frame(value: int, created_at: float = 0.0) -> Packet:
+    """A Stat4 validation echo request (Figure 5)."""
+    eth = hdr.ethernet(dst=0x0200_0000_0001, src=0x0200_0000_0002, ether_type=hdr.ETHERTYPE_STAT4_ECHO)
+    return Packet(eth.pack() + hdr.echo_request(value).pack(), created_at=created_at)
+
+
+class PacketBuilder:
+    """A named packet-construction strategy for traffic phases."""
+
+    UDP = "udp"
+    SYN = "syn"
+
+    @staticmethod
+    def build(kind: str, dst_ip: int, created_at: float, payload_len: int = 0) -> Packet:
+        """Build one packet of the phase's kind toward ``dst_ip``."""
+        if kind == PacketBuilder.UDP:
+            return udp_to(dst_ip, payload_len=payload_len, created_at=created_at)
+        if kind == PacketBuilder.SYN:
+            return tcp_syn_to(dst_ip, created_at=created_at)
+        raise ValueError(f"unknown packet kind {kind!r}")

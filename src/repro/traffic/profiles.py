@@ -1,0 +1,149 @@
+"""Traffic phases and destination choosers.
+
+The case study's workload (Sec. 4) is "traffic generated uniformly across
+the destinations for a randomized time", followed by "much more traffic to
+a randomly selected destination".  A :class:`TrafficPhase` describes one
+such regime — rate, duration, packet kind, and a destination chooser — and
+a source plays a list of phases back to back.
+
+Choosers cover the distributions the paper mentions: uniform across a host
+set, a fixed victim with background noise (the spike), and zipfian across
+prefixes (the Sec. 5 remark that per-prefix traffic is often zipfian).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+from repro.traffic.builders import PacketBuilder
+
+__all__ = [
+    "Chooser",
+    "uniform_chooser",
+    "spike_chooser",
+    "zipf_chooser",
+    "TrafficPhase",
+    "uniform_phase",
+    "spike_phase",
+]
+
+#: A destination chooser: rng -> destination IP (int).
+Chooser = Callable[[random.Random], int]
+
+
+def uniform_chooser(destinations: Sequence[int]) -> Chooser:
+    """Pick uniformly among ``destinations`` (the load-balanced baseline)."""
+    if not destinations:
+        raise ValueError("need at least one destination")
+    pool = list(destinations)
+
+    def choose(rng: random.Random) -> int:
+        return pool[rng.randrange(len(pool))]
+
+    return choose
+
+
+def spike_chooser(
+    victim: int, background: Sequence[int], victim_share: float = 0.8
+) -> Chooser:
+    """Send ``victim_share`` of packets to the victim, the rest uniformly.
+
+    This is the anomalous regime of the case study: one destination
+    receives "much more traffic" while the rest keep their share.
+    """
+    if not 0 < victim_share <= 1:
+        raise ValueError("victim_share must be in (0, 1]")
+    others = uniform_chooser(background) if background else None
+
+    def choose(rng: random.Random) -> int:
+        if others is None or rng.random() < victim_share:
+            return victim
+        return others(rng)
+
+    return choose
+
+
+def zipf_chooser(destinations: Sequence[int], exponent: float = 1.0) -> Chooser:
+    """Zipf-distributed popularity over ``destinations`` (rank 1 hottest)."""
+    if not destinations:
+        raise ValueError("need at least one destination")
+    weights = [1.0 / (rank ** exponent) for rank in range(1, len(destinations) + 1)]
+    pool = list(destinations)
+
+    def choose(rng: random.Random) -> int:
+        return rng.choices(pool, weights=weights, k=1)[0]
+
+    return choose
+
+
+@dataclass
+class TrafficPhase:
+    """One homogeneous traffic regime.
+
+    Attributes:
+        duration: phase length in seconds.
+        rate_pps: mean packet rate; inter-arrivals are exponential when
+            ``poisson`` is true (realistic), constant otherwise
+            (deterministic tests).
+        chooser: destination chooser.
+        kind: packet kind (:class:`PacketBuilder` constants).
+        payload_len: filler payload bytes (UDP only).
+        poisson: exponential vs constant inter-arrival times.
+        label: free-form tag carried into experiment logs.
+    """
+
+    duration: float
+    rate_pps: float
+    chooser: Chooser
+    kind: str = PacketBuilder.UDP
+    payload_len: int = 0
+    poisson: bool = True
+    label: str = ""
+
+    def __post_init__(self):
+        if self.duration <= 0:
+            raise ValueError("phase duration must be positive")
+        if self.rate_pps <= 0:
+            raise ValueError("phase rate must be positive")
+
+    def next_gap(self, rng: random.Random) -> float:
+        """Inter-arrival time to the next packet."""
+        if self.poisson:
+            return rng.expovariate(self.rate_pps)
+        return 1.0 / self.rate_pps
+
+
+def uniform_phase(
+    destinations: Sequence[int],
+    duration: float,
+    rate_pps: float,
+    **kwargs,
+) -> TrafficPhase:
+    """The load-balanced baseline regime."""
+    kwargs.setdefault("label", "uniform")
+    return TrafficPhase(
+        duration=duration,
+        rate_pps=rate_pps,
+        chooser=uniform_chooser(destinations),
+        **kwargs,
+    )
+
+
+def spike_phase(
+    victim: int,
+    background: Sequence[int],
+    duration: float,
+    rate_pps: float,
+    victim_share: float = 0.8,
+    **kwargs,
+) -> TrafficPhase:
+    """The anomalous regime: one destination soaks up most of the traffic."""
+    kwargs.setdefault("label", "spike")
+    return TrafficPhase(
+        duration=duration,
+        rate_pps=rate_pps,
+        chooser=spike_chooser(victim, background, victim_share),
+        **kwargs,
+    )

@@ -1,0 +1,98 @@
+"""A traffic-source node that plays phases into the simulated network.
+
+Abstracts the paper's "packet source" box in Figure 6: external hosts are
+collapsed into one node that emits packets according to a list of
+:class:`~repro.traffic.profiles.TrafficPhase` regimes, back to back, with a
+seeded RNG so every experiment run is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.netsim.network import Network
+from repro.p4.packet import Packet
+from repro.traffic.builders import PacketBuilder
+from repro.traffic.profiles import TrafficPhase
+
+__all__ = ["TrafficSource"]
+
+
+class TrafficSource:
+    """Emits the configured phases once :meth:`start` is called.
+
+    Args:
+        name: node name.
+        phases: regimes to play sequentially.
+        seed: RNG seed (determinism is a test invariant).
+        port: the node's (single) output port.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        phases: Sequence[TrafficPhase],
+        seed: int = 0,
+        port: int = 0,
+    ):
+        if not phases:
+            raise ValueError("a traffic source needs at least one phase")
+        self.name = name
+        self.phases: List[TrafficPhase] = list(phases)
+        self.rng = random.Random(seed)
+        self.port = port
+        self.network: Optional[Network] = None
+        self.packets_sent = 0
+        self.phase_starts: List[float] = []
+        self._started = False
+
+    def attach(self, network: Network) -> None:
+        """Network callback on :meth:`Network.add`."""
+        self.network = network
+
+    def receive(self, message, port: int, now: float) -> None:
+        """Sources ignore inbound traffic (one-way abstraction)."""
+
+    def start(self, at: float = 0.0) -> None:
+        """Schedule the beginning of the first phase."""
+        if self.network is None:
+            raise RuntimeError(f"source {self.name!r} is not attached")
+        if self._started:
+            raise RuntimeError(f"source {self.name!r} already started")
+        self._started = True
+        self.network.sim.schedule_at(at, lambda: self._begin_phase(0, at))
+
+    # -- internals -----------------------------------------------------------
+
+    def _begin_phase(self, index: int, phase_start: float) -> None:
+        if index >= len(self.phases):
+            return
+        self.phase_starts.append(phase_start)
+        phase = self.phases[index]
+        self._emit(index, phase_start, phase_start + phase.duration)
+
+    def _emit(self, index: int, when: float, phase_end: float) -> None:
+        assert self.network is not None
+        phase = self.phases[index]
+        if when >= phase_end:
+            self._begin_phase(index + 1, phase_end)
+            return
+        dst = phase.chooser(self.rng)
+        packet = PacketBuilder.build(
+            phase.kind, dst, created_at=when, payload_len=phase.payload_len
+        )
+        self.network.transmit(self, self.port, packet)
+        self.packets_sent += 1
+        next_time = when + phase.next_gap(self.rng)
+        self.network.sim.schedule_at(
+            max(next_time, self.network.sim.now),
+            lambda: self._emit(index, next_time, phase_end),
+        )
+
+    def phase_start_of(self, label: str) -> Optional[float]:
+        """Start time of the first phase with the given label (after run)."""
+        for start, phase in zip(self.phase_starts, self.phases):
+            if phase.label == label:
+                return start
+        return None

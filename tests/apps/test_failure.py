@@ -1,0 +1,108 @@
+"""Tests for the remote-failure (stalled flows) monitor."""
+
+import random
+
+import pytest
+
+from repro.apps.failure import FailureParams, build_failure_app
+from repro.p4 import headers as hdr
+from repro.p4.packet import Packet
+from repro.p4.switch import BehavioralSwitch
+
+
+def tcp_segment(src, dst, sport, dport, seq):
+    eth = hdr.ethernet(1, 2, hdr.ETHERTYPE_IPV4)
+    ip = hdr.ipv4(src=src, dst=dst, protocol=hdr.PROTO_TCP, total_len=40)
+    tcp = hdr.tcp(sport, dport, seq_no=seq)
+    return Packet(eth.pack() + ip.pack() + tcp.pack())
+
+
+class Flow:
+    """A simple progressing TCP flow."""
+
+    def __init__(self, rng):
+        self.src = rng.getrandbits(32)
+        self.dst = rng.getrandbits(32)
+        self.sport = rng.randint(1024, 65535)
+        self.dport = 443
+        self.seq = rng.getrandbits(32) & 0xFFFF0000
+        self.stalled = False
+
+    def next_packet(self):
+        if not self.stalled:
+            self.seq = (self.seq + 1448) & 0xFFFFFFFF
+        return tcp_segment(self.src, self.dst, self.sport, self.dport, self.seq)
+
+
+def drive(switch, flows, rng, duration, start, rate_pps=2000):
+    t = start
+    digests = []
+    gap = 1.0 / rate_pps
+    while t < start + duration:
+        flow = flows[rng.randrange(len(flows))]
+        digests += switch.process(flow.next_packet(), 0, t).digests
+        t += gap
+    return digests, t
+
+
+class TestFailureApp:
+    def build(self):
+        params = FailureParams(
+            interval=0.05, window=20, min_samples=5, margin=3, cooldown=0.2
+        )
+        bundle = build_failure_app(params)
+        return bundle, BehavioralSwitch("s", bundle.program)
+
+    def test_progressing_flows_raise_no_alert(self):
+        bundle, switch = self.build()
+        rng = random.Random(0)
+        flows = [Flow(rng) for _ in range(40)]
+        digests, _ = drive(switch, flows, rng, duration=2.0, start=0.0)
+        assert digests == []
+        # Retransmissions are rare (only hash collisions could fake them).
+        assert bundle.counters["retransmissions"] <= 2
+
+    def test_stalled_flows_detected(self):
+        bundle, switch = self.build()
+        rng = random.Random(1)
+        flows = [Flow(rng) for _ in range(40)]
+        digests, t = drive(switch, flows, rng, duration=2.0, start=0.0)
+        assert digests == []
+        # The remote failure: most flows stop progressing and retransmit.
+        for flow in flows[:30]:
+            flow.stalled = True
+        failure_digests, _ = drive(switch, flows, rng, duration=1.0, start=t)
+        failures = [d for d in failure_digests if d.name == "remote_failure"]
+        assert failures, "stalled flows went undetected"
+        assert bundle.counters["retransmissions"] > 100
+
+    def test_detection_latency_about_one_interval(self):
+        bundle, switch = self.build()
+        rng = random.Random(2)
+        flows = [Flow(rng) for _ in range(40)]
+        _, t = drive(switch, flows, rng, duration=2.0, start=0.0)
+        for flow in flows:
+            flow.stalled = True
+        failure_digests, _ = drive(switch, flows, rng, duration=1.0, start=t)
+        failures = [d for d in failure_digests if d.name == "remote_failure"]
+        assert failures
+        assert failures[0].timestamp - t <= 3 * 0.05
+
+    def test_non_tcp_traffic_ignored(self):
+        from repro.traffic.builders import udp_to
+
+        bundle, switch = self.build()
+        for i in range(200):
+            switch.process(udp_to(hdr.ip_to_int("10.0.0.1")), 0, i * 0.001)
+        assert bundle.counters["retransmissions"] == 0
+        assert bundle.counters["new_flows"] == 0
+
+    def test_flow_state_reused_across_slots(self):
+        bundle, switch = self.build()
+        rng = random.Random(3)
+        flow = Flow(rng)
+        packet = flow.next_packet()
+        switch.process(packet, 0, 0.0)
+        # The very same segment again = a retransmission.
+        switch.process(packet, 0, 0.001)
+        assert bundle.counters["retransmissions"] == 1

@@ -1,0 +1,92 @@
+"""Tests for the detect-and-rate-limit application."""
+
+from repro.apps.mitigation import MitigationParams, build_mitigating_app
+from repro.p4 import headers as hdr
+from repro.p4.switch import BehavioralSwitch
+from repro.traffic.builders import udp_to
+
+DST = hdr.ip_to_int("10.0.1.1")
+
+
+def drive(switch, rate_pps, duration, start):
+    """Offer traffic at a fixed rate; returns (forwarded, offered, digests)."""
+    forwarded = 0
+    offered = 0
+    digests = []
+    t = start
+    gap = 1.0 / rate_pps
+    while t < start + duration:
+        out = switch.process(udp_to(DST), 0, t)
+        offered += 1
+        forwarded += len(out.sends)
+        digests += out.digests
+        t += gap
+    return forwarded, offered, digests
+
+
+class TestMitigation:
+    def build(self, **overrides):
+        params = MitigationParams(
+            interval=0.01,
+            window=30,
+            limit_pps=2000,
+            hold=0.2,
+            min_samples=5,
+            cooldown=0.05,
+            **overrides,
+        )
+        bundle = build_mitigating_app(params)
+        return bundle, BehavioralSwitch("s", bundle.program)
+
+    def test_baseline_unthrottled(self):
+        bundle, switch = self.build()
+        forwarded, offered, digests = drive(switch, rate_pps=1000, duration=0.5, start=0.0)
+        assert forwarded == offered
+        assert digests == []
+        assert bundle.armed_register.peek()[0] == 0
+
+    def test_spike_is_rate_limited_locally(self):
+        bundle, switch = self.build()
+        drive(switch, rate_pps=1000, duration=0.5, start=0.0)
+        forwarded, offered, digests = drive(
+            switch, rate_pps=20000, duration=0.3, start=0.5
+        )
+        assert any(d.name == "traffic_spike" for d in digests)
+        assert bundle.armed_register.peek()[0] == 1
+        # Offered ~6000 packets; the policer caps throughput near
+        # limit_pps * duration plus the detection interval's worth.
+        limit_budget = 2000 * 0.3 + 64  # rate * time + burst
+        detection_slack = 20000 * 0.015  # ~1.5 intervals pass before arming
+        assert forwarded <= limit_budget + detection_slack
+        assert forwarded < offered * 0.25
+
+    def test_detection_still_counts_offered_load(self):
+        # The monitor must see the *offered* rate, or it would disarm while
+        # the attack continues.
+        bundle, switch = self.build()
+        drive(switch, rate_pps=1000, duration=0.5, start=0.0)
+        drive(switch, rate_pps=20000, duration=0.2, start=0.5)
+        state = bundle.stat4.state_of(0)
+        cells = bundle.stat4.read_cells(0)[: min(state.intervals_closed, 30)]
+        assert max(cells) > 150  # spike intervals recorded at offered load
+
+    def test_disarms_after_quiet_period(self):
+        bundle, switch = self.build()
+        drive(switch, rate_pps=1000, duration=0.5, start=0.0)
+        drive(switch, rate_pps=20000, duration=0.2, start=0.5)
+        assert bundle.armed_register.peek()[0] == 1
+        # Back to baseline, past the hold time: the policer disarms.
+        forwarded, offered, _ = drive(switch, rate_pps=1000, duration=0.6, start=0.7)
+        assert bundle.armed_register.peek()[0] == 0
+        # Late baseline traffic flows freely again.
+        late_fwd, late_off, _ = drive(switch, rate_pps=1000, duration=0.2, start=1.3)
+        assert late_fwd == late_off
+
+    def test_digest_still_pushed_for_controller(self):
+        # Local reaction does not replace the alert: both happen (Fig. 1c).
+        bundle, switch = self.build()
+        drive(switch, rate_pps=1000, duration=0.5, start=0.0)
+        _, _, digests = drive(switch, rate_pps=20000, duration=0.2, start=0.5)
+        spikes = [d for d in digests if d.name == "traffic_spike"]
+        assert spikes
+        assert spikes[0].fields["dist"] == 0

@@ -1,0 +1,170 @@
+"""Unit tests for the count-min sketch and baseline architectures."""
+
+import random
+
+import pytest
+
+from repro.baselines.countmin import CountMinSketch
+from repro.baselines.sketch_only import SketchPollingController, build_sketch_only_app
+from repro.baselines.threshold import build_threshold_app
+from repro.netsim.hosts import Host
+from repro.netsim.network import Network
+from repro.netsim.switchnode import SwitchNode
+from repro.p4 import headers as hdr
+from repro.p4.errors import ValueRangeError
+from repro.p4.switch import CPU_PORT
+from repro.traffic.builders import udp_to
+
+
+class TestCountMin:
+    def test_never_underestimates(self):
+        rng = random.Random(0)
+        sketch = CountMinSketch(width=64, depth=3)
+        truth = {}
+        for _ in range(2000):
+            key = rng.randint(0, 200)
+            truth[key] = truth.get(key, 0) + 1
+            sketch.update(key)
+        for key, count in truth.items():
+            assert sketch.query(key) >= count
+
+    def test_exact_when_unsaturated(self):
+        sketch = CountMinSketch(width=1024, depth=4)
+        for key in range(10):
+            for _ in range(key + 1):
+                sketch.update(key)
+        for key in range(10):
+            assert sketch.query(key) == key + 1
+
+    def test_conservative_update_tighter(self):
+        rng = random.Random(1)
+        keys = [rng.randint(0, 500) for _ in range(3000)]
+        plain = CountMinSketch(width=32, depth=3)
+        conservative = CountMinSketch(width=32, depth=3, conservative=True)
+        truth = {}
+        for key in keys:
+            plain.update(key)
+            conservative.update(key)
+            truth[key] = truth.get(key, 0) + 1
+        plain_err = sum(plain.query(k) - c for k, c in truth.items())
+        cons_err = sum(conservative.query(k) - c for k, c in truth.items())
+        assert cons_err <= plain_err
+        for key, count in truth.items():
+            assert conservative.query(key) >= count
+
+    def test_weighted_updates(self):
+        sketch = CountMinSketch(width=128, depth=2)
+        sketch.update(7, count=41)
+        assert sketch.query(7) >= 41
+
+    def test_heavy_keys(self):
+        sketch = CountMinSketch(width=1024, depth=3)
+        for _ in range(100):
+            sketch.update(1)
+        sketch.update(2)
+        assert sketch.heavy_keys([1, 2, 3], threshold=50) == [1]
+
+    def test_validation(self):
+        with pytest.raises(ValueRangeError):
+            CountMinSketch(width=0)
+        with pytest.raises(ValueRangeError):
+            CountMinSketch(depth=0)
+        with pytest.raises(ValueRangeError):
+            CountMinSketch(depth=99)
+        sketch = CountMinSketch(width=8, depth=1)
+        with pytest.raises(ValueRangeError):
+            sketch.update(1, count=-1)
+
+    def test_bytes_used(self):
+        sketch = CountMinSketch(width=256, depth=2, cell_width=32)
+        assert sketch.bytes_used == 2 * 256 * 4
+
+
+def drive_sketch_only(period, spike=True, interval=0.01, window=20):
+    app = build_sketch_only_app(interval=interval, window=window)
+    net = Network()
+    switch = net.add(SwitchNode("s", app.program))
+    ctrl = net.add(
+        SketchPollingController("c", period=period, window=window, margin=3)
+    )
+    sink = net.add(Host("sink"))
+    src = net.add(Host("src"))
+    net.connect(switch, CPU_PORT, ctrl, 0, delay=0.001)
+    net.connect(switch, 1, sink, 0)
+    net.connect(src, 0, switch, 0)
+    dst = hdr.ip_to_int("10.0.0.1")
+    t = 0.0
+    while t < 0.5:  # baseline: 10 per interval
+        src.send_at(t, udp_to(dst))
+        t += 0.001
+    if spike:
+        while t < 0.7:  # spike: 100 per interval
+            src.send_at(t, udp_to(dst))
+            t += 0.0001
+    ctrl.start()
+    net.run(until=1.2)
+    ctrl.stop()
+    net.run()
+    return ctrl
+
+
+class TestSketchOnly:
+    def test_detects_spike_after_poll(self):
+        ctrl = drive_sketch_only(period=0.05)
+        detection = ctrl.first_detection_after(0.5)
+        assert detection is not None
+        assert detection >= 0.5
+        # Bounded by roughly one period + interval + RTT.
+        assert detection <= 0.5 + 0.05 + 0.01 + 0.05
+
+    def test_no_detection_without_spike(self):
+        ctrl = drive_sketch_only(period=0.05, spike=False)
+        assert ctrl.detections == []
+
+    def test_poll_count_scales_with_period(self):
+        fast = drive_sketch_only(period=0.02, spike=False)
+        slow = drive_sketch_only(period=0.2, spike=False)
+        assert fast.polls > slow.polls
+
+    def test_start_requires_attachment(self):
+        ctrl = SketchPollingController("c", period=0.1, window=10)
+        with pytest.raises(RuntimeError):
+            ctrl.start()
+
+
+class TestThresholdBaseline:
+    def drive(self, threshold, spike_rate=None):
+        app = build_threshold_app(threshold=threshold, interval=0.01)
+        net = Network()
+        switch = net.add(SwitchNode("s", app.program))
+        sink = net.add(Host("sink"))
+        ctrl_host = net.add(Host("ctrl"))
+        src = net.add(Host("src"))
+        net.connect(switch, 1, sink, 0)
+        net.connect(switch, CPU_PORT, ctrl_host, 0)
+        net.connect(src, 0, switch, 0)
+        dst = hdr.ip_to_int("10.0.0.1")
+        t = 0.0
+        while t < 0.2:
+            src.send_at(t, udp_to(dst))
+            t += 0.001  # 10/interval
+        if spike_rate:
+            while t < 0.3:
+                src.send_at(t, udp_to(dst))
+                t += 1.0 / spike_rate
+        net.run()
+        return switch
+
+    def test_fires_above_threshold(self):
+        switch = self.drive(threshold=30, spike_rate=10000)
+        assert switch.digests_pushed >= 1
+
+    def test_silent_below_threshold(self):
+        switch = self.drive(threshold=30)
+        assert switch.digests_pushed == 0
+
+    def test_static_rule_misses_relative_anomaly(self):
+        # The point of the comparison: a spike that stays under the static
+        # threshold goes unnoticed, however anomalous relative to history.
+        switch = self.drive(threshold=1000, spike_rate=10000)
+        assert switch.digests_pushed == 0

@@ -1,0 +1,75 @@
+"""Tests for the hybrid pull-on-alert architecture."""
+
+import pytest
+
+from repro.baselines.hybrid import HybridController, build_hybrid_app
+from repro.netsim.hosts import Host
+from repro.netsim.network import Network
+from repro.netsim.switchnode import SwitchNode
+from repro.p4 import headers as hdr
+from repro.p4.switch import CPU_PORT
+from repro.traffic.builders import udp_to
+
+
+def build_scene(interval=0.01, control_delay=0.005):
+    app = build_hybrid_app(interval=interval, window=30)
+    net = Network()
+    switch = net.add(SwitchNode("p4", app.program))
+    candidates = [hdr.ip_to_int(f"10.0.0.{h}") for h in range(1, 7)]
+    ctrl = net.add(
+        HybridController(
+            "ctrl",
+            candidates=candidates,
+            sketch_registers=app.sketch_registers,
+            sketch_width=app.sketch.width,
+        )
+    )
+    sink = net.add(Host("sink"))
+    src = net.add(Host("src"))
+    net.connect(switch, CPU_PORT, ctrl, 0, delay=control_delay)
+    net.connect(switch, 1, sink, 0)
+    net.connect(src, 0, switch, 0)
+    return net, app, ctrl, src, candidates
+
+
+class TestHybrid:
+    def test_alert_triggers_single_pull_and_names_victim(self):
+        net, app, ctrl, src, candidates = build_scene()
+        victim = candidates[3]
+        t = 0.0
+        import random
+
+        rng = random.Random(0)
+        while t < 0.6:  # baseline ~10 per 10 ms interval, uniform
+            src.send_at(t, udp_to(candidates[rng.randrange(6)]))
+            t += 0.001
+        spike_start = t
+        while t < spike_start + 0.3:
+            src.send_at(t, udp_to(victim))
+            t += 0.0001
+        net.run()
+        assert ctrl.pulls == 1
+        assert ctrl.identified == victim
+        assert ctrl.pinpoint_latency is not None
+        # One pull round trip: two control-delay legs + register read time.
+        assert ctrl.pinpoint_latency < 0.1
+
+    def test_no_alert_means_no_pull(self):
+        net, app, ctrl, src, candidates = build_scene()
+        import random
+
+        rng = random.Random(1)
+        t = 0.0
+        while t < 0.6:
+            src.send_at(t, udp_to(candidates[rng.randrange(6)]))
+            t += 0.001
+        net.run()
+        assert ctrl.pulls == 0
+        assert ctrl.identified is None
+
+    def test_sketch_counts_destinations_passively(self):
+        net, app, ctrl, src, candidates = build_scene()
+        for i in range(50):
+            src.send_at(i * 0.001, udp_to(candidates[0]))
+        net.run()
+        assert app.sketch.query(candidates[0]) >= 50

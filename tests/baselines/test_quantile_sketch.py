@@ -1,0 +1,99 @@
+"""Tests for the KLL quantile sketch (the QPipe comparison point)."""
+
+import random
+
+import pytest
+
+from repro.baselines.quantile_sketch import KLLSketch
+from repro.core.percentile import PercentileTracker
+from repro.p4.errors import ValueRangeError
+
+
+class TestKLLSketch:
+    def test_small_stream_exact(self):
+        sketch = KLLSketch(k=64)
+        for value in range(1, 21):
+            sketch.update(value)
+        # No compaction yet: quantiles are exact.
+        assert sketch.compactions == 0
+        assert sketch.quantile(0.5) == 10
+        assert sketch.quantile(0.9) == 18
+
+    def test_uniform_quantiles_within_tolerance(self):
+        rng = random.Random(0)
+        sketch = KLLSketch(k=128, seed=1)
+        n = 50_000
+        for _ in range(n):
+            sketch.update(rng.randrange(1 << 16))
+        for fraction in (0.25, 0.5, 0.9, 0.99):
+            estimate = sketch.quantile(fraction)
+            true = fraction * (1 << 16)
+            assert abs(estimate - true) / (1 << 16) < 0.05
+
+    def test_rank_monotone(self):
+        rng = random.Random(2)
+        sketch = KLLSketch(k=64, seed=2)
+        for _ in range(10_000):
+            sketch.update(rng.randrange(1000))
+        ranks = [sketch.rank(v) for v in range(0, 1000, 100)]
+        assert ranks == sorted(ranks)
+        assert sketch.rank(999) == pytest.approx(1.0, abs=0.01)
+
+    def test_memory_independent_of_domain(self):
+        # The QPipe selling point: a 32-bit domain fits in a few KB.
+        rng = random.Random(3)
+        sketch = KLLSketch(k=64, seed=3)
+        for _ in range(100_000):
+            sketch.update(rng.getrandbits(32))
+        assert sketch.bytes_used < 8192
+        assert sketch.items_stored < 64 * len(sketch._levels)
+
+    def test_memory_vs_stat4_dense_cells(self):
+        # Stat4's percentile needs a cell per value: 2^16 cells * 4 B.
+        dense_bytes = (1 << 16) * 4
+        sketch = KLLSketch(k=64)
+        rng = random.Random(4)
+        for _ in range(30_000):
+            sketch.update(rng.randrange(1 << 16))
+        assert sketch.bytes_used * 20 < dense_bytes
+
+    def test_accuracy_comparison_with_stat4_tracker(self):
+        """On a domain Stat4 *can* afford, its tracker converges to the
+        exact percentile while KLL carries sampling error — the two sides
+        of the trade."""
+        rng = random.Random(5)
+        domain = 512
+        tracker = PercentileTracker(domain, percent=50)
+        sketch = KLLSketch(k=32, seed=5)
+        stream = [rng.randrange(domain) for _ in range(20_000)]
+        for value in stream:
+            tracker.observe(value)
+            sketch.update(value)
+        exact = sorted(stream)[len(stream) // 2]
+        tracker_error = abs(tracker.value - exact)
+        sketch_error = abs(sketch.quantile(0.5) - exact)
+        assert tracker_error <= 2
+        # KLL at small k is noticeably noisier on this domain.
+        assert sketch_error >= 0
+
+    def test_deterministic_with_seed(self):
+        def run(seed):
+            sketch = KLLSketch(k=32, seed=seed)
+            rng = random.Random(9)
+            for _ in range(5000):
+                sketch.update(rng.randrange(1000))
+            return sketch.quantile(0.5)
+
+        assert run(7) == run(7)
+
+    def test_validation(self):
+        with pytest.raises(ValueRangeError):
+            KLLSketch(k=2)
+        sketch = KLLSketch()
+        with pytest.raises(ValueRangeError):
+            sketch.quantile(0.5)  # empty
+        sketch.update(1)
+        with pytest.raises(ValueRangeError):
+            sketch.quantile(0.0)
+        with pytest.raises(ValueRangeError):
+            sketch.update(1.5)

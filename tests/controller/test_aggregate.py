@@ -1,0 +1,84 @@
+"""Tests for cross-switch aggregation and the multiswitch experiment."""
+
+import pytest
+
+from repro.controller.aggregate import merge_measures
+from repro.core.stats import ScaledStats
+from repro.experiments.multiswitch import run_multiswitch
+
+
+class TestMergeMeasures:
+    def test_merge_equals_union(self):
+        left = ScaledStats()
+        right = ScaledStats()
+        union = ScaledStats()
+        for v in [3, 5, 8]:
+            left.add_value(v)
+            union.add_value(v)
+        for v in [2, 9]:
+            right.add_value(v)
+            union.add_value(v)
+        merged = left.merged_with(right)
+        assert merged.count == union.count
+        assert merged.xsum == union.xsum
+        assert merged.xsumsq == union.xsumsq
+        assert merged.variance_nx == union.variance_nx
+
+    def test_merge_from_register_dumps(self):
+        dumps = [
+            {"n": 3, "xsum": 16, "xsumsq": 98},
+            {"n": 2, "xsum": 11, "xsumsq": 85},
+        ]
+        merged = merge_measures(dumps)
+        assert merged.count == 5
+        assert merged.xsum == 27
+        assert merged.xsumsq == 183
+
+    def test_merge_with_empty_is_identity(self):
+        stats = ScaledStats()
+        for v in [1, 2, 3]:
+            stats.add_value(v)
+        merged = stats.merged_with(ScaledStats())
+        assert merged.snapshot() == stats.snapshot()
+
+    def test_from_measures_round_trip(self):
+        stats = ScaledStats()
+        for v in [4, 4, 9]:
+            stats.add_value(v)
+        rebuilt = ScaledStats.from_measures(
+            stats.count, stats.xsum, stats.xsumsq
+        )
+        assert rebuilt.variance_nx == stats.variance_nx
+        assert rebuilt.stddev_nx == stats.stddev_nx
+
+
+class TestMultiSwitchExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_multiswitch(packets_per_destination=150)
+
+    def test_locally_invisible(self, result):
+        assert result.local_alerts == {"sw_a": 0, "sw_b": 0}
+
+    def test_globally_flagged(self, result):
+        flagged = {index for index, _ in result.global_outliers}
+        assert result.victim_index in flagged
+
+    def test_merged_counts_are_sums(self, result):
+        for index in range(len(result.merged_counts)):
+            total = sum(
+                cells[index] for cells in result.per_switch_counts.values()
+            )
+            assert result.merged_counts[index] == total
+
+    def test_victim_has_double_share(self, result):
+        victim_count = result.merged_counts[result.victim_index]
+        background = [
+            count
+            for index, count in enumerate(result.merged_counts)
+            if count > 0 and index != result.victim_index
+        ]
+        assert victim_count == 2 * background[0]
+
+    def test_headline_property(self, result):
+        assert result.detected_globally_only

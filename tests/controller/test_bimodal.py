@@ -1,0 +1,151 @@
+"""Tests for bimodal detection and per-mode splitting (Sec. 5)."""
+
+import random
+
+import pytest
+
+from repro.controller.bimodal import BimodalSplitter, find_valley
+from repro.stat4 import (
+    BindingMatch,
+    ExtractSpec,
+    Stat4,
+    Stat4Config,
+    Stat4Runtime,
+)
+from tests.stat4.conftest import make_ctx, udp_packet
+
+
+def bimodal_cells(size=64, lo_center=8, hi_center=40, mass=500, rng=None):
+    rng = rng or random.Random(0)
+    cells = [0] * size
+    for _ in range(mass):
+        center = lo_center if rng.random() < 0.5 else hi_center
+        value = min(max(int(rng.gauss(center, 2)), 0), size - 1)
+        cells[value] += 1
+    return cells
+
+
+class TestFindValley:
+    def test_detects_two_modes(self):
+        cells = bimodal_cells()
+        split = find_valley(cells)
+        assert split is not None
+        assert 8 < split.valley < 40
+        assert abs(split.lower_peak - 8) <= 3
+        assert abs(split.upper_peak - 40) <= 3
+        assert split.separation_score > 0.8
+
+    def test_unimodal_rejected(self):
+        rng = random.Random(1)
+        cells = [0] * 64
+        for _ in range(500):
+            value = min(max(int(rng.gauss(30, 4)), 0), 63)
+            cells[value] += 1
+        assert find_valley(cells) is None
+
+    def test_empty_rejected(self):
+        assert find_valley([0] * 16) is None
+
+    def test_tiny_second_mode_rejected(self):
+        # 98% of mass in one mode: not worth splitting.
+        cells = [0] * 32
+        cells[5] = 980
+        cells[25] = 20
+        assert find_valley(cells, min_mode_mass=0.1) is None
+
+    def test_uniform_rejected(self):
+        assert find_valley([10] * 32) is None
+
+
+class TestBimodalSplitter:
+    def build(self):
+        config = Stat4Config(counter_num=2, counter_size=64, binding_stages=2)
+        stat4 = Stat4(config)
+        runtime = Stat4Runtime(stat4)
+        # Track "response size in 32-byte units" style values via dst octet
+        # (any 6-bit extracted value works for the mechanism under test).
+        spec = runtime.frequency_of(
+            dist=0,
+            extract=ExtractSpec.field("ipv4.dst", mask=0x3F),
+            k_sigma=2,
+            alert="pool",
+            min_samples=4,
+            margin=2,
+            cooldown=0.01,
+        )
+        handle, _ = runtime.bind(0, BindingMatch.ipv4_prefix("10.0.0.0", 8), spec)
+        return stat4, runtime, handle
+
+    def feed(self, stat4, values, start=0.0):
+        digests = []
+        now = start
+        for value in values:
+            ctx = make_ctx(udp_packet(f"10.0.0.{value}"), now=now)
+            stat4.process(ctx)
+            digests += ctx.digests
+            now += 0.001
+        return digests, now
+
+    def bimodal_stream(self, count, rng):
+        values = []
+        for _ in range(count):
+            center = 8 if rng.random() < 0.5 else 40
+            values.append(min(max(int(rng.gauss(center, 2)), 0), 63))
+        return values
+
+    def test_split_installs_two_filtered_bindings(self):
+        stat4, runtime, handle = self.build()
+        rng = random.Random(2)
+        self.feed(stat4, self.bimodal_stream(600, rng))
+        splitter = BimodalSplitter(runtime, spare_dist=1, spare_stage=1)
+        handles = splitter.maybe_split(handle, stat4.read_cells(0))
+        assert handles is not None
+        lower, upper = handles
+        assert lower.spec.accept_hi == splitter.split.valley
+        assert upper.spec.accept_lo == splitter.split.valley
+        assert upper.spec.dist == 1
+
+    def test_modes_tracked_separately_after_split(self):
+        stat4, runtime, handle = self.build()
+        rng = random.Random(3)
+        self.feed(stat4, self.bimodal_stream(600, rng))
+        splitter = BimodalSplitter(runtime, spare_dist=1, spare_stage=1)
+        splitter.maybe_split(handle, stat4.read_cells(0))
+        _, now = self.feed(stat4, self.bimodal_stream(600, rng), start=1.0)
+        lower_cells = stat4.read_cells(0)
+        upper_cells = stat4.read_cells(1)
+        valley = splitter.split.valley
+        assert sum(lower_cells[valley:]) == 0
+        assert sum(upper_cells[:valley]) == 0
+        assert sum(lower_cells) > 0 and sum(upper_cells) > 0
+
+    def test_split_enables_within_mode_detection(self):
+        """A surge of one specific value inside the upper mode: invisible to
+        the pooled check (sigma inflated by the inter-mode distance), caught
+        after the split."""
+        rng = random.Random(4)
+        # Pooled tracking only.
+        stat4_pooled, _, _ = self.build()
+        baseline = self.bimodal_stream(600, rng)
+        self.feed(stat4_pooled, baseline)
+        surge = [41] * 120  # one upper-mode value surges
+        pooled_digests, _ = self.feed(stat4_pooled, surge, start=1.0)
+        # Split tracking.
+        stat4_split, runtime, handle = self.build()
+        rng = random.Random(4)
+        self.feed(stat4_split, self.bimodal_stream(600, rng))
+        splitter = BimodalSplitter(runtime, spare_dist=1, spare_stage=1)
+        assert splitter.maybe_split(handle, stat4_split.read_cells(0))
+        self.feed(stat4_split, self.bimodal_stream(200, rng), start=1.0)
+        split_digests, _ = self.feed(stat4_split, surge, start=1.3)
+        upper_alerts = [d for d in split_digests if d.name == "pool_upper"]
+        assert upper_alerts, "split tracking must catch the within-mode surge"
+        assert upper_alerts[0].fields["index"] == 41
+
+    def test_no_split_on_unimodal(self):
+        stat4, runtime, handle = self.build()
+        rng = random.Random(5)
+        values = [min(max(int(rng.gauss(30, 3)), 0), 63) for _ in range(500)]
+        self.feed(stat4, values)
+        splitter = BimodalSplitter(runtime, spare_dist=1, spare_stage=1)
+        assert splitter.maybe_split(handle, stat4.read_cells(0)) is None

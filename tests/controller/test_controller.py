@@ -1,0 +1,142 @@
+"""Unit tests for the controller base and the drill-down state machine."""
+
+import pytest
+
+from repro.controller.base import Controller
+from repro.controller.drilldown import DrillDownController, Phase
+from repro.netsim.hosts import Host
+from repro.netsim.messages import DigestMessage, TableAdd, TableModify
+from repro.netsim.network import Network
+from repro.netsim.switchnode import SwitchNode
+from repro.p4 import headers as hdr
+from repro.p4.switch import CPU_PORT, Digest
+from repro.apps.anomaly import CaseStudyParams, build_case_study_app
+from repro.traffic.builders import udp_to
+
+
+def digest_msg(name, fields, ts=0.0, switch="s1"):
+    return DigestMessage(switch=switch, digest=Digest(name=name, fields=fields, timestamp=ts))
+
+
+class TestControllerBase:
+    def test_records_alerts(self):
+        ctrl = Controller("c")
+        ctrl.receive(digest_msg("spike", {"x": 1}, ts=0.5), 0, 1.0)
+        assert len(ctrl.alerts) == 1
+        assert ctrl.first_alert_at("spike") == 1.0
+        assert ctrl.first_alert_at("other") is None
+
+    def test_alerts_named_filters(self):
+        ctrl = Controller("c")
+        ctrl.receive(digest_msg("a", {}), 0, 1.0)
+        ctrl.receive(digest_msg("b", {}), 0, 2.0)
+        ctrl.receive(digest_msg("a", {}), 0, 3.0)
+        assert [t for t, _ in ctrl.alerts_named("a")] == [1.0, 3.0]
+
+    def test_send_requires_attachment(self):
+        ctrl = Controller("c")
+        with pytest.raises(RuntimeError):
+            ctrl.send_table_add(TableAdd(table="t", matches=(), action="a"))
+
+    def test_register_read_callback_dispatch(self):
+        net = Network()
+        ctrl = net.add(Controller("c"))
+        peer = net.add(Host("peer"))
+        net.connect(ctrl, 0, peer, 0)
+        got = []
+        ctrl.read_registers(["r"], callback=got.append)
+        # Simulate the reply coming back with the matching id.
+        from repro.netsim.messages import RegisterReadReply
+
+        ctrl.receive(RegisterReadReply(values={"r": [1]}, request_id=1), 0, 0.0)
+        assert len(got) == 1
+        # A second, unsolicited reply goes to the hook instead.
+        ctrl.receive(RegisterReadReply(values={"r": [2]}, request_id=99), 0, 0.0)
+        assert len(got) == 1
+
+
+class TestDrillDownStateMachine:
+    def make(self):
+        net = Network()
+        ctrl = net.add(DrillDownController("c"))
+        peer = net.add(Host("switch_stub"))
+        net.connect(ctrl, 0, peer, 0)
+        return net, ctrl
+
+    def test_spike_starts_subnet_tracking(self):
+        net, ctrl = self.make()
+        assert ctrl.phase == Phase.MONITOR
+        ctrl.receive(digest_msg("traffic_spike", {"dist": 0}), 0, 1.0)
+        assert ctrl.phase == Phase.SUBNET
+        assert ctrl.spike_detected_at == 1.0
+        net.run()
+        assert ctrl.messages_sent == 1
+
+    def test_subnet_alert_refines_to_host(self):
+        net, ctrl = self.make()
+        ctrl.receive(digest_msg("traffic_spike", {}), 0, 1.0)
+        ctrl.receive(digest_msg("imbalance_subnet", {"index": 5}), 0, 2.0)
+        assert ctrl.phase == Phase.HOST
+        assert ctrl.identified_subnet == 5
+
+    def test_host_alert_finishes(self):
+        net, ctrl = self.make()
+        ctrl.receive(digest_msg("traffic_spike", {}), 0, 1.0)
+        ctrl.receive(digest_msg("imbalance_subnet", {"index": 5}), 0, 2.0)
+        ctrl.receive(digest_msg("imbalance_host", {"index": 3}), 0, 3.0)
+        assert ctrl.phase == Phase.DONE
+        assert ctrl.victim_ip() == "10.0.5.3"
+        assert ctrl.pinpoint_latency == pytest.approx(2.0)
+
+    def test_out_of_phase_alerts_ignored(self):
+        net, ctrl = self.make()
+        # An imbalance alert in MONITOR phase must not advance anything.
+        ctrl.receive(digest_msg("imbalance_subnet", {"index": 5}), 0, 1.0)
+        assert ctrl.phase == Phase.MONITOR
+        ctrl.receive(digest_msg("traffic_spike", {}), 0, 2.0)
+        # A duplicate spike alert while drilling is ignored too.
+        ctrl.receive(digest_msg("traffic_spike", {}), 0, 2.5)
+        assert ctrl.phase == Phase.SUBNET
+        assert ctrl.spike_detected_at == 2.0
+
+    def test_timeline_records_steps(self):
+        _, ctrl = self.make()
+        ctrl.receive(digest_msg("traffic_spike", {}), 0, 1.0)
+        ctrl.receive(digest_msg("imbalance_subnet", {"index": 2}), 0, 2.0)
+        ctrl.receive(digest_msg("imbalance_host", {"index": 4}), 0, 3.0)
+        assert len(ctrl.timeline) == 3
+        assert "10.0.2.4" in ctrl.timeline[-1][1]
+
+
+class TestDrillDownAgainstRealSwitch:
+    def test_messages_apply_to_binding_table(self):
+        bundle = build_case_study_app(CaseStudyParams(interval=0.01, window=10))
+        net = Network()
+        switch = net.add(SwitchNode("p4", bundle.program))
+        ctrl = net.add(DrillDownController("c"))
+        net.connect(switch, CPU_PORT, ctrl, 0, delay=0.001)
+        ctrl.receive(digest_msg("traffic_spike", {}, switch="p4"), 0, 0.0)
+        net.run()
+        stage1 = switch.table("stat4_binding_1")
+        assert len(stage1) == 1
+        spec = stage1.entries()[0].params["spec"]
+        assert spec.alert == "imbalance_subnet"
+        ctrl.receive(digest_msg("imbalance_subnet", {"index": 3}, switch="p4"), 0, 0.1)
+        net.run()
+        spec = stage1.entries()[0].params["spec"]
+        assert spec.alert == "imbalance_host"
+        # The rebound entry matches only the identified /24.
+        matches = stage1.entries()[0].matches
+        assert matches[1] == (hdr.ip_to_int("10.0.3.0"), 24)
+
+    def test_processing_delay_defers_table_ops(self):
+        bundle = build_case_study_app(CaseStudyParams(interval=0.01, window=10))
+        net = Network()
+        switch = net.add(SwitchNode("p4", bundle.program))
+        ctrl = net.add(DrillDownController("c", processing_delay=0.5))
+        net.connect(switch, CPU_PORT, ctrl, 0, delay=0.001)
+        ctrl.receive(digest_msg("traffic_spike", {}, switch="p4"), 0, 0.0)
+        net.run(until=0.25)
+        assert len(switch.table("stat4_binding_1")) == 0
+        net.run()
+        assert len(switch.table("stat4_binding_1")) == 1

@@ -1,0 +1,108 @@
+"""Unit tests for the Figure-2 square root and the squaring fallback."""
+
+import math
+
+import pytest
+
+from repro.core.approx import (
+    approx_isqrt,
+    approx_isqrt_parts,
+    approx_square,
+    approx_square_error_bound,
+)
+
+
+class TestApproxIsqrtPaperExamples:
+    def test_figure2_worked_example(self):
+        # "it approximates sqrt(106) to 10"
+        assert approx_isqrt(106) == 10
+
+    def test_figure2_intermediate_steps(self):
+        # Exponent 6, shifted exponent 3, shifted mantissa 0b010101.
+        exponent, shifted_exponent, shifted_mantissa = approx_isqrt_parts(106)
+        assert exponent == 6
+        assert shifted_exponent == 3
+        assert shifted_mantissa == 0b010101
+
+    def test_table2_footnote_sqrt3(self):
+        # "sqrt(3) approximated to 1"
+        assert approx_isqrt(3) == 1
+
+    def test_odd_exponent_carries_into_mantissa(self):
+        # 9 = 0b1001: exponent 3 is odd; its low bit becomes the mantissa MSB.
+        assert approx_isqrt(9) == 3
+
+
+class TestApproxIsqrtStructure:
+    def test_zero_and_one(self):
+        assert approx_isqrt(0) == 0
+        assert approx_isqrt(1) == 1
+
+    def test_exact_on_even_powers_of_two(self):
+        # The MSB placement is exact: sqrt(2^(2k)) == 2^k.
+        for k in range(0, 30):
+            assert approx_isqrt(1 << (2 * k)) == 1 << k
+
+    def test_monotone_nondecreasing(self):
+        previous = 0
+        for y in range(0, 1 << 14):
+            result = approx_isqrt(y)
+            assert result >= previous
+            previous = result
+
+    def test_relative_error_bounded(self):
+        # The interpolation's analytical worst case is ~6.1% away from the
+        # true square root for y >= 4 (small y suffer truncation instead).
+        for y in range(4, 1 << 14):
+            true = math.sqrt(y)
+            assert abs(approx_isqrt(y) - true) / true < 0.062 + 1.0 / true
+
+    def test_result_msb_is_half_input_msb(self):
+        for y in range(1, 1 << 12):
+            expected_msb = (y.bit_length() - 1) >> 1
+            result = approx_isqrt(y)
+            assert result.bit_length() - 1 == expected_msb
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            approx_isqrt(-1)
+
+    def test_large_values(self):
+        y = (1 << 62) + 12345
+        result = approx_isqrt(y)
+        assert abs(result - math.sqrt(y)) / math.sqrt(y) < 0.062
+
+
+class TestApproxSquare:
+    def test_zero_and_one(self):
+        assert approx_square(0) == 0
+        assert approx_square(1) == 1
+
+    def test_exact_on_powers_of_two(self):
+        for k in range(0, 30):
+            assert approx_square(1 << k) == 1 << (2 * k)
+
+    def test_first_order_expansion(self):
+        # x = 10 = 2^3 * 1.25 -> 2^6 * 1.5 = 96 (vs 100 exactly).
+        assert approx_square(10) == 96
+
+    def test_never_overestimates(self):
+        # (1 + 2f) <= (1 + f)^2, so the approximation is a lower bound.
+        for x in range(0, 1 << 12):
+            assert approx_square(x) <= x * x
+
+    def test_error_within_analytical_bound(self):
+        numerator, denominator = approx_square_error_bound()
+        for x in range(1, 1 << 12):
+            assert (x * x - approx_square(x)) * denominator <= numerator * x * x + denominator
+
+    def test_monotone_nondecreasing(self):
+        previous = 0
+        for x in range(0, 1 << 12):
+            result = approx_square(x)
+            assert result >= previous
+            previous = result
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            approx_square(-3)

@@ -1,0 +1,96 @@
+"""Unit tests for repro.core.bitops."""
+
+import pytest
+
+from repro.core.bitops import (
+    MAX_SUPPORTED_WIDTH,
+    is_power_of_two,
+    low_bits,
+    mask_of_width,
+    msb_position,
+    msb_position_if_chain,
+)
+
+
+class TestMsbPosition:
+    def test_powers_of_two(self):
+        for exponent in range(0, 100):
+            assert msb_position(1 << exponent) == exponent
+
+    def test_one_below_power_of_two(self):
+        for exponent in range(1, 64):
+            assert msb_position((1 << exponent) - 1) == exponent - 1
+
+    def test_matches_bit_length(self):
+        for value in range(1, 5000):
+            assert msb_position(value) == value.bit_length() - 1
+
+    def test_paper_example_106(self):
+        # Figure 2: the MSB of 106 (0b1101010) is the 6th bit.
+        assert msb_position(106) == 6
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            msb_position(0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            msb_position(-5)
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            msb_position(1 << MAX_SUPPORTED_WIDTH)
+
+    def test_widest_supported(self):
+        widest = (1 << MAX_SUPPORTED_WIDTH) - 1
+        assert msb_position(widest) == MAX_SUPPORTED_WIDTH - 1
+
+
+class TestMsbIfChain:
+    def test_agrees_with_binary_search(self):
+        for value in range(1, 3000):
+            position, _ = msb_position_if_chain(value, width=32)
+            assert position == msb_position(value)
+
+    def test_comparison_count_is_distance_from_top(self):
+        # The linear chain walks from bit width-1 down to the MSB.
+        position, comparisons = msb_position_if_chain(1, width=32)
+        assert position == 0
+        assert comparisons == 32
+        position, comparisons = msb_position_if_chain(1 << 31, width=32)
+        assert position == 31
+        assert comparisons == 1
+
+    def test_value_must_fit_width(self):
+        with pytest.raises(ValueError):
+            msb_position_if_chain(1 << 16, width=16)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            msb_position_if_chain(0)
+
+
+class TestMaskHelpers:
+    def test_mask_of_width(self):
+        assert mask_of_width(0) == 0
+        assert mask_of_width(1) == 1
+        assert mask_of_width(8) == 255
+        assert mask_of_width(16) == 65535
+
+    def test_mask_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask_of_width(-1)
+
+    def test_low_bits(self):
+        assert low_bits(0b11011010, 4) == 0b1010
+        assert low_bits(0xFFFF, 8) == 0xFF
+        assert low_bits(5, 0) == 0
+
+    def test_is_power_of_two(self):
+        powers = {1 << k for k in range(20)}
+        for value in range(1, 1 << 12):
+            assert is_power_of_two(value) == (value in powers)
+
+    def test_is_power_of_two_non_positive(self):
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-4)

@@ -1,0 +1,78 @@
+"""Unit tests for the shift-based EWMA detector."""
+
+import random
+
+import pytest
+
+from repro.core.ewma import EwmaDetector
+
+
+class TestEwmaDetector:
+    def test_mean_converges_to_constant_input(self):
+        detector = EwmaDetector(alpha_shift=3)
+        for _ in range(200):
+            detector.update(100)
+        assert abs(detector.mean - 100) <= 1
+        assert detector.deviation <= 1
+
+    def test_first_sample_seeds_mean(self):
+        detector = EwmaDetector()
+        detector.update(50)
+        assert detector.mean == 50
+
+    def test_warmup_suppresses_checks(self):
+        detector = EwmaDetector(warmup=8)
+        for i in range(7):
+            assert not detector.update(10)
+        # Even a huge value is silent during warmup.
+        detector2 = EwmaDetector(warmup=8)
+        for _ in range(5):
+            detector2.update(10)
+        assert not detector2.update(10_000)
+
+    def test_spike_detected_after_warmup(self):
+        rng = random.Random(0)
+        detector = EwmaDetector(alpha_shift=3, k_dev=3, margin=3)
+        for _ in range(100):
+            detector.update(int(rng.gauss(100, 5)))
+        assert detector.update(300)
+
+    def test_normal_noise_not_flagged(self):
+        rng = random.Random(1)
+        detector = EwmaDetector(alpha_shift=3, k_dev=4, margin=5)
+        flags = 0
+        for _ in range(1000):
+            if detector.update(int(rng.gauss(100, 5))):
+                flags += 1
+        assert flags <= 10  # ~1% tolerance for a 4-deviation rule
+
+    def test_adapts_to_level_shift(self):
+        detector = EwmaDetector(alpha_shift=2, k_dev=3, margin=2)
+        for _ in range(50):
+            detector.update(10)
+        # A persistent new level is anomalous at first...
+        assert detector.update(100)
+        for _ in range(50):
+            detector.update(100)
+        # ...then becomes the baseline (the boiling-frog property).
+        assert not detector.update(100)
+        assert abs(detector.mean - 100) <= 2
+
+    def test_alpha_controls_adaptation_speed(self):
+        fast = EwmaDetector(alpha_shift=1)
+        slow = EwmaDetector(alpha_shift=5)
+        for _ in range(20):
+            fast.update(0)
+            slow.update(0)
+        for _ in range(5):
+            fast.update(100)
+            slow.update(100)
+        assert fast.mean > slow.mean
+
+    def test_state_is_two_registers(self):
+        detector = EwmaDetector(frac_bits=8)
+        assert detector.state_bits == 2 * 40
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EwmaDetector().update(-1)

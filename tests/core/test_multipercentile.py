@@ -1,0 +1,76 @@
+"""Tests for simultaneous multi-percentile tracking."""
+
+import random
+
+import pytest
+
+from repro.core.percentile import MultiPercentileTracker, true_percentile_of_freqs
+
+
+class TestMultiPercentileTracker:
+    def test_tracks_all_requested(self):
+        tracker = MultiPercentileTracker(100, percents=(50, 90))
+        rng = random.Random(0)
+        for _ in range(5000):
+            tracker.observe(rng.randrange(100))
+        values = tracker.values()
+        assert set(values) == {50, 90}
+        assert abs(values[50] - 49) <= 3
+        assert abs(values[90] - 89) <= 3
+
+    def test_shared_frequency_vector(self):
+        tracker = MultiPercentileTracker(10, percents=(50, 90))
+        tracker.observe(3)
+        tracker.observe(3)
+        # Both sub-trackers see the same storage (one register array).
+        assert tracker.tracker(50).freqs is tracker.freqs
+        assert tracker.tracker(90).freqs is tracker.freqs
+        assert tracker.freqs[3] == 2
+
+    def test_each_percentile_keeps_invariants(self):
+        tracker = MultiPercentileTracker(64, percents=(25, 50, 75))
+        rng = random.Random(1)
+        for _ in range(800):
+            tracker.observe(rng.randrange(64))
+        for percent in (25, 50, 75):
+            tracker.tracker(percent).check_invariants()
+
+    def test_matches_single_trackers(self):
+        rng = random.Random(2)
+        stream = [rng.randrange(50) for _ in range(1500)]
+        multi = MultiPercentileTracker(50, percents=(50, 90))
+        from repro.core.percentile import PercentileTracker
+
+        single50 = PercentileTracker(50, percent=50)
+        single90 = PercentileTracker(50, percent=90)
+        for value in stream:
+            multi.observe(value)
+            single50.observe(value)
+            single90.observe(value)
+        assert multi.value(50) == single50.value
+        assert multi.value(90) == single90.value
+
+    def test_ordering_of_percentiles_after_settling(self):
+        tracker = MultiPercentileTracker(200, percents=(10, 50, 90))
+        rng = random.Random(3)
+        for _ in range(4000):
+            tracker.observe(rng.randrange(200))
+        for _ in range(400):
+            tracker.tick()
+        values = tracker.values()
+        assert values[10] <= values[50] <= values[90]
+
+    def test_untracked_percentile_rejected(self):
+        tracker = MultiPercentileTracker(10, percents=(50,))
+        tracker.observe(5)
+        with pytest.raises(ValueError):
+            tracker.value(90)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiPercentileTracker(10, percents=())
+        with pytest.raises(ValueError):
+            MultiPercentileTracker(10, percents=(50, 50))
+        tracker = MultiPercentileTracker(10)
+        with pytest.raises(ValueError):
+            tracker.observe(10)

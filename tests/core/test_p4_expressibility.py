@@ -1,0 +1,92 @@
+"""The core statistics must stay P4-expressible.
+
+These tests parse the actual sources and fail on any division, modulo,
+float, math.* call or while loop — the constructs the paper's techniques
+exist to avoid.  The Welford reference module is the documented exception.
+"""
+
+import pytest
+
+from repro.core import approx as approx_module
+from repro.core import bitops as bitops_module
+from repro.core import ewma as ewma_module
+from repro.core import outlier as outlier_module
+from repro.core import percentile as percentile_module
+from repro.core import stats as stats_module
+from repro.core import welford as welford_module
+from repro.resources.lint import assert_p4_expressible, lint_module, lint_source
+
+
+P4_MODULES = [
+    bitops_module,
+    approx_module,
+    stats_module,
+    outlier_module,
+    ewma_module,
+]
+
+
+@pytest.mark.parametrize("module", P4_MODULES, ids=lambda m: m.__name__)
+def test_core_modules_are_p4_expressible(module):
+    assert_p4_expressible(module)
+
+
+def test_percentile_update_path_is_p4_expressible():
+    # The tracker module contains the (host-side) ground-truth helper too;
+    # the data-plane path — observe/tick/rebalance — must be clean.  The
+    # rebalance loop is bounded by the compile-time steps_per_update
+    # constant, so a single-pass check of the observe/rebalance sources
+    # would reject the `while steps < max_steps` guard; instead we verify
+    # no arithmetic violation exists anywhere in the module.
+    violations = lint_module(percentile_module)
+    arithmetic = [v for v in violations if v.construct != "while loop"]
+    assert arithmetic == []
+    # The only loop is the bounded rebalance loop (unrollable).
+    loops = [v for v in violations if v.construct == "while loop"]
+    assert len(loops) <= 1
+
+
+def test_welford_is_the_documented_exception():
+    # The reference module *should* trip the linter: it divides.
+    violations = lint_module(welford_module)
+    assert any(v.construct in ("division", "library call") for v in violations)
+
+
+class TestLinter:
+    def test_flags_division(self):
+        assert any(v.construct == "division" for v in lint_source("x = a / b"))
+
+    def test_flags_floor_division(self):
+        assert any(
+            v.construct == "integer division" for v in lint_source("x = a // b")
+        )
+
+    def test_flags_modulo(self):
+        assert any(v.construct == "modulo" for v in lint_source("x = a % b"))
+
+    def test_flags_augmented_division(self):
+        assert any(v.construct == "integer division" for v in lint_source("x //= 2"))
+
+    def test_flags_pow(self):
+        assert any(v.construct == "exponentiation" for v in lint_source("x = a ** 2"))
+
+    def test_flags_float_literal(self):
+        assert any(v.construct == "float literal" for v in lint_source("x = 0.5"))
+
+    def test_flags_math_call(self):
+        source = "import math\nx = math.sqrt(2)"
+        assert any(v.construct == "library call" for v in lint_source(source))
+
+    def test_flags_while(self):
+        assert any(v.construct == "while loop" for v in lint_source("while x:\n    pass"))
+
+    def test_flags_float_builtin(self):
+        assert any(v.construct == "builtin call" for v in lint_source("x = float(3)"))
+
+    def test_accepts_shifts_and_masks(self):
+        source = "x = (a << 1) + (b >> 2) & 0xFF\ny = a - b\nz = a * 4"
+        assert lint_source(source) == []
+
+    def test_accepts_bounded_for(self):
+        # for-over-range is compiler unrolling, accepted.
+        assert lint_source("for i in range(8):\n    x = x + i") == []

@@ -1,0 +1,199 @@
+"""Unit tests for the one-step-per-packet percentile tracker (Figure 3)."""
+
+import random
+
+import pytest
+
+from repro.core.percentile import PercentileTracker, true_percentile_of_freqs
+
+
+def build_tracker_from_freqs(freqs, percent=50, settle=True):
+    """Observe each value freq times (shuffled), optionally letting the
+    tracker settle with value-free packets afterwards."""
+    tracker = PercentileTracker(len(freqs), percent=percent)
+    sequence = [v for v, f in enumerate(freqs) for _ in range(f)]
+    random.Random(0).shuffle(sequence)
+    for value in sequence:
+        tracker.observe(value)
+    if settle:
+        for _ in range(len(freqs) * 2):
+            tracker.tick()
+    return tracker
+
+
+class TestFigure3Example:
+    # Frequencies for values 1..10 from Figure 3, at index 1..10.
+    FREQS = [0, 0, 10, 2, 0, 0, 1, 0, 0, 5, 6]
+
+    def make_state(self):
+        """Recreate the figure's exact state: median at 4, low=12, high=12."""
+        tracker = PercentileTracker(11)
+        tracker.freqs = list(self.FREQS)
+        tracker._position = 4
+        tracker.low = 12
+        tracker.high = 12
+        tracker.total = sum(self.FREQS)
+        tracker.check_invariants()
+        return tracker
+
+    def test_adding_8_moves_one_unit(self):
+        tracker = self.make_state()
+        tracker.observe(8)
+        # One packet moves the median by at most one unit: 4 -> 5.
+        assert tracker.value == 5
+        tracker.check_invariants()
+
+    def test_two_packets_reach_6(self):
+        # "it would therefore take us two packets to move the median
+        # from 4 to 6"
+        tracker = self.make_state()
+        tracker.observe(8)
+        tracker.tick()
+        assert tracker.value == 6
+        tracker.check_invariants()
+
+    def test_stable_afterwards(self):
+        tracker = self.make_state()
+        tracker.observe(8)
+        for _ in range(10):
+            tracker.tick()
+        assert tracker.value == 6
+
+
+class TestBasicBehaviour:
+    def test_single_value_is_its_own_median(self):
+        tracker = PercentileTracker(100)
+        tracker.observe(37)
+        assert tracker.value == 37
+
+    def test_value_before_observation_raises(self):
+        tracker = PercentileTracker(10)
+        assert not tracker.has_value
+        with pytest.raises(ValueError):
+            _ = tracker.value
+
+    def test_out_of_domain_rejected(self):
+        tracker = PercentileTracker(10)
+        with pytest.raises(ValueError):
+            tracker.observe(10)
+        with pytest.raises(ValueError):
+            tracker.observe(-1)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            PercentileTracker(0)
+        with pytest.raises(ValueError):
+            PercentileTracker(10, percent=0)
+        with pytest.raises(ValueError):
+            PercentileTracker(10, percent=100)
+        with pytest.raises(ValueError):
+            PercentileTracker(10, steps_per_update=0)
+
+    def test_moves_at_most_one_unit_per_observation(self):
+        tracker = PercentileTracker(1000)
+        tracker.observe(0)
+        previous = tracker.value
+        rng = random.Random(2)
+        for _ in range(500):
+            tracker.observe(rng.randint(0, 999))
+            assert abs(tracker.value - previous) <= 1
+            previous = tracker.value
+
+    def test_position_stays_in_domain(self):
+        tracker = PercentileTracker(4)
+        for _ in range(50):
+            tracker.observe(3)
+        assert tracker.value == 3
+        tracker2 = PercentileTracker(4)
+        for _ in range(50):
+            tracker2.observe(0)
+        assert tracker2.value == 0
+
+
+class TestConvergence:
+    def test_median_converges_on_dense_uniform(self):
+        tracker = PercentileTracker(101)
+        rng = random.Random(9)
+        for _ in range(5000):
+            tracker.observe(rng.randint(0, 100))
+        assert abs(tracker.value - tracker.true_value()) <= 2
+
+    def test_median_of_skewed_distribution(self):
+        # 90% of mass at 10, the rest at 90: the median must sit at 10.
+        tracker = PercentileTracker(100)
+        rng = random.Random(4)
+        for _ in range(2000):
+            tracker.observe(10 if rng.random() < 0.9 else 90)
+        assert tracker.value == 10
+
+    def test_90th_percentile_uses_nine_to_one_rule(self):
+        # Uniform over [0, 99]: the 90th percentile is ~89.
+        tracker = build_tracker_from_freqs([10] * 100, percent=90)
+        assert abs(tracker.value - 89) <= 2
+
+    def test_10th_percentile(self):
+        tracker = build_tracker_from_freqs([10] * 100, percent=10)
+        assert abs(tracker.value - 9) <= 2
+
+    def test_median_tracks_distribution_shift(self):
+        # After a shift of the input distribution, the tracker walks to the
+        # new median (this is the change-rate signal the paper mentions).
+        tracker = PercentileTracker(200)
+        rng = random.Random(8)
+        for _ in range(1000):
+            tracker.observe(rng.randint(0, 20))
+        assert tracker.value <= 22
+        for _ in range(8000):
+            tracker.observe(rng.randint(150, 199))
+        assert tracker.value >= 140
+
+    def test_ticks_help_convergence(self):
+        # Figure-3 discussion: packets without values still move the median.
+        with_ticks = PercentileTracker(1000)
+        without = PercentileTracker(1000)
+        rng = random.Random(6)
+        samples = [rng.randint(400, 600) for _ in range(50)]
+        for value in samples:
+            with_ticks.observe(value)
+            without.observe(value)
+        for _ in range(1000):
+            with_ticks.tick()
+        assert with_ticks.error_units() <= without.error_units()
+        # Settled means balanced: whatever distance remains to the exact
+        # percentile spans only (near-)empty cells of the sparse domain.
+        lo, hi = sorted((with_ticks.value, with_ticks.true_value()))
+        assert sum(with_ticks.freqs[lo + 1 : hi]) <= len(samples) // 10
+
+
+class TestTruePercentile:
+    def test_simple_median(self):
+        assert true_percentile_of_freqs([1, 1, 1], 50) == 1
+
+    def test_weighted_median(self):
+        # 10 mass at 0, 1 at 1: the median is 0.
+        assert true_percentile_of_freqs([10, 1], 50) == 0
+
+    def test_90th(self):
+        assert true_percentile_of_freqs([1] * 100, 90) == 89
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            true_percentile_of_freqs([0, 0, 0], 50)
+
+    def test_bad_percent_rejected(self):
+        with pytest.raises(ValueError):
+            true_percentile_of_freqs([1], 0)
+        with pytest.raises(ValueError):
+            true_percentile_of_freqs([1], 100)
+
+
+class TestMultiStepAblation:
+    def test_more_steps_converge_faster(self):
+        rng = random.Random(12)
+        samples = [rng.randint(0, 999) for _ in range(300)]
+        one_step = PercentileTracker(1000, steps_per_update=1)
+        four_step = PercentileTracker(1000, steps_per_update=4)
+        for value in samples:
+            one_step.observe(value)
+            four_step.observe(value)
+        assert four_step.error_units() <= one_step.error_units()

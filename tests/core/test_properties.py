@@ -1,0 +1,158 @@
+"""Property-based tests (hypothesis) for the core data structures."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approx import approx_isqrt, approx_square
+from repro.core.bitops import msb_position
+from repro.core.percentile import PercentileTracker, true_percentile_of_freqs
+from repro.core.stats import ScaledStats
+from repro.core.welford import WelfordAccumulator
+
+values = st.integers(min_value=0, max_value=1 << 32)
+positive = st.integers(min_value=1, max_value=1 << 62)
+small_values = st.integers(min_value=0, max_value=500)
+
+
+class TestMsbProperties:
+    @given(positive)
+    def test_msb_bounds_value(self, y):
+        position = msb_position(y)
+        assert (1 << position) <= y < (1 << (position + 1))
+
+    @given(positive)
+    def test_msb_matches_bit_length(self, y):
+        assert msb_position(y) == y.bit_length() - 1
+
+
+class TestIsqrtProperties:
+    @given(values)
+    def test_result_squared_brackets_input(self, y):
+        # The approximation never misses the right binade: its square is
+        # within a factor-of-4 window around y, with the tighter analytic
+        # bound checked separately.
+        r = approx_isqrt(y)
+        if y >= 1:
+            assert r >= 1
+            assert (r * r) >> 2 <= y
+
+    @given(st.integers(min_value=4, max_value=1 << 62))
+    def test_relative_error_bound(self, y):
+        true = math.sqrt(y)
+        assert abs(approx_isqrt(y) - true) <= 0.062 * true + 1
+
+    @given(positive, positive)
+    def test_monotone(self, a, b):
+        lo, hi = sorted((a, b))
+        assert approx_isqrt(lo) <= approx_isqrt(hi)
+
+    @given(st.integers(min_value=0, max_value=31))
+    def test_exact_even_powers(self, k):
+        assert approx_isqrt(1 << (2 * k)) == 1 << k
+
+
+class TestSquareProperties:
+    @given(values)
+    def test_lower_bound_of_true_square(self, x):
+        assert approx_square(x) <= x * x
+
+    @given(st.integers(min_value=1, max_value=1 << 32))
+    def test_within_25_percent(self, x):
+        assert approx_square(x) >= (3 * x * x) >> 2
+
+    @given(values, values)
+    def test_monotone(self, a, b):
+        lo, hi = sorted((a, b))
+        assert approx_square(lo) <= approx_square(hi)
+
+
+class TestScaledStatsProperties:
+    @given(st.lists(small_values, min_size=1, max_size=200))
+    def test_moments_match_batch(self, samples):
+        stats = ScaledStats()
+        for v in samples:
+            stats.add_value(v)
+        assert stats.count == len(samples)
+        assert stats.xsum == sum(samples)
+        assert stats.xsumsq == sum(v * v for v in samples)
+
+    @given(st.lists(small_values, min_size=1, max_size=200))
+    def test_variance_nonnegative_and_scaled(self, samples):
+        stats = ScaledStats()
+        for v in samples:
+            stats.add_value(v)
+        n = len(samples)
+        assert stats.variance_nx >= 0
+        mean = sum(samples) / n
+        population_var = sum((v - mean) ** 2 for v in samples) / n
+        assert stats.variance_nx == round(n * n * population_var)
+
+    @given(st.lists(small_values, min_size=2, max_size=100))
+    def test_agrees_with_welford_up_to_scaling(self, samples):
+        stats = ScaledStats()
+        welford = WelfordAccumulator()
+        for v in samples:
+            stats.add_value(v)
+            welford.add(v)
+        n = len(samples)
+        assert math.isclose(
+            stats.variance_nx / (n * n), welford.variance, abs_tol=1e-6
+        )
+
+    @given(st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=400))
+    def test_frequency_mode_equals_value_mode_on_counts(self, keys):
+        # Feeding a stream key-by-key through observe_frequency must yield
+        # the same moments as batch-adding the final counts.
+        counts = {}
+        streaming = ScaledStats()
+        for key in keys:
+            old = counts.get(key, 0)
+            counts[key] = streaming.observe_frequency(old)
+        batch = ScaledStats()
+        for count in counts.values():
+            batch.add_value(count)
+        assert streaming.count == batch.count
+        assert streaming.xsum == batch.xsum
+        assert streaming.xsumsq == batch.xsumsq
+
+
+class TestPercentileProperties:
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=300))
+    def test_invariants_hold_after_any_stream(self, stream):
+        tracker = PercentileTracker(64)
+        for value in stream:
+            tracker.observe(value)
+        tracker.check_invariants()
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=300),
+        st.sampled_from([10, 25, 50, 75, 90]),
+    )
+    def test_settled_tracker_is_near_true_percentile(self, stream, percent):
+        tracker = PercentileTracker(64, percent=percent)
+        for value in stream:
+            tracker.observe(value)
+        # Give the tracker time to settle (value-free packets).
+        for _ in range(64 * 2):
+            tracker.tick()
+        true = true_percentile_of_freqs(tracker.freqs, percent)
+        # After settling, the tracker sits within the zero-frequency gap
+        # around the true percentile: all positions between it and the truth
+        # must be (nearly) empty.
+        lo, hi = sorted((tracker.value, true))
+        interior_mass = sum(tracker.freqs[lo + 1 : hi])
+        total = sum(tracker.freqs)
+        assert interior_mass * 10 <= total
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=200))
+    def test_total_mass_preserved(self, stream):
+        tracker = PercentileTracker(32)
+        for value in stream:
+            tracker.observe(value)
+        assert sum(tracker.freqs) == len(stream)
+        assert tracker.total == len(stream)

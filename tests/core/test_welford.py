@@ -1,0 +1,117 @@
+"""Unit tests for the floating-point reference statistics."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.welford import (
+    RunningPercentile,
+    WelfordAccumulator,
+    exact_percentile,
+    population_stddev,
+    population_variance,
+)
+
+
+class TestWelford:
+    def test_matches_batch_formulas(self):
+        rng = random.Random(1)
+        values = [rng.uniform(-50, 50) for _ in range(300)]
+        acc = WelfordAccumulator()
+        acc.extend(values)
+        assert acc.count == 300
+        assert acc.mean == pytest.approx(sum(values) / 300)
+        assert acc.variance == pytest.approx(population_variance(values))
+        assert acc.stddev == pytest.approx(population_stddev(values))
+
+    def test_empty(self):
+        acc = WelfordAccumulator()
+        assert acc.count == 0
+        assert acc.variance == 0.0
+        assert acc.stddev == 0.0
+
+    def test_single_value(self):
+        acc = WelfordAccumulator()
+        acc.add(42.0)
+        assert acc.mean == 42.0
+        assert acc.variance == 0.0
+
+    def test_merge_equals_sequential(self):
+        rng = random.Random(2)
+        left = [rng.uniform(0, 10) for _ in range(57)]
+        right = [rng.uniform(5, 25) for _ in range(101)]
+        merged = WelfordAccumulator()
+        merged.extend(left)
+        other = WelfordAccumulator()
+        other.extend(right)
+        merged.merge(other)
+        reference = WelfordAccumulator()
+        reference.extend(left + right)
+        assert merged.count == reference.count
+        assert merged.mean == pytest.approx(reference.mean)
+        assert merged.variance == pytest.approx(reference.variance)
+
+    def test_merge_with_empty(self):
+        acc = WelfordAccumulator()
+        acc.extend([1.0, 2.0])
+        acc.merge(WelfordAccumulator())
+        assert acc.count == 2
+        empty = WelfordAccumulator()
+        empty.merge(acc)
+        assert empty.count == 2
+        assert empty.mean == pytest.approx(1.5)
+
+    def test_numerical_stability_large_offset(self):
+        # The textbook E[X^2]-E[X]^2 catastrophically cancels here; Welford
+        # must not.
+        offset = 1e9
+        values = [offset + v for v in (4.0, 7.0, 13.0, 16.0)]
+        acc = WelfordAccumulator()
+        acc.extend(values)
+        assert acc.variance == pytest.approx(22.5)
+
+
+class TestExactPercentile:
+    def test_median_odd(self):
+        assert exact_percentile([3, 1, 2], 50) == 2
+
+    def test_median_even_nearest_rank_low(self):
+        assert exact_percentile([1, 2, 3, 4], 50) == 2
+
+    def test_90th(self):
+        values = list(range(1, 101))
+        assert exact_percentile(values, 90) == 90
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            exact_percentile([], 50)
+
+    def test_bad_percent_rejected(self):
+        with pytest.raises(ValueError):
+            exact_percentile([1], 0)
+
+
+class TestRunningPercentile:
+    def test_matches_batch_at_every_step(self):
+        rng = random.Random(3)
+        running = RunningPercentile(percent=50)
+        seen = []
+        for _ in range(200):
+            value = rng.randint(0, 30)
+            running.add(value)
+            seen.append(value)
+            assert running.value == exact_percentile(seen, 50)
+
+    def test_rank_of(self):
+        running = RunningPercentile()
+        for v in [1, 2, 3, 4]:
+            running.add(v)
+        assert running.rank_of(3) == pytest.approx(0.5)
+        assert running.count_at_most(3) == 3
+
+    def test_count(self):
+        running = RunningPercentile()
+        assert running.count == 0
+        running.add(5)
+        assert running.count == 1

@@ -1,0 +1,82 @@
+"""Tests for the Figure-6 case-study experiment (scaled-down runs)."""
+
+import pytest
+
+from repro.experiments.case_study import (
+    CaseStudySetup,
+    destination_ips,
+    format_sweep,
+    run_case_study,
+    run_case_study_sweep,
+)
+
+# A light configuration: big intervals relative to packet cost.
+FAST = dict(
+    packets_per_interval=30,
+    warmup_intervals=12,
+    spike_intervals=40,
+    control_delay=0.005,
+    controller_processing=0.005,
+)
+
+
+class TestCaseStudy:
+    def test_topology_has_36_destinations(self):
+        assert len(destination_ips()) == 36
+
+    def test_detection_in_first_interval(self):
+        result = run_case_study(CaseStudySetup(interval=0.01, window=20, seed=5, **FAST))
+        assert result.detected
+        # "the switch detects the traffic spike in the first interval after
+        # the start of the spike" — allow boundary alignment slack.
+        assert result.detection_intervals <= 2.0
+
+    def test_victim_correctly_pinpointed(self):
+        result = run_case_study(CaseStudySetup(interval=0.01, window=20, seed=6, **FAST))
+        assert result.subnet_correct
+        assert result.victim_correct
+        assert result.identified == result.victim
+
+    def test_pinpoint_latency_positive_and_bounded(self):
+        result = run_case_study(CaseStudySetup(interval=0.01, window=20, seed=7, **FAST))
+        assert result.pinpoint_seconds is not None
+        assert 0 < result.pinpoint_seconds < 5.0
+
+    def test_no_false_alerts_on_cbr_baseline(self):
+        result = run_case_study(CaseStudySetup(interval=0.01, window=20, seed=8, **FAST))
+        assert result.false_alerts_before_onset == 0
+
+    def test_victim_varies_with_seed(self):
+        victims = {
+            run_case_study(
+                CaseStudySetup(interval=0.01, window=10, seed=seed,
+                               packets_per_interval=20, warmup_intervals=8,
+                               spike_intervals=25, control_delay=0.005,
+                               controller_processing=0.005)
+            ).victim
+            for seed in (1, 2, 3)
+        }
+        assert len(victims) >= 2
+
+    def test_sweep_runs_and_formats(self):
+        results = run_case_study_sweep(
+            intervals=(0.01, 0.05),
+            windows=(10,),
+            repetitions=1,
+            packets_per_interval=20,
+            warmup_intervals=8,
+            spike_intervals=25,
+            control_delay=0.005,
+            controller_processing=0.005,
+        )
+        assert len(results) == 2
+        assert all(r.victim_correct for r in results)
+        text = format_sweep(results)
+        assert "10 ms" in text and "50 ms" in text
+
+    def test_control_latency_slows_pinpointing(self):
+        fast = run_case_study(CaseStudySetup(interval=0.01, window=20, seed=9, **FAST))
+        slow_params = dict(FAST)
+        slow_params.update(control_delay=0.1, controller_processing=0.1, spike_intervals=150)
+        slow = run_case_study(CaseStudySetup(interval=0.01, window=20, seed=9, **slow_params))
+        assert slow.pinpoint_seconds > fast.pinpoint_seconds

@@ -1,0 +1,34 @@
+"""Tests for the CLI generate command and remaining CLI surfaces."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerateCommand:
+    def test_stdout(self, capsys):
+        assert main(["generate", "--counter-num", "2", "--counter-size", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "#define STAT_COUNTER_NUM 2" in out
+        assert "#define STAT_COUNTER_SIZE 50" in out
+        assert "V1Switch(" in out
+
+    def test_file_output(self, tmp_path, capsys):
+        target = tmp_path / "stat4.p4"
+        assert main(["generate", "--output", str(target)]) == 0
+        text = target.read_text()
+        assert "#include <v1model.p4>" in text
+        assert text.count("{") == text.count("}")
+        assert "wrote" in capsys.readouterr().out
+
+    def test_binding_stage_option(self, capsys):
+        assert main(["generate", "--binding-stages", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "table stat4_binding_2 {" in out
+
+
+class TestMultiswitchCommand:
+    def test_runs_and_reports(self, capsys):
+        assert main(["multiswitch"]) == 0
+        out = capsys.readouterr().out
+        assert "detected globally only: yes" in out

@@ -1,0 +1,93 @@
+"""Tests for the reactivity comparison and the ablation drivers."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablate_division_table,
+    ablate_lazy_sd,
+    ablate_median_steps,
+    ablate_square_approx,
+    ablate_unit_coarsening,
+    format_division_table,
+)
+from repro.experiments.reactivity import format_reactivity, run_reactivity
+
+FAST = dict(
+    periods=(0.02, 0.1),
+    interval=0.01,
+    window=20,
+    ppi=20,
+    warmup_intervals=12,
+    spike_intervals=40,
+    control_delay=0.002,
+)
+
+
+class TestReactivity:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_reactivity(**FAST)
+
+    def test_in_switch_detects_fastest(self, points):
+        in_switch = points[0]
+        assert in_switch.architecture == "in-switch"
+        assert in_switch.detection_delay is not None
+        pulls = [p for p in points if p.architecture == "sketch-only"]
+        for pull in pulls:
+            assert pull.detection_delay is None or (
+                in_switch.detection_delay <= pull.detection_delay + 1e-9
+            )
+
+    def test_pull_delay_grows_with_period(self, points):
+        pulls = sorted(
+            (p for p in points if p.architecture == "sketch-only"),
+            key=lambda p: p.period,
+        )
+        detected = [p for p in pulls if p.detection_delay is not None]
+        assert len(detected) >= 2
+        assert detected[0].detection_delay <= detected[-1].detection_delay
+
+    def test_pull_overhead_inverse_to_period(self, points):
+        pulls = sorted(
+            (p for p in points if p.architecture == "sketch-only"),
+            key=lambda p: p.period,
+        )
+        assert pulls[0].overhead_bps > pulls[-1].overhead_bps
+
+    def test_in_switch_overhead_is_tiny(self, points):
+        in_switch = points[0]
+        pulls = [p for p in points if p.architecture == "sketch-only"]
+        assert in_switch.overhead_bps < min(p.overhead_bps for p in pulls) / 10
+
+    def test_formatting(self, points):
+        text = format_reactivity(points)
+        assert "in-switch" in text and "push" in text
+
+
+class TestAblations:
+    def test_lazy_sd_amortizes(self):
+        result = ablate_lazy_sd(packets=4000)
+        assert result.comparisons_lazy < result.comparisons_eager
+        assert result.amortization > 10
+
+    def test_square_approx_costs_accuracy(self):
+        result = ablate_square_approx(samples=600)
+        assert result.mean_sd_error_exact < result.mean_sd_error_approx
+        assert result.mean_sd_error_exact < 0.08
+
+    def test_median_steps_speed_up_convergence(self):
+        results = ablate_median_steps(budgets=(1, 8), samples=1500)
+        assert results[1].samples_to_converge <= results[0].samples_to_converge
+
+    def test_division_table_memory_grows_exponentially(self):
+        rows = ablate_division_table(precisions=(4, 8))
+        assert rows[1].table_bytes == rows[0].table_bytes * 16
+        assert rows[1].worst_relative_error < rows[0].worst_relative_error
+        assert "memory" in format_division_table(rows)
+
+    def test_unit_coarsening_saves_bits_costs_accuracy(self):
+        rows = ablate_unit_coarsening(shifts=(0, 8))
+        assert rows[1].counter_bits_needed < rows[0].counter_bits_needed
+        assert rows[0].mean_relative_error <= rows[1].mean_relative_error
+        # Outlier verdicts stay essentially unchanged at moderate shifts.
+        assert rows[1].outlier_agreement > 0.95

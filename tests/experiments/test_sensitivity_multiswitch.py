@@ -1,0 +1,77 @@
+"""Tests for the sensitivity sweep driver and extension experiment glue."""
+
+import math
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    SensitivityRow,
+    format_sensitivity,
+    run_sensitivity,
+)
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_sensitivity(
+            factors=(1.05, 5.0),
+            repetitions=2,
+            interval=0.01,
+            window=20,
+            packets_per_interval=25,
+        )
+
+    def test_strong_spikes_always_detected(self, rows):
+        strong = rows[-1]
+        assert strong.spike_factor == 5.0
+        assert strong.detection_rate == 1.0
+        assert strong.mean_detection_intervals <= 2.0
+
+    def test_marginal_spikes_unreliable(self, rows):
+        marginal = rows[0]
+        assert marginal.detection_rate <= 1.0
+        # 1.05x sits under the Poisson threshold; it must not beat 5x.
+        assert marginal.detection_rate <= rows[-1].detection_rate
+
+    def test_formatting(self, rows):
+        text = format_sensitivity(rows)
+        assert "5x" in text
+        assert "detected" in text
+
+    def test_row_accessor_handles_zero_runs(self):
+        row = SensitivityRow(
+            spike_factor=2.0, runs=0, detected=0,
+            mean_detection_intervals=math.nan,
+        )
+        assert row.detection_rate == 0.0
+
+
+class TestMessageSizes:
+    """Control-message wire sizes drive the overhead accounting."""
+
+    def test_digest_smaller_than_register_dump(self):
+        from repro.netsim.messages import DigestMessage, RegisterReadReply
+        from repro.p4.switch import Digest
+
+        digest = DigestMessage(
+            switch="s",
+            digest=Digest(name="x", fields={"a": 1, "b": 2}, timestamp=0.0),
+        )
+        dump = RegisterReadReply(values={"cells": list(range(100))})
+        assert len(digest) < len(dump)
+
+    def test_dump_size_scales_with_cells(self):
+        from repro.netsim.messages import RegisterReadReply
+
+        small = RegisterReadReply(values={"r": [0] * 10})
+        large = RegisterReadReply(values={"r": [0] * 1000})
+        assert len(large) > len(small) * 50
+
+    def test_table_ops_have_fixed_small_sizes(self):
+        from repro.netsim.messages import TableAdd, TableDelete, TableModify
+
+        add = TableAdd(table="t", matches=(1, 2), action="a", params={"x": 1})
+        assert len(add) < 128
+        assert len(TableModify(table="t", entry_id=1)) < 128
+        assert len(TableDelete(table="t", entry_id=1)) < 128

@@ -1,0 +1,103 @@
+"""Tests for the Table-2 and Table-3 experiment drivers.
+
+These assert the *shape* the paper reports, not its exact numbers (our
+substrate differs; see EXPERIMENTS.md for paper-vs-measured).
+"""
+
+from repro.experiments.common import FenwickMedian, percentile_of
+from repro.experiments.table2_sqrt import format_table2, run_table2
+from repro.experiments.table3_median import format_table3, run_table3
+
+import pytest
+import random
+
+
+class TestCommonHelpers:
+    def test_percentile_of(self):
+        assert percentile_of([1, 2, 3, 4], 50) == 2
+        assert percentile_of(list(range(1, 101)), 90) == 90
+        with pytest.raises(ValueError):
+            percentile_of([], 50)
+
+    def test_fenwick_matches_sorting(self):
+        rng = random.Random(0)
+        fenwick = FenwickMedian(64)
+        seen = []
+        for _ in range(500):
+            value = rng.randrange(64)
+            fenwick.add(value)
+            seen.append(value)
+            ordered = sorted(seen)
+            expected = ordered[(len(ordered) + 1) // 2 - 1]
+            assert fenwick.value() == expected
+
+    def test_fenwick_90th(self):
+        fenwick = FenwickMedian(100, percent=90)
+        for value in range(100):
+            fenwick.add(value)
+        assert fenwick.value() == 89
+
+    def test_fenwick_validation(self):
+        with pytest.raises(ValueError):
+            FenwickMedian(0)
+        with pytest.raises(ValueError):
+            FenwickMedian(10, percent=100)
+        fenwick = FenwickMedian(10)
+        with pytest.raises(ValueError):
+            fenwick.add(10)
+        with pytest.raises(ValueError):
+            fenwick.value()
+
+
+class TestTable2:
+    def test_error_falls_with_magnitude(self):
+        rows = run_table2()
+        maxima = [row.max_normalized for row in rows]
+        assert maxima == sorted(maxima, reverse=True)
+        p50s = [row.p50_normalized for row in rows]
+        assert p50s == sorted(p50s, reverse=True)
+
+    def test_magnitudes_match_paper_bands(self):
+        rows = {(r.lo, r.hi): r for r in run_table2()}
+        # 1-10: tens of percent; 1000-10000: well under 1 percent.
+        assert 10 <= rows[(1, 10)].max_normalized <= 45
+        assert rows[(1000, 10000)].max_normalized < 0.5
+        assert rows[(100, 1000)].max_normalized < 1.0
+
+    def test_relative_error_stays_bounded(self):
+        # The relative metric plateaus around the interpolation bound.
+        for row in run_table2():
+            assert row.max_relative <= 43  # sqrt(3)->1 worst case
+
+    def test_formatting_includes_paper(self):
+        text = format_table2(run_table2())
+        assert "1-10" in text
+        assert "paper" in text
+
+
+class TestTable3:
+    def test_error_collapses_after_half(self):
+        rows = run_table3(
+            sizes=((100, "packet types"), (1000, "per-ms traffic")),
+            repetitions=5,
+        )
+        for row in rows:
+            assert row.after_p90 <= 2.0
+            assert row.after_p50 <= 0.5
+            assert row.before_p90 > row.after_p90
+
+    def test_early_error_is_tens_of_percent_at_p90(self):
+        rows = run_table3(sizes=((100, "x"),), repetitions=5)
+        assert 5 <= rows[0].before_p90 <= 60
+
+    def test_error_shrinks_with_domain_size(self):
+        rows = run_table3(
+            sizes=((100, "a"), (1000, "b")), repetitions=5
+        )
+        assert rows[1].before_p50 <= rows[0].before_p50 + 1.0
+
+    def test_formatting(self):
+        rows = run_table3(sizes=((100, "packet types"),), repetitions=2)
+        text = format_table3(rows)
+        assert "100 (packet types)" in text
+        assert "paper" in text

@@ -1,0 +1,25 @@
+"""Tests for the Figure-5 validation experiment."""
+
+from repro.experiments.validation import run_validation
+
+
+class TestValidation:
+    def test_switch_equals_host_small_run(self):
+        result = run_validation(packets=300, seed=0)
+        assert result.replies == 300
+        assert result.mismatches == 0
+        assert result.passed
+
+    def test_different_seed_still_exact(self):
+        result = run_validation(packets=300, seed=99)
+        assert result.mismatches == 0
+
+    def test_sd_consistent_with_section2(self):
+        result = run_validation(packets=500, seed=3)
+        # The approximate sigma stays inside the interpolation envelope
+        # (~6.2% plus one integer quantum, already subtracted).
+        assert result.max_sd_relative_error < 0.07
+
+    def test_every_request_answered(self):
+        result = run_validation(packets=100, seed=1)
+        assert result.replies == result.packets_sent

@@ -1,0 +1,158 @@
+"""Cross-module integration tests: full paths through the stack."""
+
+import random
+
+import pytest
+
+from repro.apps.anomaly import CaseStudyParams, build_case_study_app
+from repro.apps.echo import build_echo_app
+from repro.controller.drilldown import DrillDownController, Phase
+from repro.core.stats import ScaledStats
+from repro.netsim.forwarder import StaticForwarder
+from repro.netsim.hosts import Host
+from repro.netsim.network import Network
+from repro.netsim.switchnode import SwitchNode
+from repro.p4 import headers as hdr
+from repro.p4.switch import CPU_PORT
+from repro.traffic.builders import echo_frame, udp_to
+from repro.traffic.profiles import spike_phase, uniform_phase
+from repro.traffic.source import TrafficSource
+
+
+class TestEchoOverNetwork:
+    def test_byte_exact_round_trip(self):
+        bundle = build_echo_app()
+        net = Network()
+        host = net.add(Host("h"))
+        switch = net.add(SwitchNode("s", bundle.program))
+        net.connect(host, 0, switch, 0, delay=0.001)
+        for i, value in enumerate([5, -5, 5, 100]):
+            host.send_at(i * 0.01, echo_frame(value))
+        net.run()
+        assert host.packets_received == 4
+        # Last reply reflects all four observations: 3 distinct values.
+        last = hdr.STAT4_ECHO.parse(host.received[-1][1].data, offset=14)
+        assert last.get("n") == 3
+        assert last.get("xsum") == 4
+
+
+class TestDrillDownPipeline:
+    """The full Figure-6 loop on a reduced topology."""
+
+    def build(self, seed=0):
+        # The 2-sigma imbalance test needs enough categories: with N values
+        # a single outlier's z-score is bounded by (N-1)/sqrt(N), so both
+        # drill-down levels need >= 6 candidates — exactly the paper's
+        # 6-subnets x 6-hosts layout.
+        params = CaseStudyParams(interval=0.01, window=15, cooldown=0.03)
+        routes = {1: ["10.0.0.0/8"]}
+        bundle = build_case_study_app(params, routes=routes)
+        net = Network()
+        switch = net.add(SwitchNode("p4", bundle.program))
+        ctrl = net.add(
+            DrillDownController("ctrl", min_samples=5, cooldown=0.03)
+        )
+        net.connect(switch, CPU_PORT, ctrl, 0, delay=0.002)
+        subnets = (1, 2, 3, 4, 5, 6)
+        host_octets = (1, 2, 3, 4, 5, 6)
+        hosts_routes = {}
+        port = 1
+        for subnet in subnets:
+            for host_octet in host_octets:
+                hosts_routes[f"10.0.{subnet}.{host_octet}/32"] = port
+                port += 1
+        fwd = net.add(StaticForwarder("ovs", hosts_routes))
+        net.connect(switch, 1, fwd, 0)
+        for i, prefix in enumerate(hosts_routes, start=1):
+            host = net.add(Host(f"d{i}"))
+            net.connect(fwd, i, host, 0)
+        destinations = [
+            hdr.ip_to_int(f"10.0.{s}.{h}") for s in subnets for h in host_octets
+        ]
+        victim = destinations[14]  # 10.0.3.3
+        source = net.add(
+            TrafficSource(
+                "src",
+                phases=[
+                    uniform_phase(destinations, duration=0.3, rate_pps=2000, poisson=False),
+                    spike_phase(victim, destinations, duration=1.2, rate_pps=12000,
+                                poisson=False),
+                ],
+                seed=seed,
+            )
+        )
+        net.connect(source, 0, switch, 0)
+        return net, source, ctrl, victim
+
+    def test_full_loop_identifies_victim(self):
+        net, source, ctrl, victim = self.build()
+        source.start()
+        net.run()
+        assert ctrl.phase == Phase.DONE
+        assert ctrl.identified_victim == victim
+        assert ctrl.victim_ip() == hdr.int_to_ip(victim)
+
+    def test_alerts_arrive_in_causal_order(self):
+        net, source, ctrl, _ = self.build(seed=2)
+        source.start()
+        net.run()
+        assert ctrl.spike_detected_at < ctrl.subnet_identified_at
+        assert ctrl.subnet_identified_at < ctrl.victim_identified_at
+
+
+class TestRegisterTruth:
+    def test_switch_registers_equal_software_mirror(self):
+        """The Figure-5 invariant on the case-study app: whatever values the
+        time-series distribution absorbed, the registers agree with a
+        host-side recomputation from the stored cells."""
+        bundle = build_case_study_app(CaseStudyParams(interval=0.01, window=12))
+        from repro.p4.switch import BehavioralSwitch
+
+        switch = BehavioralSwitch("s", bundle.program)
+        rng = random.Random(0)
+        now = 0.0
+        for _ in range(3000):
+            switch.process(udp_to(hdr.ip_to_int("10.0.1.1")), 0, now)
+            now += rng.uniform(0.0005, 0.0015)
+        state = bundle.stat4.state_of(0)
+        assert state.window_is_full(256)
+        cells = bundle.stat4.read_cells(0)[:12]
+        mirror = ScaledStats()
+        for value in cells:
+            mirror.add_value(value)
+        measures = bundle.stat4.read_measures(0)
+        assert measures["n"] == mirror.count
+        assert measures["xsum"] == mirror.xsum
+        assert measures["xsumsq"] == mirror.xsumsq
+        assert measures["variance"] == mirror.variance_nx
+
+
+class TestRuntimeRetuning:
+    def test_switch_tracks_new_distribution_after_rebind(self):
+        bundle = build_case_study_app(CaseStudyParams(interval=0.01, window=10))
+        runtime = bundle.runtime
+        from repro.p4.switch import BehavioralSwitch
+        from repro.stat4.binding import BindingMatch
+        from repro.stat4.extract import ExtractSpec
+
+        switch = BehavioralSwitch("s", bundle.program)
+        spec = runtime.frequency_of(
+            dist=1, extract=ExtractSpec.field("ipv4.dst", shift=8, mask=0xFF)
+        )
+        handle, _ = runtime.bind(1, BindingMatch.ipv4_prefix("10.0.0.0", 8), spec)
+        switch.process(udp_to(hdr.ip_to_int("10.0.5.2")), 0, 0.0)
+        assert bundle.stat4.read_cells(1)[5] == 1
+        new_spec = runtime.frequency_of(
+            dist=1, extract=ExtractSpec.field("ipv4.dst", mask=0xFF)
+        )
+        runtime.rebind(
+            handle,
+            match=BindingMatch(ether_type=hdr.ETHERTYPE_IPV4,
+                               dst_prefix=(hdr.ip_to_int("10.0.5.0"), 24)),
+            spec=new_spec,
+        )
+        switch.process(udp_to(hdr.ip_to_int("10.0.5.2")), 0, 0.01)
+        switch.process(udp_to(hdr.ip_to_int("10.0.9.2")), 0, 0.02)  # outside /24
+        cells = bundle.stat4.read_cells(1)
+        assert cells[2] == 1  # host octet of 10.0.5.2
+        assert cells[5] == 0  # old state was wiped

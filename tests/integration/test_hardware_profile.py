@@ -1,0 +1,90 @@
+"""What the Tofino-like profile can and cannot run (paper Sec. 2).
+
+"We note that some hardware switches do not support the squaring of values
+unknown at compile time" — these tests pin both sides of that boundary:
+the documented failure (runtime multiplies raise) and the documented
+workaround (shift-approximated squaring with a compile-time-constant N).
+"""
+
+import pytest
+
+from repro.core.approx import approx_square
+from repro.core.stats import ScaledStats
+from repro.p4.errors import UnsupportedOperationError
+from repro.p4.values import TOFINO_LIKE, use_target
+
+
+class TestHardwareBoundary:
+    def test_varying_n_variance_raises(self):
+        # N*Xsumsq with runtime N needs a runtime multiplier: not on HW.
+        with use_target(TOFINO_LIKE):
+            stats = ScaledStats(count_is_constant=False, square=approx_square)
+            stats.add_value(3)
+            stats.add_value(4)
+            with pytest.raises(UnsupportedOperationError):
+                _ = stats.variance_nx
+
+    def test_workaround_constant_n_plus_approx_square(self):
+        # The paper's recipe: windowed (constant-N) distribution + shift
+        # squaring runs end to end on the hardware profile.
+        with use_target(TOFINO_LIKE):
+            stats = ScaledStats(count_is_constant=True, square=approx_square)
+            window = []
+            for value in [40, 42, 39, 41, 40, 43, 38, 40]:
+                if len(window) >= 4:
+                    stats.replace_value(window.pop(0), value)
+                else:
+                    stats.add_value(value)
+                window.append(value)
+            assert stats.variance_nx >= 0
+            _ = stats.stddev_nx
+            assert isinstance(stats.is_outlier(300, 2, margin=3), bool)
+
+    def test_outlier_detection_still_works_approximately(self):
+        with use_target(TOFINO_LIKE):
+            stats = ScaledStats(count_is_constant=True, square=approx_square)
+            window = []
+            for value in [100, 104, 98, 101, 99, 103, 97, 102] * 4:
+                if len(window) >= 16:
+                    stats.replace_value(window.pop(0), value)
+                else:
+                    stats.add_value(value)
+                window.append(value)
+            # Approximate squares distort sigma, but a large spike still
+            # clears the threshold and a normal value still does not.
+            assert stats.is_outlier(800, 2, margin=5)
+            assert not stats.is_outlier(104, 2, margin=5)
+
+    def test_stat4_library_runs_on_bmv2_profile_by_default(self):
+        # Sanity: the default profile (bmv2) is what the paper validates on.
+        from repro.p4.values import BMV2, active_target
+
+        assert active_target() is BMV2
+
+
+class TestCpuPortPunt:
+    def test_punted_packet_rides_control_channel(self):
+        from repro.netsim.hosts import Host
+        from repro.netsim.network import Network
+        from repro.netsim.switchnode import SwitchNode
+        from repro.p4.parser import standard_parser
+        from repro.p4.pipeline import PipelineProgram
+        from repro.p4.switch import CPU_PORT
+        from repro.traffic.builders import udp_to
+
+        def ingress(ctx):
+            ctx.meta.egress_spec = CPU_PORT  # punt everything
+
+        program = PipelineProgram(
+            name="punt", parser=standard_parser(), ingress=ingress
+        )
+        net = Network()
+        switch = net.add(SwitchNode("s", program))
+        ctrl = net.add(Host("ctrl"))
+        src = net.add(Host("src"))
+        net.connect(switch, CPU_PORT, ctrl, 0, delay=0.001)
+        net.connect(src, 0, switch, 0)
+        src.send(udp_to(1))
+        net.run()
+        # The punted frame arrived at the controller host as a packet.
+        assert ctrl.packets_received == 1

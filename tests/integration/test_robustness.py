@@ -1,0 +1,70 @@
+"""Robustness: no packet, however malformed, may crash a switch program."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.anomaly import CaseStudyParams, build_case_study_app
+from repro.apps.classification import build_classification_app
+from repro.apps.echo import build_echo_app
+from repro.apps.load_balance import build_load_balance_app
+from repro.apps.syn_flood import build_syn_flood_app
+from repro.p4 import headers as hdr
+from repro.p4.packet import Packet
+from repro.p4.switch import BehavioralSwitch
+
+
+def all_switches():
+    return [
+        BehavioralSwitch("echo", build_echo_app().program),
+        BehavioralSwitch(
+            "case", build_case_study_app(CaseStudyParams(interval=0.01, window=10)).program
+        ),
+        BehavioralSwitch("syn", build_syn_flood_app().program),
+        BehavioralSwitch("lb", build_load_balance_app().program),
+        BehavioralSwitch("cls", build_classification_app().program),
+    ]
+
+
+class TestFuzzing:
+    @settings(max_examples=80)
+    @given(st.binary(min_size=0, max_size=128))
+    def test_random_bytes_never_crash(self, blob):
+        for switch in all_switches():
+            switch.process(Packet(blob), 0, 0.0)  # must not raise
+
+    @settings(max_examples=40)
+    @given(st.binary(min_size=0, max_size=64))
+    def test_valid_ethernet_with_garbage_payload(self, payload):
+        eth = hdr.ethernet(1, 2, hdr.ETHERTYPE_IPV4)
+        for switch in all_switches():
+            switch.process(Packet(eth.pack() + payload), 0, 0.0)
+
+    @settings(max_examples=40)
+    @given(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=255),
+        st.binary(max_size=40),
+    )
+    def test_arbitrary_ipv4_fields(self, dst, protocol, payload):
+        eth = hdr.ethernet(1, 2, hdr.ETHERTYPE_IPV4)
+        ip = hdr.ipv4(src=0, dst=dst, protocol=protocol)
+        packet = Packet(eth.pack() + ip.pack() + payload)
+        for switch in all_switches():
+            switch.process(packet, 0, 0.0)
+
+    def test_truncated_headers_at_every_length(self):
+        eth = hdr.ethernet(1, 2, hdr.ETHERTYPE_IPV4)
+        ip = hdr.ipv4(src=1, dst=2, protocol=6)
+        tcp = hdr.tcp(1, 2)
+        full = eth.pack() + ip.pack() + tcp.pack()
+        switches = all_switches()
+        for cut in range(len(full)):
+            for switch in switches:
+                switch.process(Packet(full[:cut]), 0, 0.0)
+
+    def test_counters_account_for_fuzzed_drops(self):
+        switch = BehavioralSwitch("echo", build_echo_app().program)
+        switch.process(Packet(b"\x00" * 3), 0, 0.0)
+        counters = switch.counters()
+        assert counters["parse_errors"] == 1
+        assert counters["packets_dropped"] == 1

@@ -1,0 +1,104 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.netsim.events import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.5, lambda: order.append("b"))
+        sim.schedule(0.1, lambda: order.append("a"))
+        sim.schedule(0.9, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_is_fifo(self):
+        sim = Simulator()
+        order = []
+        for tag in range(5):
+            sim.schedule(1.0, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append(sim.now)
+            sim.schedule(1.0, lambda: seen.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == [1.0, 2.0]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+
+class TestRunControl:
+    def test_until_horizon(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(3.0, lambda: seen.append(3))
+        sim.run(until=2.0)
+        assert seen == [1]
+        assert sim.now == 2.0
+        sim.run()
+        assert seen == [1, 3]
+
+    def test_until_advances_clock_when_idle(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.001, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_cancellation(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(1.0, lambda: seen.append("cancelled"))
+        sim.schedule(0.5, handle.cancel)
+        sim.run()
+        assert seen == []
+
+    def test_pending_count(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending() == 2
+        handle.cancel()
+        assert sim.pending() == 1
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(3):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 3

@@ -1,0 +1,75 @@
+"""Property-based tests for the event simulator and the token bucket."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.events import Simulator
+from repro.p4.meter import TokenBucket
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestSimulatorProperties:
+    @given(delays)
+    def test_events_fire_in_nondecreasing_time_order(self, offsets):
+        sim = Simulator()
+        fired = []
+        for offset in offsets:
+            sim.schedule(offset, lambda o=offset: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(offsets)
+
+    @given(delays)
+    def test_clock_ends_at_last_event(self, offsets):
+        sim = Simulator()
+        for offset in offsets:
+            sim.schedule(offset, lambda: None)
+        sim.run()
+        assert sim.now == max(offsets)
+
+    @given(delays, st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+    def test_horizon_splits_processing(self, offsets, horizon):
+        sim = Simulator()
+        fired = []
+        for offset in offsets:
+            sim.schedule(offset, lambda o=offset: fired.append(o))
+        sim.run(until=horizon)
+        assert all(o <= horizon for o in fired)
+        sim.run()
+        assert sorted(fired) == sorted(offsets)
+
+
+class TestTokenBucketProperties:
+    @settings(max_examples=50)
+    @given(
+        st.integers(min_value=1, max_value=1000),
+        st.integers(min_value=1, max_value=50),
+        st.lists(
+            st.floats(min_value=0.0001, max_value=0.1, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        ),
+    )
+    def test_never_exceeds_rate_plus_burst(self, rate, burst, gaps):
+        bucket = TokenBucket(rate_pps=rate, burst=burst)
+        now = 0.0
+        allowed = 0
+        for gap in gaps:
+            now += gap
+            if bucket.allow(now):
+                allowed += 1
+        # Conservation: can never pass more than burst + rate * elapsed.
+        assert allowed <= burst + rate * now + 1
+
+    @settings(max_examples=50)
+    @given(st.integers(min_value=1, max_value=100))
+    def test_counters_partition_offered(self, offered):
+        bucket = TokenBucket(rate_pps=10, burst=5)
+        for i in range(offered):
+            bucket.allow(i * 0.001)
+        assert bucket.conforming + bucket.dropped == offered

@@ -1,0 +1,120 @@
+"""Unit tests for topology wiring, links, and hosts."""
+
+import pytest
+
+from repro.netsim.hosts import Host
+from repro.netsim.network import Link, Network, WiringError
+from repro.p4.packet import Packet
+
+
+def packet(n=64):
+    return Packet(b"\x00" * n)
+
+
+class TestWiring:
+    def test_add_and_lookup(self):
+        net = Network()
+        host = net.add(Host("h1"))
+        assert net.node("h1") is host
+
+    def test_duplicate_names_rejected(self):
+        net = Network()
+        net.add(Host("h1"))
+        with pytest.raises(WiringError):
+            net.add(Host("h1"))
+
+    def test_unknown_node_lookup(self):
+        with pytest.raises(WiringError):
+            Network().node("ghost")
+
+    def test_must_attach_before_wiring(self):
+        net = Network()
+        a = Host("a")
+        b = net.add(Host("b"))
+        with pytest.raises(WiringError):
+            net.connect(a, 0, b, 0)
+
+    def test_port_reuse_rejected(self):
+        net = Network()
+        a, b, c = net.add(Host("a")), net.add(Host("b")), net.add(Host("c"))
+        net.connect(a, 0, b, 0)
+        with pytest.raises(WiringError):
+            net.connect(a, 0, c, 0)
+
+    def test_unwired_transmit_raises(self):
+        net = Network()
+        a = net.add(Host("a"))
+        with pytest.raises(WiringError):
+            net.transmit(a, 5, packet())
+
+
+class TestDelivery:
+    def test_delay_applied(self):
+        net = Network()
+        a, b = net.add(Host("a")), net.add(Host("b"))
+        net.connect(a, 0, b, 0, delay=0.25)
+        a.send(packet())
+        net.run()
+        assert b.packets_received == 1
+        assert b.received[0][0] == pytest.approx(0.25)
+
+    def test_bidirectional(self):
+        net = Network()
+        a, b = net.add(Host("a")), net.add(Host("b"))
+        net.connect(a, 0, b, 0, delay=0.1)
+        a.send(packet())
+        net.run()
+        b.send(packet())
+        net.run()
+        assert a.packets_received == 1
+        assert b.packets_received == 1
+
+    def test_fifo_ordering_per_link(self):
+        net = Network()
+        a, b = net.add(Host("a")), net.add(Host("b"))
+        net.connect(a, 0, b, 0, delay=0.1)
+        a.send(Packet(b"one"))
+        a.send(Packet(b"two"))
+        net.run()
+        assert [p.data for _, p in b.received] == [b"one", b"two"]
+
+    def test_serialization_delay(self):
+        net = Network()
+        a, b = net.add(Host("a")), net.add(Host("b"))
+        net.connect(a, 0, b, 0, delay=0.1, bytes_per_second=1000)
+        a.send(packet(100))  # 0.1 s serialization
+        net.run()
+        assert b.received[0][0] == pytest.approx(0.2)
+
+    def test_byte_accounting(self):
+        net = Network()
+        a, b = net.add(Host("a")), net.add(Host("b"))
+        net.connect(a, 0, b, 0)
+        a.send(packet(100))
+        a.send(packet(50))
+        net.run()
+        link = net.link_of(a, 0)
+        assert link.messages == 2
+        assert link.bytes_carried == 150
+
+    def test_send_at_schedules(self):
+        net = Network()
+        a, b = net.add(Host("a")), net.add(Host("b"))
+        net.connect(a, 0, b, 0, delay=0.1)
+        a.send_at(1.0, packet())
+        net.run()
+        assert b.received[0][0] == pytest.approx(1.1)
+
+    def test_detached_host_cannot_send(self):
+        with pytest.raises(RuntimeError):
+            Host("lonely").send(packet())
+
+
+class TestLinkModel:
+    def test_latency_without_rate(self):
+        link = Link(peer=None, peer_port=0, delay=0.5)
+        assert link.latency_for(10_000) == 0.5
+
+    def test_latency_with_rate(self):
+        link = Link(peer=None, peer_port=0, delay=0.5, bytes_per_second=100.0)
+        assert link.latency_for(50) == pytest.approx(1.0)

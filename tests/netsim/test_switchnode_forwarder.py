@@ -1,0 +1,165 @@
+"""Unit tests for the switch node's control channel and the forwarder."""
+
+import pytest
+
+from repro.netsim.forwarder import StaticForwarder
+from repro.netsim.hosts import Host
+from repro.netsim.messages import (
+    RegisterReadReply,
+    RegisterReadRequest,
+    TableAdd,
+    TableDelete,
+    TableModify,
+)
+from repro.netsim.network import Network
+from repro.netsim.switchnode import SwitchNode
+from repro.p4 import headers as hdr
+from repro.p4.parser import standard_parser
+from repro.p4.pipeline import PipelineProgram
+from repro.p4.registers import RegisterFile
+from repro.p4.switch import CPU_PORT
+from repro.p4.tables import ActionSpec, Table, exact_key
+from repro.traffic.builders import udp_to
+
+
+def forwarding_program():
+    registers = RegisterFile()
+    registers.declare("seen", 32, 4)
+
+    def ingress(ctx):
+        registers["seen"].add(0, 1)
+        ctx.emit_digest("tick", n=registers["seen"].peek()[0])
+        ctx.meta.egress_spec = 1
+
+    program = PipelineProgram(
+        name="fwd", parser=standard_parser(), registers=registers, ingress=ingress
+    )
+    program.add_table(
+        Table("t", keys=[exact_key("k", 8)], actions=[ActionSpec("a", ("p",))])
+    )
+    return program
+
+
+def build_net():
+    net = Network()
+    switch = net.add(SwitchNode("s1", forwarding_program()))
+    sink = net.add(Host("sink"))
+    ctrl = net.add(Host("ctrl"))  # a dumb endpoint capturing control msgs
+    net.connect(switch, 1, sink, 0, delay=0.001)
+    net.connect(switch, CPU_PORT, ctrl, 0, delay=0.01)
+    return net, switch, sink, ctrl
+
+
+class TestSwitchNode:
+    def test_forwards_data_packets(self):
+        net, switch, sink, _ = build_net()
+        net.add(Host("src"))
+        src = net.node("src")
+        net.connect(src, 0, switch, 0, delay=0.001)
+        src.send(udp_to(hdr.ip_to_int("10.0.0.1")))
+        net.run()
+        assert sink.packets_received == 1
+
+    def test_digests_ride_cpu_port(self):
+        net, switch, sink, ctrl = build_net()
+        src = net.add(Host("src"))
+        net.connect(src, 0, switch, 0, delay=0.001)
+        src.send(udp_to(1))
+        net.run()
+        assert switch.digests_pushed == 1
+        # Host.receive ignores non-packets, but the link carried it.
+        assert net.link_of(switch, CPU_PORT).messages == 1
+
+    def test_digest_dropped_without_controller(self):
+        net = Network()
+        switch = net.add(SwitchNode("s1", forwarding_program()))
+        sink = net.add(Host("sink"))
+        src = net.add(Host("src"))
+        net.connect(switch, 1, sink, 0)
+        net.connect(src, 0, switch, 0)
+        src.send(udp_to(1))
+        net.run()  # must not raise despite the unwired CPU port
+        assert sink.packets_received == 1
+
+    def test_table_ops_applied(self):
+        net, switch, _, _ = build_net()
+        switch.receive(TableAdd(table="t", matches=(5,), action="a", params={"p": 1}), CPU_PORT, 0.0)
+        assert len(switch.table("t")) == 1
+        entry_id = switch.table("t").entries()[0].entry_id
+        switch.receive(
+            TableModify(table="t", entry_id=entry_id, params={"p": 2}), CPU_PORT, 0.0
+        )
+        assert switch.table("t").entries()[0].params == {"p": 2}
+        switch.receive(TableDelete(table="t", entry_id=entry_id), CPU_PORT, 0.0)
+        assert len(switch.table("t")) == 0
+
+    def test_register_read_round_trip_with_latency(self):
+        net, switch, _, ctrl = build_net()
+        replies = []
+        original = ctrl.receive
+
+        def capture(message, port, now):
+            if isinstance(message, RegisterReadReply):
+                replies.append((now, message))
+            original(message, port, now)
+
+        ctrl.receive = capture
+        # Ask for the dump via the control channel.
+        net.sim.schedule(0.0, lambda: net.transmit(ctrl, 0, RegisterReadRequest(["seen"], request_id=9)))
+        net.run()
+        assert len(replies) == 1
+        now, reply = replies[0]
+        assert reply.request_id == 9
+        assert reply.values["seen"] == [0, 0, 0, 0]
+        # 2x control delay plus 4 cells of read latency.
+        assert now == pytest.approx(0.02 + 4 * switch.register_read_seconds)
+
+    def test_control_message_on_data_port_ignored(self):
+        net, switch, _, _ = build_net()
+        switch.receive(TableAdd(table="t", matches=(5,), action="a", params={"p": 1}), 1, 0.0)
+        assert len(switch.table("t")) == 0
+
+
+class TestStaticForwarder:
+    def test_routes_by_longest_prefix(self):
+        net = Network()
+        fwd = net.add(
+            StaticForwarder("f", {"10.0.1.0/24": 1, "10.0.1.5/32": 2})
+        )
+        near = net.add(Host("near"))
+        exact = net.add(Host("exact"))
+        src = net.add(Host("src"))
+        net.connect(fwd, 1, near, 0)
+        net.connect(fwd, 2, exact, 0)
+        net.connect(src, 0, fwd, 0)
+        src.send(udp_to(hdr.ip_to_int("10.0.1.7")))
+        src.send(udp_to(hdr.ip_to_int("10.0.1.5")))
+        net.run()
+        assert near.packets_received == 1
+        assert exact.packets_received == 1
+        assert fwd.forwarded == 2
+
+    def test_miss_is_dropped(self):
+        net = Network()
+        fwd = net.add(StaticForwarder("f", {"10.0.1.0/24": 1}))
+        sink = net.add(Host("sink"))
+        src = net.add(Host("src"))
+        net.connect(fwd, 1, sink, 0)
+        net.connect(src, 0, fwd, 0)
+        src.send(udp_to(hdr.ip_to_int("192.168.0.1")))
+        net.run()
+        assert sink.packets_received == 0
+        assert fwd.dropped == 1
+
+    def test_non_ip_dropped(self):
+        from repro.p4.packet import Packet
+
+        net = Network()
+        fwd = net.add(StaticForwarder("f", {"10.0.1.0/24": 1}))
+        sink = net.add(Host("sink"))
+        src = net.add(Host("src"))
+        net.connect(fwd, 1, sink, 0)
+        net.connect(src, 0, fwd, 0)
+        src.send(Packet(b"\xff" * 20))
+        net.run()
+        assert fwd.dropped == 1

@@ -1,0 +1,72 @@
+"""Unit tests for the token-bucket policer."""
+
+import pytest
+
+from repro.p4.errors import ValueRangeError
+from repro.p4.meter import TokenBucket
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(rate_pps=100, burst=5)
+        assert bucket.tokens == 5
+
+    def test_burst_allows_then_blocks(self):
+        bucket = TokenBucket(rate_pps=10, burst=3)
+        now = 0.0
+        verdicts = [bucket.allow(now) for _ in range(5)]
+        assert verdicts == [True, True, True, False, False]
+
+    def test_refill_over_time(self):
+        bucket = TokenBucket(rate_pps=10, burst=1)
+        assert bucket.allow(0.0)
+        assert not bucket.allow(0.01)  # only 0.1 token refilled
+        assert bucket.allow(0.2)  # 2 tokens worth elapsed, capped at 1
+
+    def test_sustained_rate_enforced(self):
+        bucket = TokenBucket(rate_pps=100, burst=10)
+        allowed = 0
+        t = 0.0
+        for _ in range(2000):  # offered: 1000 pps for 2 s
+            if bucket.allow(t):
+                allowed += 1
+            t += 0.001
+        # ~100 pps plus the initial burst.
+        assert 190 <= allowed <= 230
+
+    def test_cap_at_burst(self):
+        bucket = TokenBucket(rate_pps=1000, burst=2)
+        bucket.allow(0.0)
+        # A long silence must not accumulate more than the burst.
+        assert bucket.allow(10.0)
+        assert bucket.allow(10.0)
+        assert not bucket.allow(10.0)
+
+    def test_counters(self):
+        bucket = TokenBucket(rate_pps=10, burst=1)
+        bucket.allow(0.0)
+        bucket.allow(0.0)
+        assert bucket.conforming == 1
+        assert bucket.dropped == 1
+
+    def test_reconfigure(self):
+        bucket = TokenBucket(rate_pps=10, burst=1)
+        bucket.configure(rate_pps=1000, burst=50)
+        assert bucket.rate_pps == 1000
+        assert bucket.burst == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueRangeError):
+            TokenBucket(rate_pps=0, burst=1)
+        with pytest.raises(ValueRangeError):
+            TokenBucket(rate_pps=1, burst=0)
+        bucket = TokenBucket(rate_pps=1, burst=1)
+        with pytest.raises(ValueRangeError):
+            bucket.configure(rate_pps=-5)
+
+    def test_registers_shared_with_program(self):
+        from repro.p4.registers import RegisterFile
+
+        registers = RegisterFile()
+        TokenBucket(rate_pps=10, burst=1, registers=registers, name="m1")
+        assert "m1_state" in registers

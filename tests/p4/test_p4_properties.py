@@ -1,0 +1,142 @@
+"""Property-based tests (hypothesis) for the P4 substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.p4 import headers as hdr
+from repro.p4.checksum import internet_checksum, ones_complement_sum
+from repro.p4.packet import Packet
+from repro.p4.parser import standard_parser
+from repro.p4.tables import ActionSpec, Table, lpm_key
+from repro.p4.values import P4Int, u8, u16, u32
+
+bytes8 = st.integers(min_value=0, max_value=(1 << 8) - 1)
+bytes16 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+bytes32 = st.integers(min_value=0, max_value=(1 << 32) - 1)
+widths = st.integers(min_value=1, max_value=64)
+
+
+class TestP4IntModel:
+    """P4Int must behave exactly like Python ints mod 2**width."""
+
+    @given(bytes16, bytes16)
+    def test_add_model(self, a, b):
+        assert (u16(a) + u16(b)).value == (a + b) % (1 << 16)
+
+    @given(bytes16, bytes16)
+    def test_sub_model(self, a, b):
+        assert (u16(a) - u16(b)).value == (a - b) % (1 << 16)
+
+    @given(bytes16, bytes16)
+    def test_mul_model(self, a, b):
+        assert (u16(a) * u16(b)).value == (a * b) % (1 << 16)
+
+    @given(bytes16, st.integers(min_value=0, max_value=20))
+    def test_shift_model(self, a, k):
+        assert (u16(a) << k).value == (a << k) % (1 << 16)
+        assert (u16(a) >> k).value == a >> k
+
+    @given(bytes16, bytes16)
+    def test_bitwise_model(self, a, b):
+        assert (u16(a) & u16(b)).value == a & b
+        assert (u16(a) | u16(b)).value == a | b
+        assert (u16(a) ^ u16(b)).value == a ^ b
+
+    @given(bytes16)
+    def test_invert_model(self, a):
+        assert (~u16(a)).value == a ^ 0xFFFF
+
+    @given(bytes8, bytes8)
+    def test_concat_model(self, a, b):
+        assert u8(a).concat(u8(b)).value == (a << 8) | b
+
+    @given(bytes32, st.integers(min_value=0, max_value=31), st.integers(min_value=0, max_value=31))
+    def test_slice_model(self, value, i, j):
+        hi, lo = max(i, j), min(i, j)
+        expected = (value >> lo) & ((1 << (hi - lo + 1)) - 1)
+        assert u32(value).slice_bits(hi, lo).value == expected
+
+    @given(st.integers(), widths)
+    def test_construction_masks(self, value, width):
+        assert P4Int(value, width).value == value % (1 << width)
+
+
+class TestChecksumProperties:
+    @given(st.binary(max_size=64))
+    def test_checksum_of_data_plus_checksum_is_zero(self, data):
+        # Appending the checksum makes the ones-complement sum all-ones.
+        checksum = internet_checksum(data)
+        if len(data) % 2:
+            data = data + b"\x00"
+        padded = data + checksum.to_bytes(2, "big")
+        assert ones_complement_sum(padded) == 0xFFFF
+
+    @given(st.binary(max_size=64))
+    def test_checksum_in_range(self, data):
+        assert 0 <= internet_checksum(data) <= 0xFFFF
+
+
+class TestParserProperties:
+    @settings(max_examples=50)
+    @given(
+        bytes32,
+        bytes32,
+        st.sampled_from([hdr.PROTO_TCP, hdr.PROTO_UDP, 89]),
+        st.binary(max_size=32),
+    )
+    def test_parse_deparse_round_trip(self, src, dst, protocol, payload):
+        eth = hdr.ethernet(1, 2, hdr.ETHERTYPE_IPV4)
+        ip = hdr.ipv4(src=src, dst=dst, protocol=protocol)
+        inner = b""
+        if protocol == hdr.PROTO_TCP:
+            inner = hdr.tcp(1, 2).pack()
+        elif protocol == hdr.PROTO_UDP:
+            inner = hdr.udp(1, 2).pack()
+        wire = eth.pack() + ip.pack() + inner + payload
+        parsed = standard_parser().parse(Packet(wire))
+        assert parsed.deparse() == wire
+
+    @settings(max_examples=50)
+    @given(st.integers(min_value=-255, max_value=255))
+    def test_echo_value_round_trip(self, value):
+        eth = hdr.ethernet(1, 2, hdr.ETHERTYPE_STAT4_ECHO)
+        wire = eth.pack() + hdr.echo_request(value).pack()
+        parsed = standard_parser().parse(Packet(wire))
+        assert parsed["stat4_echo"].get("value") - 256 == value
+
+
+class TestLpmProperties:
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(bytes32, st.integers(min_value=0, max_value=32)),
+            min_size=1,
+            max_size=10,
+        ),
+        bytes32,
+    )
+    def test_lpm_matches_reference(self, prefixes, probe):
+        table = Table(
+            "t", keys=[lpm_key("dst", 32)], actions=[ActionSpec("a", ("tag",))]
+        )
+        for tag, (value, length) in enumerate(prefixes):
+            table.add_entry([(value, length)], "a", {"tag": tag})
+
+        def reference():
+            best, best_len = None, -1
+            for tag, (value, length) in enumerate(prefixes):
+                shift = 32 - length
+                if (probe >> shift) == (value >> shift) and length > best_len:
+                    best, best_len = tag, length
+            return best
+
+        expected = reference()
+        entry = table.lookup([probe])
+        if expected is None:
+            assert entry is None
+        else:
+            assert entry is not None
+            # Same prefix length as the reference winner (ties may pick
+            # either equal-length entry).
+            winner_len = prefixes[entry.params["tag"]][1]
+            assert winner_len == prefixes[expected][1]

@@ -1,0 +1,123 @@
+"""Tests for the P4-16 code generator."""
+
+import re
+
+import pytest
+
+from repro.p4gen import CodeWriter, generate_p4, generate_runtime_commands
+from repro.stat4 import (
+    BindingMatch,
+    ExtractSpec,
+    Stat4,
+    Stat4Config,
+    Stat4Runtime,
+)
+
+
+class TestCodeWriter:
+    def test_indentation(self):
+        w = CodeWriter()
+        with w.block("control X {"):
+            w.line("a = 1;")
+            with w.block("if (a == 1) {"):
+                w.line("b = 2;")
+        text = w.render()
+        assert "control X {" in text
+        assert "    a = 1;" in text
+        assert "        b = 2;" in text
+
+    def test_blank_and_comment(self):
+        w = CodeWriter()
+        w.comment("hello").blank().line("x;")
+        assert w.render() == "// hello\n\nx;\n"
+
+
+@pytest.fixture(scope="module")
+def source():
+    return generate_p4(Stat4Config(counter_num=4, counter_size=100))
+
+
+class TestGeneratedProgram:
+    def test_macros_follow_config(self, source):
+        assert "#define STAT_COUNTER_NUM 4" in source
+        assert "#define STAT_COUNTER_SIZE 100" in source
+        assert "#define STAT_TOTAL_CELLS 400" in source
+
+    def test_figure4_registers_present(self, source):
+        assert "register<cell_t>(STAT_TOTAL_CELLS) stat4_counters;" in source
+        for name in ("stat4_n", "stat4_xsum", "stat4_xsumsq", "stat4_var", "stat4_sd"):
+            assert name in source
+
+    def test_binding_stages_rendered(self, source):
+        assert "table stat4_binding_0 {" in source
+        assert "table stat4_binding_1 {" in source
+        assert "table stat4_binding_2 {" not in source
+
+    def test_no_division_or_modulo(self, source):
+        # The entire point: no '/' or '%' operators in the data plane.
+        code_lines = [
+            line for line in source.splitlines() if not line.strip().startswith("//")
+        ]
+        for line in code_lines:
+            # '/' may appear only in comments (none here) — check operators.
+            assert not re.search(r"[^/]/[^/]", line), line
+            assert "%" not in line, line
+
+    def test_unrolled_msb_ladder(self, source):
+        for step in (32, 16, 8, 4, 2, 1):
+            assert f"if (probe >> {step} != 0) {{" in source
+
+    def test_frequency_identity_emitted(self, source):
+        # Xsumsq += 2*x + 1 lowered to a shift-add.
+        assert "xsumsq = xsumsq + ((stat_t)old_cell << 1) + 1;" in source
+
+    def test_saturating_subtraction_used(self, source):
+        assert "|-|" in source
+
+    def test_digest_emitted(self, source):
+        assert "digest<stat4_alert_t>" in source
+
+    def test_braces_balanced(self, source):
+        assert source.count("{") == source.count("}")
+
+    def test_v1switch_package(self, source):
+        assert "V1Switch(" in source
+        assert ") main;" in source
+
+    def test_sparse_registers_only_when_configured(self):
+        plain = generate_p4(Stat4Config())
+        assert "stat4_sparse" not in plain
+        sparse = generate_p4(
+            Stat4Config(sparse_dists=(1,), sparse_slots=32, sparse_stages=2)
+        )
+        assert "stat4_sparse1_keys0" in sparse
+        assert "stat4_sparse1_counts1" in sparse
+
+    def test_acceptance_filter_emitted(self, source):
+        assert "accept_lo" in source
+        assert "accept_hi" in source
+
+
+class TestRuntimeCommands:
+    def test_bindings_render_as_table_adds(self):
+        stat4 = Stat4(Stat4Config(counter_num=2, counter_size=64))
+        runtime = Stat4Runtime(stat4)
+        h1, _ = runtime.bind(
+            0,
+            BindingMatch.ipv4_prefix("10.0.0.0", 8),
+            runtime.rate_over_time(dist=0, interval=0.008, k_sigma=2, window=50),
+        )
+        h2, _ = runtime.bind(
+            1,
+            BindingMatch.syn_packets(),
+            runtime.frequency_of(
+                dist=1, extract=ExtractSpec.field("ipv4.dst", mask=0xFF), k_sigma=2
+            ),
+        )
+        text = generate_runtime_commands([h1, h2])
+        assert "table_add stat4_binding_0 track" in text
+        assert "table_add stat4_binding_1 track" in text
+        assert "167772160/8" in text  # 10.0.0.0/8
+        assert "8000" in text  # 8 ms in microseconds
+        lines = [l for l in text.splitlines() if l.startswith("table_add")]
+        assert len(lines) == 2

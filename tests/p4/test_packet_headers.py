@@ -1,0 +1,157 @@
+"""Unit tests for packets, header types and the standard headers."""
+
+import pytest
+
+from repro.p4 import headers as hdr
+from repro.p4.errors import DeparseError, ParseError, ValueRangeError
+from repro.p4.packet import HeaderType, Packet, ParsedPacket
+
+
+class TestHeaderType:
+    def test_must_be_byte_aligned(self):
+        with pytest.raises(ValueRangeError):
+            HeaderType("bad", [("a", 3)])
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ValueRangeError):
+            HeaderType("bad", [("a", 8), ("a", 8)])
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueRangeError):
+            HeaderType("bad", [("a", 0)])
+
+    def test_widths(self):
+        assert hdr.ETHERNET.byte_width == 14
+        assert hdr.IPV4.byte_width == 20
+        assert hdr.TCP.byte_width == 20
+        assert hdr.UDP.byte_width == 8
+
+
+class TestPackUnpack:
+    def test_round_trip_ethernet(self):
+        header = hdr.ethernet(dst=0x112233445566, src=0xAABBCCDDEEFF, ether_type=0x0800)
+        packed = header.pack()
+        assert len(packed) == 14
+        reparsed = hdr.ETHERNET.parse(packed)
+        assert reparsed.get("dst") == 0x112233445566
+        assert reparsed.get("src") == 0xAABBCCDDEEFF
+        assert reparsed.get("ether_type") == 0x0800
+
+    def test_round_trip_ipv4_subbyte_fields(self):
+        header = hdr.ipv4(src=hdr.ip_to_int("10.0.0.1"), dst=hdr.ip_to_int("10.0.5.6"), protocol=6)
+        reparsed = hdr.IPV4.parse(header.pack())
+        assert reparsed.get("version") == 4
+        assert reparsed.get("ihl") == 5
+        assert reparsed.get("src") == hdr.ip_to_int("10.0.0.1")
+        assert reparsed.get("dst") == hdr.ip_to_int("10.0.5.6")
+
+    def test_parse_at_offset(self):
+        eth = hdr.ethernet(1, 2, hdr.ETHERTYPE_IPV4).pack()
+        ip = hdr.ipv4(src=10, dst=20, protocol=17).pack()
+        parsed = hdr.IPV4.parse(eth + ip, offset=14)
+        assert parsed.get("dst") == 20
+
+    def test_truncated_packet_raises(self):
+        with pytest.raises(ParseError):
+            hdr.ETHERNET.parse(b"\x00" * 10)
+
+    def test_field_overflow_rejected(self):
+        header = hdr.ETHERNET.instance()
+        with pytest.raises(ValueRangeError):
+            header["ether_type"] = 1 << 16
+
+    def test_unknown_field_rejected(self):
+        header = hdr.ETHERNET.instance()
+        with pytest.raises(ValueRangeError):
+            header["nope"] = 1
+
+    def test_invalid_header_cannot_pack(self):
+        header = hdr.ETHERNET.instance()
+        header.set_invalid()
+        with pytest.raises(DeparseError):
+            header.pack()
+
+    def test_copy_is_independent(self):
+        header = hdr.ethernet(1, 2, 3)
+        clone = header.copy()
+        clone["dst"] = 99
+        assert header.get("dst") == 1
+        assert clone.get("dst") == 99
+
+
+class TestParsedPacket:
+    def test_deparse_skips_invalid_headers(self):
+        parsed = ParsedPacket()
+        eth = hdr.ethernet(1, 2, hdr.ETHERTYPE_IPV4)
+        ip = hdr.ipv4(src=1, dst=2, protocol=6)
+        parsed.add("ethernet", eth)
+        parsed.add("ipv4", ip)
+        parsed.payload = b"xyz"
+        full = parsed.deparse()
+        assert len(full) == 14 + 20 + 3
+        ip.set_invalid()
+        stripped = parsed.deparse()
+        assert len(stripped) == 14 + 3
+
+    def test_has_checks_validity(self):
+        parsed = ParsedPacket()
+        eth = hdr.ethernet(1, 2, 3)
+        parsed.add("ethernet", eth)
+        assert parsed.has("ethernet")
+        eth.set_invalid()
+        assert not parsed.has("ethernet")
+        assert not parsed.has("ipv4")
+
+    def test_missing_header_raises(self):
+        with pytest.raises(ParseError):
+            _ = ParsedPacket()["tcp"]
+
+    def test_to_packet_preserves_trace(self):
+        parsed = ParsedPacket()
+        parsed.add("ethernet", hdr.ethernet(1, 2, 3))
+        packet = parsed.to_packet(created_at=1.5, trace_id=7)
+        assert packet.created_at == 1.5
+        assert packet.trace_id == 7
+        assert isinstance(packet, Packet)
+
+
+class TestAddressHelpers:
+    def test_ip_round_trip(self):
+        for address in ["0.0.0.0", "10.0.5.6", "255.255.255.255", "192.168.1.7"]:
+            assert hdr.int_to_ip(hdr.ip_to_int(address)) == address
+
+    def test_ip_malformed(self):
+        for bad in ["10.0.0", "10.0.0.256", "a.b.c.d"]:
+            with pytest.raises((ValueRangeError, ValueError)):
+                hdr.ip_to_int(bad)
+
+    def test_mac_round_trip(self):
+        address = "aa:bb:cc:dd:ee:ff"
+        assert hdr.int_to_mac(hdr.mac_to_int(address)) == address
+
+    def test_int_to_ip_range_checked(self):
+        with pytest.raises(ValueRangeError):
+            hdr.int_to_ip(1 << 32)
+
+
+class TestEchoHeader:
+    def test_request_offsets_value(self):
+        header = hdr.echo_request(-255)
+        assert header.get("value") == 1
+        header = hdr.echo_request(255)
+        assert header.get("value") == 511
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueRangeError):
+            hdr.echo_request(256)
+        with pytest.raises(ValueRangeError):
+            hdr.echo_request(-256)
+
+    def test_round_trip(self):
+        header = hdr.echo_request(0)
+        header["n"] = 12
+        header["xsum"] = 345
+        reparsed = hdr.STAT4_ECHO.parse(header.pack())
+        assert reparsed.get("op") == hdr.ECHO_OP_REQUEST
+        assert reparsed.get("n") == 12
+        assert reparsed.get("xsum") == 345

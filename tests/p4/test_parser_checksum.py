@@ -1,0 +1,140 @@
+"""Unit tests for the parser state machine and the internet checksum."""
+
+import pytest
+
+from repro.p4 import headers as hdr
+from repro.p4.checksum import (
+    internet_checksum,
+    ipv4_header_checksum,
+    ones_complement_sum,
+    verify_ipv4_checksum,
+)
+from repro.p4.errors import ParseError
+from repro.p4.packet import Packet
+from repro.p4.parser import Parser, ParserState, standard_parser
+
+
+def tcp_frame(src_ip="10.0.0.1", dst_ip="10.0.5.6", flags=hdr.TCP_FLAG_SYN, payload=b""):
+    eth = hdr.ethernet(1, 2, hdr.ETHERTYPE_IPV4)
+    ip = hdr.ipv4(
+        src=hdr.ip_to_int(src_ip),
+        dst=hdr.ip_to_int(dst_ip),
+        protocol=hdr.PROTO_TCP,
+        total_len=40 + len(payload),
+    )
+    t = hdr.tcp(1234, 80, flags=flags)
+    return Packet(eth.pack() + ip.pack() + t.pack() + payload)
+
+
+class TestStandardParser:
+    def test_parses_tcp_stack(self):
+        parsed = standard_parser().parse(tcp_frame(payload=b"hello"))
+        assert parsed.has("ethernet")
+        assert parsed.has("ipv4")
+        assert parsed.has("tcp")
+        assert not parsed.has("udp")
+        assert parsed.payload == b"hello"
+        assert parsed["tcp"].get("flags") == hdr.TCP_FLAG_SYN
+
+    def test_parses_udp(self):
+        eth = hdr.ethernet(1, 2, hdr.ETHERTYPE_IPV4)
+        ip = hdr.ipv4(src=1, dst=2, protocol=hdr.PROTO_UDP, total_len=28)
+        u = hdr.udp(53, 53)
+        parsed = standard_parser().parse(Packet(eth.pack() + ip.pack() + u.pack()))
+        assert parsed.has("udp")
+        assert not parsed.has("tcp")
+
+    def test_unknown_ip_protocol_accepts_early(self):
+        eth = hdr.ethernet(1, 2, hdr.ETHERTYPE_IPV4)
+        ip = hdr.ipv4(src=1, dst=2, protocol=89)  # OSPF: no further parse
+        parsed = standard_parser().parse(Packet(eth.pack() + ip.pack() + b"rest"))
+        assert parsed.has("ipv4")
+        assert parsed.payload == b"rest"
+
+    def test_parses_echo(self):
+        eth = hdr.ethernet(1, 2, hdr.ETHERTYPE_STAT4_ECHO)
+        echo = hdr.echo_request(-100)
+        parsed = standard_parser().parse(Packet(eth.pack() + echo.pack()))
+        assert parsed.has("stat4_echo")
+        assert parsed["stat4_echo"].get("value") == 156
+
+    def test_unknown_ethertype_stops_at_ethernet(self):
+        eth = hdr.ethernet(1, 2, 0x86DD)  # IPv6: unhandled
+        parsed = standard_parser().parse(Packet(eth.pack() + b"v6stuff"))
+        assert parsed.has("ethernet")
+        assert parsed.payload == b"v6stuff"
+
+    def test_truncated_frame_raises(self):
+        with pytest.raises(ParseError):
+            standard_parser().parse(Packet(b"\x00" * 5))
+
+    def test_round_trip_deparse(self):
+        frame = tcp_frame(payload=b"abc")
+        parsed = standard_parser().parse(frame)
+        assert parsed.deparse() == frame.data
+
+
+class TestParserValidation:
+    def test_undefined_start_rejected(self):
+        with pytest.raises(ParseError):
+            Parser({}, start="start")
+
+    def test_undefined_transition_target(self):
+        states = {
+            "start": ParserState(
+                name="start",
+                extracts=hdr.ETHERNET,
+                select_field="ether_type",
+                transitions={1: "nowhere"},
+            )
+        }
+        parser = Parser(states, start="start")
+        frame = Packet(hdr.ethernet(1, 2, 1).pack())
+        with pytest.raises(ParseError):
+            parser.parse(frame)
+
+    def test_select_without_extract_rejected(self):
+        states = {
+            "start": ParserState(name="start", select_field="x", default="accept")
+        }
+        parser = Parser(states, start="start")
+        with pytest.raises(ParseError):
+            parser.parse(Packet(b""))
+
+    def test_runaway_graph_bounded(self):
+        states = {"start": ParserState(name="start", default="start")}
+        parser = Parser(states, start="start", max_depth=4)
+        with pytest.raises(ParseError):
+            parser.parse(Packet(b""))
+
+
+class TestChecksum:
+    def test_ones_complement_known_vector(self):
+        # RFC 1071 example data.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert ones_complement_sum(data) == 0xDDF2
+        assert internet_checksum(data) == 0x220D
+
+    def test_odd_length_padded(self):
+        assert ones_complement_sum(b"\x01") == 0x0100
+
+    def test_checksum_of_zeroes(self):
+        assert internet_checksum(b"\x00" * 8) == 0xFFFF
+
+    def test_ipv4_checksum_verifies(self):
+        header = hdr.ipv4(src=hdr.ip_to_int("1.2.3.4"), dst=hdr.ip_to_int("5.6.7.8"), protocol=6)
+        assert not verify_ipv4_checksum(header)
+        header["hdr_checksum"] = ipv4_header_checksum(header)
+        assert verify_ipv4_checksum(header)
+
+    def test_corruption_detected(self):
+        header = hdr.ipv4(src=1, dst=2, protocol=6)
+        header["hdr_checksum"] = ipv4_header_checksum(header)
+        header["ttl"] = 63
+        assert not verify_ipv4_checksum(header)
+
+    def test_checksum_computation_restores_field(self):
+        header = hdr.ipv4(src=1, dst=2, protocol=6)
+        header["hdr_checksum"] = 0x1234
+        ipv4_header_checksum(header)
+        assert header.get("hdr_checksum") == 0x1234

@@ -1,0 +1,205 @@
+"""Unit tests for the pipeline dependency model and the behavioral switch."""
+
+import pytest
+
+from repro.p4 import headers as hdr
+from repro.p4.errors import PipelineError
+from repro.p4.packet import Packet
+from repro.p4.parser import standard_parser
+from repro.p4.pipeline import DependencyGraph, PipelineProgram, Step
+from repro.p4.switch import CPU_PORT, DROP, BehavioralSwitch
+
+
+class TestDependencyGraph:
+    def test_empty(self):
+        assert DependencyGraph().longest_chain() == (0, [])
+
+    def test_independent_steps_chain_of_one(self):
+        graph = DependencyGraph()
+        graph.add("a", reads={"x"}, writes={"y"})
+        graph.add("b", reads={"p"}, writes={"q"})
+        length, chain = graph.longest_chain()
+        assert length == 1
+        assert len(chain) == 1
+
+    def test_raw_dependency(self):
+        graph = DependencyGraph()
+        graph.add("write_x", writes={"x"})
+        graph.add("read_x", reads={"x"})
+        length, chain = graph.longest_chain()
+        assert length == 2
+        assert chain == ["write_x", "read_x"]
+
+    def test_war_dependency(self):
+        graph = DependencyGraph()
+        graph.add("read_x", reads={"x"})
+        graph.add("write_x", writes={"x"})
+        assert graph.longest_chain()[0] == 2
+
+    def test_waw_dependency(self):
+        graph = DependencyGraph()
+        graph.add("w1", writes={"x"})
+        graph.add("w2", writes={"x"})
+        assert graph.longest_chain()[0] == 2
+
+    def test_long_chain(self):
+        graph = DependencyGraph()
+        for i in range(12):
+            graph.add(f"s{i}", reads={f"r{i}"}, writes={f"r{i + 1}"})
+        length, chain = graph.longest_chain()
+        assert length == 12
+        assert chain[0] == "s0"
+        assert chain[-1] == "s11"
+
+    def test_diamond_takes_longest_path(self):
+        graph = DependencyGraph()
+        graph.add("root", writes={"a", "b"})
+        graph.add("left", reads={"a"}, writes={"c"})
+        graph.add("right1", reads={"b"}, writes={"d"})
+        graph.add("right2", reads={"d"}, writes={"e"})
+        graph.add("join", reads={"c", "e"})
+        assert graph.longest_chain()[0] == 4  # root->right1->right2->join
+
+    def test_dependencies_listing(self):
+        graph = DependencyGraph()
+        graph.add("w", writes={"x"})
+        graph.add("r", reads={"x"})
+        assert graph.dependencies() == [(0, 1)]
+
+    def test_touched_resources(self):
+        graph = DependencyGraph([Step.make("s", reads={"a"}, writes={"b"})])
+        assert graph.touched_resources() == {"a", "b"}
+
+
+def echo_bounce_program():
+    """A trivial program: swap MACs, bounce out the ingress port."""
+
+    def ingress(ctx):
+        eth = ctx.parsed["ethernet"]
+        dst, src = eth.get("dst"), eth.get("src")
+        eth["dst"] = src
+        eth["src"] = dst
+        ctx.meta.egress_spec = ctx.meta.ingress_port
+
+    return PipelineProgram(name="bounce", parser=standard_parser(), ingress=ingress)
+
+
+def frame(ether_type=0x1234, payload=b""):
+    # An unhandled EtherType, so parsing stops cleanly after Ethernet.
+    eth = hdr.ethernet(dst=0xAA, src=0xBB, ether_type=ether_type)
+    return Packet(eth.pack() + payload)
+
+
+class TestBehavioralSwitch:
+    def test_bounce(self):
+        switch = BehavioralSwitch("s1", echo_bounce_program())
+        output = switch.process(frame(), ingress_port=3, now=0.0)
+        assert not output.dropped
+        assert len(output.sends) == 1
+        port, out = output.sends[0]
+        assert port == 3
+        parsed = hdr.ETHERNET.parse(out.data)
+        assert parsed.get("dst") == 0xBB
+        assert parsed.get("src") == 0xAA
+
+    def test_default_is_drop(self):
+        program = PipelineProgram(
+            name="noop", parser=standard_parser(), ingress=lambda ctx: None
+        )
+        switch = BehavioralSwitch("s1", program)
+        output = switch.process(frame(), 1, 0.0)
+        assert output.dropped
+        assert switch.packets_dropped == 1
+
+    def test_explicit_drop(self):
+        def ingress(ctx):
+            ctx.meta.egress_spec = 2
+            ctx.drop()
+
+        program = PipelineProgram(name="d", parser=standard_parser(), ingress=ingress)
+        switch = BehavioralSwitch("s1", program)
+        assert switch.process(frame(), 1, 0.0).dropped
+
+    def test_multicast(self):
+        def ingress(ctx):
+            ctx.meta.egress_spec = 1
+            ctx.meta.multicast_ports = (2, 3)
+
+        program = PipelineProgram(name="m", parser=standard_parser(), ingress=ingress)
+        switch = BehavioralSwitch("s1", program)
+        output = switch.process(frame(), 0, 0.0)
+        assert sorted(port for port, _ in output.sends) == [1, 2, 3]
+        assert switch.packets_out == 3
+
+    def test_digest_emission(self):
+        def ingress(ctx):
+            ctx.emit_digest("spike", rate=100, interval=7)
+            ctx.meta.egress_spec = 1
+
+        program = PipelineProgram(name="dig", parser=standard_parser(), ingress=ingress)
+        switch = BehavioralSwitch("s1", program)
+        output = switch.process(frame(), 0, now=1.25)
+        assert len(output.digests) == 1
+        digest = output.digests[0]
+        assert digest.name == "spike"
+        assert digest.fields == {"rate": 100, "interval": 7}
+        assert digest.timestamp == 1.25
+
+    def test_malformed_packet_dropped_not_raised(self):
+        switch = BehavioralSwitch("s1", echo_bounce_program())
+        output = switch.process(Packet(b"\x01\x02"), 0, 0.0)
+        assert output.dropped
+        assert switch.parse_errors == 1
+
+    def test_egress_runs_when_forwarding(self):
+        seen = []
+
+        def ingress(ctx):
+            ctx.meta.egress_spec = 4
+
+        def egress(ctx):
+            seen.append(ctx.meta.egress_spec)
+
+        program = PipelineProgram(
+            name="e", parser=standard_parser(), ingress=ingress, egress=egress
+        )
+        BehavioralSwitch("s1", program).process(frame(), 0, 0.0)
+        assert seen == [4]
+
+    def test_egress_skipped_on_drop(self):
+        called = []
+
+        def egress(ctx):
+            called.append(1)
+
+        program = PipelineProgram(
+            name="e2",
+            parser=standard_parser(),
+            ingress=lambda ctx: None,
+            egress=egress,
+        )
+        BehavioralSwitch("s1", program).process(frame(), 0, 0.0)
+        assert called == []
+
+    def test_missing_ingress_raises(self):
+        program = PipelineProgram(name="none", parser=standard_parser())
+        switch = BehavioralSwitch("s1", program)
+        with pytest.raises(PipelineError):
+            switch.process(frame(), 0, 0.0)
+
+    def test_counters(self):
+        switch = BehavioralSwitch("s1", echo_bounce_program())
+        switch.process(frame(), 0, 0.0)
+        switch.process(Packet(b"xx"), 0, 0.0)
+        counters = switch.counters()
+        assert counters["packets_in"] == 2
+        assert counters["packets_out"] == 1
+        assert counters["parse_errors"] == 1
+
+    def test_program_table_registry(self):
+        program = echo_bounce_program()
+        with pytest.raises(PipelineError):
+            program.table("nope")
+
+    def test_cpu_port_constant_distinct_from_drop(self):
+        assert CPU_PORT != DROP

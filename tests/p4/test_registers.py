@@ -1,0 +1,124 @@
+"""Unit tests for register arrays and the register file."""
+
+import pytest
+
+from repro.p4.errors import RegisterIndexError, ValueRangeError
+from repro.p4.registers import RegisterArray, RegisterFile
+
+
+class TestRegisterArray:
+    def test_read_write(self):
+        reg = RegisterArray("r", width=32, size=4)
+        reg.write(2, 1234)
+        assert reg.read(2) == 1234
+        assert reg.read(0) == 0
+
+    def test_values_wrap_to_width(self):
+        reg = RegisterArray("r", width=8, size=1)
+        reg.write(0, 257)
+        assert reg.read(0) == 1
+
+    def test_negative_values_wrap(self):
+        reg = RegisterArray("r", width=8, size=1)
+        reg.write(0, -1)
+        assert reg.read(0) == 255
+
+    def test_add_returns_new_value(self):
+        reg = RegisterArray("r", width=8, size=1)
+        assert reg.add(0, 10) == 10
+        assert reg.add(0, 250) == 4  # wraps
+
+    def test_out_of_bounds_rejected(self):
+        reg = RegisterArray("r", width=8, size=4)
+        with pytest.raises(RegisterIndexError):
+            reg.read(4)
+        with pytest.raises(RegisterIndexError):
+            reg.write(-1, 0)
+
+    def test_non_integer_index_rejected(self):
+        reg = RegisterArray("r", width=8, size=4)
+        with pytest.raises(RegisterIndexError):
+            reg.read(1.0)
+
+    def test_non_integer_value_rejected(self):
+        reg = RegisterArray("r", width=8, size=4)
+        with pytest.raises(ValueRangeError):
+            reg.write(0, 1.5)
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueRangeError):
+            RegisterArray("r", width=0, size=4)
+        with pytest.raises(ValueRangeError):
+            RegisterArray("r", width=8, size=0)
+
+    def test_io_accounting(self):
+        reg = RegisterArray("r", width=8, size=4)
+        reg.write(0, 1)
+        reg.read(0)
+        reg.add(1, 2)
+        assert reg.reads == 2  # read + add's read
+        assert reg.writes == 2  # write + add's write
+
+    def test_dump_charges_reads(self):
+        reg = RegisterArray("r", width=8, size=100)
+        before = reg.reads
+        reg.dump()
+        assert reg.reads == before + 100
+
+    def test_peek_free(self):
+        reg = RegisterArray("r", width=8, size=100)
+        before = reg.reads
+        reg.peek()
+        assert reg.reads == before
+
+    def test_fill_resets(self):
+        reg = RegisterArray("r", width=8, size=3)
+        reg.write(1, 9)
+        reg.fill(0)
+        assert reg.peek() == [0, 0, 0]
+
+    def test_sizes(self):
+        reg = RegisterArray("r", width=32, size=100)
+        assert reg.bits == 3200
+        assert reg.bytes_used == 400
+        odd = RegisterArray("o", width=9, size=3)
+        assert odd.bytes_used == 4  # 27 bits -> 4 bytes
+
+
+class TestRegisterFile:
+    def test_declare_and_lookup(self):
+        rf = RegisterFile()
+        rf.declare("counters", width=32, size=100)
+        assert "counters" in rf
+        assert rf["counters"].size == 100
+
+    def test_duplicate_declaration_rejected(self):
+        rf = RegisterFile()
+        rf.declare("r", 8, 1)
+        with pytest.raises(ValueRangeError):
+            rf.declare("r", 8, 1)
+
+    def test_missing_lookup_rejected(self):
+        rf = RegisterFile()
+        with pytest.raises(RegisterIndexError):
+            _ = rf["nope"]
+
+    def test_total_bytes(self):
+        rf = RegisterFile()
+        rf.declare("a", width=32, size=100)  # 400 B
+        rf.declare("b", width=64, size=4)  # 32 B
+        assert rf.total_bytes == 432
+
+    def test_iteration_and_len(self):
+        rf = RegisterFile()
+        rf.declare("a", 8, 1)
+        rf.declare("b", 8, 1)
+        assert len(rf) == 2
+        assert {r.name for r in rf} == {"a", "b"}
+
+    def test_io_counters(self):
+        rf = RegisterFile()
+        reg = rf.declare("a", 8, 2)
+        reg.write(0, 1)
+        counters = rf.io_counters()
+        assert counters["a"]["writes"] == 1

@@ -1,0 +1,185 @@
+"""Unit tests for the restricted P4 integer ALU."""
+
+import pytest
+
+from repro.p4.errors import (
+    UnsupportedOperationError,
+    ValueRangeError,
+    WidthMismatchError,
+)
+from repro.p4.values import (
+    BMV2,
+    SOFTWARE,
+    TOFINO_LIKE,
+    P4Int,
+    active_target,
+    checked_multiply,
+    u8,
+    u16,
+    u32,
+    use_target,
+)
+
+
+class TestConstruction:
+    def test_masks_to_width(self):
+        assert P4Int(256, 8).value == 0
+        assert P4Int(257, 8).value == 1
+        assert u16(0x1FFFF).value == 0xFFFF
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueRangeError):
+            P4Int(0, 0)
+
+    def test_rejects_non_integers(self):
+        with pytest.raises(UnsupportedOperationError):
+            P4Int(1.5, 8)
+        with pytest.raises(UnsupportedOperationError):
+            P4Int(True, 8)
+
+    def test_bits_rendering(self):
+        assert u8(0b1101010).bits() == "01101010"
+
+    def test_repr_and_hash(self):
+        assert "P4Int(5" in repr(u8(5))
+        assert hash(u8(5)) == hash(u8(5))
+        assert hash(u8(5)) != hash(u16(5))
+
+
+class TestArithmetic:
+    def test_wrapping_add(self):
+        assert (u8(250) + u8(10)).value == 4
+
+    def test_wrapping_sub(self):
+        assert (u8(3) - u8(5)).value == 254
+
+    def test_add_with_constant(self):
+        assert (u8(7) + 1).value == 8
+        assert (1 + u8(7)).value == 8
+
+    def test_rsub_constant(self):
+        assert (10 - u8(3)).value == 7
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(WidthMismatchError):
+            _ = u8(1) + u16(1)
+
+    def test_negative_constants_rejected(self):
+        with pytest.raises(ValueRangeError):
+            _ = u8(5) + (-1)
+
+    def test_float_operand_rejected(self):
+        with pytest.raises(UnsupportedOperationError):
+            _ = u8(5) + 1.5
+
+
+class TestForbiddenOperations:
+    def test_division_raises(self):
+        with pytest.raises(UnsupportedOperationError):
+            _ = u8(6) / u8(2)
+
+    def test_floor_division_raises(self):
+        with pytest.raises(UnsupportedOperationError):
+            _ = u8(6) // u8(2)
+
+    def test_modulo_raises(self):
+        with pytest.raises(UnsupportedOperationError):
+            _ = u8(6) % u8(4)
+
+    def test_pow_raises(self):
+        with pytest.raises(UnsupportedOperationError):
+            _ = u8(2) ** 3
+
+    def test_float_conversion_raises(self):
+        with pytest.raises(UnsupportedOperationError):
+            float(u8(2))
+
+    def test_negation_raises(self):
+        with pytest.raises(UnsupportedOperationError):
+            _ = -u8(2)
+
+
+class TestShiftsAndBitwise:
+    def test_shifts(self):
+        assert (u8(0b0011) << 2).value == 0b1100
+        assert (u8(0b1100) >> 2).value == 0b0011
+
+    def test_left_shift_wraps(self):
+        assert (u8(0x80) << 1).value == 0
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueRangeError):
+            _ = u8(1) << -1
+
+    def test_bitwise(self):
+        assert (u8(0b1010) & u8(0b0110)).value == 0b0010
+        assert (u8(0b1010) | u8(0b0110)).value == 0b1110
+        assert (u8(0b1010) ^ u8(0b0110)).value == 0b1100
+        assert (~u8(0)).value == 0xFF
+
+
+class TestComparisons:
+    def test_ordering(self):
+        assert u8(3) < u8(5)
+        assert u8(5) >= u8(5)
+        assert u8(5) > 4
+        assert u8(5) <= 5
+
+    def test_equality_requires_same_width(self):
+        assert u8(5) == u8(5)
+        assert u8(5) != u16(5)
+        assert u8(5) == 5
+        assert u8(5) != 6
+
+
+class TestWidthOps:
+    def test_cast_truncates(self):
+        assert u16(0x1234).cast(8).value == 0x34
+
+    def test_cast_extends(self):
+        assert u8(0xFF).cast(16).value == 0xFF
+
+    def test_concat(self):
+        joined = u8(0xAB).concat(u8(0xCD))
+        assert joined.width == 16
+        assert joined.value == 0xABCD
+
+    def test_slice(self):
+        assert u8(0b11010110).slice_bits(7, 4).value == 0b1101
+        assert u8(0b11010110).slice_bits(3, 0).value == 0b0110
+
+    def test_slice_out_of_range(self):
+        with pytest.raises(ValueRangeError):
+            u8(1).slice_bits(8, 0)
+        with pytest.raises(ValueRangeError):
+            u8(1).slice_bits(2, 3)
+
+
+class TestTargetProfiles:
+    def test_default_is_bmv2(self):
+        assert active_target() is BMV2
+
+    def test_runtime_multiply_on_bmv2(self):
+        with use_target(BMV2):
+            assert (u16(3) * u16(4)).value == 12
+
+    def test_runtime_multiply_rejected_on_hardware(self):
+        with use_target(TOFINO_LIKE):
+            with pytest.raises(UnsupportedOperationError):
+                _ = u16(3) * u16(4)
+
+    def test_constant_multiply_always_allowed(self):
+        with use_target(TOFINO_LIKE):
+            assert (u16(3) * 4).value == 12
+            assert (4 * u16(3)).value == 12
+
+    def test_checked_multiply_accounting(self):
+        with use_target(TOFINO_LIKE):
+            assert checked_multiply(3, 4, runtime_operands=1) == 12
+            with pytest.raises(UnsupportedOperationError):
+                checked_multiply(3, 4, runtime_operands=2)
+
+    def test_use_target_restores(self):
+        with use_target(SOFTWARE):
+            assert active_target() is SOFTWARE
+        assert active_target() is BMV2

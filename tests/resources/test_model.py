@@ -1,0 +1,107 @@
+"""Unit tests for the resource model and the Sec.-4 numbers."""
+
+import pytest
+
+from repro.apps.anomaly import CaseStudyParams
+from repro.experiments.resources_report import (
+    PAPER_CHAIN,
+    PAPER_RULE_DEPS,
+    build_case_study_report,
+    summarize,
+)
+from repro.p4.parser import standard_parser
+from repro.p4.pipeline import PipelineProgram
+from repro.p4.registers import RegisterFile
+from repro.p4.tables import ActionSpec, Table, exact_key
+from repro.p4.values import TOFINO_LIKE
+from repro.resources.model import analyze_program, table_entry_bytes
+
+
+def tiny_program():
+    registers = RegisterFile()
+    registers.declare("a", 32, 10)  # 40 B
+    registers.declare("b", 64, 2)  # 16 B
+    program = PipelineProgram(
+        name="tiny", parser=standard_parser(), registers=registers
+    )
+    table = Table("t", keys=[exact_key("k", 16)], actions=[ActionSpec("x", ("v",))])
+    table.add_entry([1], "x", {"v": 9})
+    program.add_table(table)
+    program.graph.add("s1", writes={"r"})
+    program.graph.add("s2", reads={"r"})
+    return program
+
+
+class TestAnalyzer:
+    def test_register_bytes(self):
+        report = analyze_program(tiny_program())
+        assert report.register_bytes == {"a": 40, "b": 16}
+        assert report.total_register_bytes == 56
+
+    def test_table_entry_bytes(self):
+        program = tiny_program()
+        table = program.table("t")
+        # 2-byte key + 8-byte param + 4-byte overhead.
+        assert table_entry_bytes(table) == 14
+        report = analyze_program(program)
+        assert report.total_table_bytes == 14
+
+    def test_empty_table_costs_nothing(self):
+        program = tiny_program()
+        program.table("t").clear()
+        assert analyze_program(program).total_table_bytes == 0
+
+    def test_chain_computed(self):
+        report = analyze_program(tiny_program())
+        assert report.longest_chain == 2
+        assert report.chain_steps == ["s1", "s2"]
+
+    def test_total_bytes(self):
+        report = analyze_program(tiny_program())
+        assert report.total_bytes == 56 + 14
+
+    def test_summary_lines_render(self):
+        lines = analyze_program(tiny_program()).summary_lines()
+        assert any("total:" in line for line in lines)
+
+
+class TestCaseStudyNumbers:
+    def test_longest_chain_matches_paper(self):
+        report = build_case_study_report()
+        assert report.longest_chain == PAPER_CHAIN
+
+    def test_rule_dependencies_match_paper(self):
+        # "at most one dependency between match-action rules, since at most
+        # two rules with independent actions match each packet"
+        report = build_case_study_report(with_drilldown=True)
+        assert report.rules_per_packet == 2
+        assert report.rule_dependencies == PAPER_RULE_DEPS
+
+    def test_single_binding_has_no_dependency(self):
+        report = build_case_study_report(with_drilldown=False)
+        assert report.rules_per_packet == 1
+        assert report.rule_dependencies == 0
+
+    def test_total_in_paper_ballpark(self):
+        # Paper: 3.1 KB.  Same order, low single-digit KB.
+        report = build_case_study_report()
+        assert 1024 <= report.total_bytes <= 4 * 1024
+
+    def test_fits_hardware_stage_budget(self):
+        # "they typically support more than 10 pipeline stages"
+        report = build_case_study_report()
+        assert report.fits_target(TOFINO_LIKE)
+
+    def test_memory_scales_with_macros(self):
+        small = build_case_study_report(
+            CaseStudyParams(window=10, counter_size=64)
+        )
+        large = build_case_study_report(
+            CaseStudyParams(window=100, counter_size=256)
+        )
+        assert small.total_register_bytes < large.total_register_bytes
+
+    def test_summary_mentions_paper(self):
+        text = summarize(build_case_study_report())
+        assert "paper: 3.1 KB" in text
+        assert "chain 12" in text

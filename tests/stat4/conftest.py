@@ -1,0 +1,58 @@
+"""Shared fixtures for Stat4 tests: packet-context builders."""
+
+import pytest
+
+from repro.p4 import headers as hdr
+from repro.p4.packet import Packet
+from repro.p4.parser import standard_parser
+from repro.p4.switch import PacketContext, StandardMetadata
+
+_PARSER = standard_parser()
+
+
+def make_ctx(packet: Packet, now: float = 0.0, port: int = 0) -> PacketContext:
+    """Parse a packet into a pipeline context, as the switch would."""
+    ctx = PacketContext(
+        parsed=_PARSER.parse(packet),
+        meta=StandardMetadata(ingress_port=port, timestamp=now),
+    )
+    ctx.user["frame_bytes"] = len(packet)
+    return ctx
+
+
+def udp_packet(dst: str, src: str = "1.1.1.1", payload: bytes = b"") -> Packet:
+    """A UDP datagram to ``dst``."""
+    eth = hdr.ethernet(1, 2, hdr.ETHERTYPE_IPV4)
+    ip = hdr.ipv4(
+        src=hdr.ip_to_int(src),
+        dst=hdr.ip_to_int(dst),
+        protocol=hdr.PROTO_UDP,
+        total_len=28 + len(payload),
+    )
+    udp = hdr.udp(1000, 2000, length=8 + len(payload))
+    return Packet(eth.pack() + ip.pack() + udp.pack() + payload)
+
+
+def tcp_packet(dst: str, flags: int = hdr.TCP_FLAG_ACK, src: str = "1.1.1.1") -> Packet:
+    """A TCP segment to ``dst`` with the given flags."""
+    eth = hdr.ethernet(1, 2, hdr.ETHERTYPE_IPV4)
+    ip = hdr.ipv4(
+        src=hdr.ip_to_int(src),
+        dst=hdr.ip_to_int(dst),
+        protocol=hdr.PROTO_TCP,
+        total_len=40,
+    )
+    tcp = hdr.tcp(1000, 80, flags=flags)
+    return Packet(eth.pack() + ip.pack() + tcp.pack())
+
+
+def echo_packet(value: int) -> Packet:
+    """A Stat4 validation echo request carrying ``value``."""
+    eth = hdr.ethernet(1, 2, hdr.ETHERTYPE_STAT4_ECHO)
+    return Packet(eth.pack() + hdr.echo_request(value).pack())
+
+
+@pytest.fixture
+def ctx_factory():
+    """Factory fixture: (packet, now) -> PacketContext."""
+    return make_ctx

@@ -1,0 +1,95 @@
+"""Unit tests for Stat4 configuration and value extraction."""
+
+import pytest
+
+from repro.p4.errors import ResourceError, ValueRangeError
+from repro.stat4.config import DEFAULT_CONFIG, Stat4Config
+from repro.stat4.extract import ExtractSpec
+
+from tests.stat4.conftest import make_ctx, tcp_packet, udp_packet
+
+
+class TestConfig:
+    def test_defaults(self):
+        assert DEFAULT_CONFIG.counter_num == 8
+        assert DEFAULT_CONFIG.counter_size == 256
+        assert DEFAULT_CONFIG.total_counter_cells == 2048
+
+    def test_cell_index_layout(self):
+        config = Stat4Config(counter_num=4, counter_size=10)
+        assert config.cell_index(0, 0) == 0
+        assert config.cell_index(2, 3) == 23
+        assert config.cell_index(3, 9) == 39
+
+    def test_cell_index_bounds(self):
+        config = Stat4Config(counter_num=2, counter_size=4)
+        with pytest.raises(ResourceError):
+            config.cell_index(2, 0)
+        with pytest.raises(ResourceError):
+            config.cell_index(0, 4)
+
+    def test_validation(self):
+        with pytest.raises(ResourceError):
+            Stat4Config(counter_num=0)
+        with pytest.raises(ResourceError):
+            Stat4Config(counter_size=0)
+        with pytest.raises(ResourceError):
+            Stat4Config(counter_width=0)
+        with pytest.raises(ResourceError):
+            Stat4Config(binding_stages=0)
+        with pytest.raises(ResourceError):
+            Stat4Config(alert_cooldown=-1)
+
+
+class TestExtractSpec:
+    def test_field_extraction(self):
+        ctx = make_ctx(udp_packet("10.0.5.6"))
+        spec = ExtractSpec.field("ipv4.dst", shift=8, mask=0xFF)
+        assert spec.extract(ctx, 0) == 5  # third octet
+
+    def test_last_octet(self):
+        ctx = make_ctx(udp_packet("10.0.5.6"))
+        spec = ExtractSpec.field("ipv4.dst", mask=0xFF)
+        assert spec.extract(ctx, 0) == 6
+
+    def test_flags_extraction(self):
+        from repro.p4.headers import TCP_FLAG_SYN
+
+        ctx = make_ctx(tcp_packet("10.0.1.1", flags=TCP_FLAG_SYN))
+        spec = ExtractSpec.field("tcp.flags")
+        assert spec.extract(ctx, 0) == TCP_FLAG_SYN
+
+    def test_missing_header_returns_none(self):
+        ctx = make_ctx(udp_packet("10.0.5.6"))
+        spec = ExtractSpec.field("tcp.flags")
+        assert spec.extract(ctx, 0) is None
+
+    def test_frame_size(self):
+        ctx = make_ctx(udp_packet("10.0.5.6", payload=b"x" * 100))
+        spec = ExtractSpec.frame_size()
+        assert spec.extract(ctx, 162) == 162
+
+    def test_frame_size_unit_shift(self):
+        # Sec. 2's order-of-magnitude trick: count in 64-byte units.
+        ctx = make_ctx(udp_packet("10.0.5.6"))
+        spec = ExtractSpec.frame_size(shift=6)
+        assert spec.extract(ctx, 200) == 3
+
+    def test_constant(self):
+        ctx = make_ctx(udp_packet("10.0.5.6"))
+        assert ExtractSpec.constant(1).extract(ctx, 0) == 1
+        assert ExtractSpec.constant(7).extract(ctx, 0) == 7
+
+    def test_protocol_extraction(self):
+        ctx = make_ctx(udp_packet("10.0.5.6"))
+        assert ExtractSpec.field("ipv4.protocol").extract(ctx, 0) == 17
+
+    def test_validation(self):
+        with pytest.raises(ValueRangeError):
+            ExtractSpec.field("no_dot_here")
+        with pytest.raises(ValueRangeError):
+            ExtractSpec("ipv4.dst", shift=-1)
+        with pytest.raises(ValueRangeError):
+            ExtractSpec("ipv4.dst", mask=-1)
+        with pytest.raises(ValueRangeError):
+            ExtractSpec.constant(-1)

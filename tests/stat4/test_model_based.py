@@ -1,0 +1,151 @@
+"""Model-based property tests: Stat4 registers vs a pure-Python oracle.
+
+Hypothesis drives random packet streams (and random mid-stream rebinds)
+through the full binding-table → update → register path; a trivial
+dictionary model replays the same stream.  Any divergence in the value
+cells or the derived measures is a bug in the register plumbing.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import ScaledStats
+from repro.stat4 import (
+    BindingMatch,
+    ExtractSpec,
+    Stat4,
+    Stat4Config,
+    Stat4Runtime,
+)
+from tests.stat4.conftest import make_ctx, udp_packet
+
+# Streams of (subnet octet, host octet) destinations inside 10.0.0.0/8.
+addresses = st.tuples(
+    st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=7)
+)
+streams = st.lists(addresses, min_size=1, max_size=150)
+
+
+def run_stream(stat4, stream, start=0.0):
+    now = start
+    for subnet, host in stream:
+        stat4.process(make_ctx(udp_packet(f"10.0.{subnet}.{host}"), now=now))
+        now += 0.001
+    return now
+
+
+def expected_measures(counts):
+    stats = ScaledStats()
+    for count in counts.values():
+        stats.add_value(count)
+    return stats
+
+
+class TestFrequencyModel:
+    @settings(max_examples=40, deadline=None)
+    @given(streams)
+    def test_cells_match_counter_model(self, stream):
+        stat4 = Stat4(Stat4Config(counter_num=1, counter_size=16, binding_stages=1))
+        runtime = Stat4Runtime(stat4)
+        runtime.bind(
+            0,
+            BindingMatch.ipv4_prefix("10.0.0.0", 8),
+            runtime.frequency_of(
+                dist=0, extract=ExtractSpec.field("ipv4.dst", shift=8, mask=0xFF)
+            ),
+        )
+        run_stream(stat4, stream)
+        model = Counter(subnet for subnet, _ in stream)
+        cells = stat4.read_cells(0)
+        for subnet in range(8):
+            assert cells[subnet] == model.get(subnet, 0)
+        reference = expected_measures(model)
+        measures = stat4.read_measures(0)
+        assert measures["n"] == reference.count
+        assert measures["xsum"] == reference.xsum
+        assert measures["xsumsq"] == reference.xsumsq
+        assert measures["variance"] == reference.variance_nx
+        assert measures["stddev"] == reference.stddev_nx
+
+    @settings(max_examples=25, deadline=None)
+    @given(streams, streams)
+    def test_rebind_resets_cleanly(self, before, after):
+        stat4 = Stat4(Stat4Config(counter_num=1, counter_size=16, binding_stages=1))
+        runtime = Stat4Runtime(stat4)
+        handle, _ = runtime.bind(
+            0,
+            BindingMatch.ipv4_prefix("10.0.0.0", 8),
+            runtime.frequency_of(
+                dist=0, extract=ExtractSpec.field("ipv4.dst", shift=8, mask=0xFF)
+            ),
+        )
+        end = run_stream(stat4, before)
+        # Rebind to host-octet tracking: slot must restart from zero.
+        runtime.rebind(
+            handle,
+            spec=runtime.frequency_of(
+                dist=0, extract=ExtractSpec.field("ipv4.dst", mask=0xFF)
+            ),
+        )
+        run_stream(stat4, after, start=end)
+        model = Counter(host for _, host in after)
+        cells = stat4.read_cells(0)
+        for host in range(8):
+            assert cells[host] == model.get(host, 0)
+        assert stat4.read_measures(0)["n"] == len(model)
+
+    @settings(max_examples=25, deadline=None)
+    @given(streams)
+    def test_two_stages_see_identical_streams(self, stream):
+        # Identical bindings in both stages must build identical slots.
+        stat4 = Stat4(Stat4Config(counter_num=2, counter_size=16, binding_stages=2))
+        runtime = Stat4Runtime(stat4)
+        for stage, dist in ((0, 0), (1, 1)):
+            runtime.bind(
+                stage,
+                BindingMatch.ipv4_prefix("10.0.0.0", 8),
+                runtime.frequency_of(
+                    dist=dist, extract=ExtractSpec.field("ipv4.dst", shift=8, mask=0xFF)
+                ),
+            )
+        run_stream(stat4, stream)
+        assert stat4.read_cells(0) == stat4.read_cells(1)
+        m0, m1 = stat4.read_measures(0), stat4.read_measures(1)
+        assert m0 == m1
+
+
+class TestSparseModel:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=200))
+    def test_sparse_counts_match_model_when_unsaturated(self, keys):
+        stat4 = Stat4(
+            Stat4Config(
+                counter_num=1,
+                counter_size=16,
+                binding_stages=1,
+                sparse_dists=(0,),
+                sparse_slots=256,
+            )
+        )
+        runtime = Stat4Runtime(stat4)
+        runtime.bind(
+            0,
+            BindingMatch.ipv4_prefix("0.0.0.0", 0),
+            runtime.sparse_frequency_of(
+                dist=0, extract=ExtractSpec.field("ipv4.dst", mask=0xFF)
+            ),
+        )
+        now = 0.0
+        for key in keys:
+            stat4.process(make_ctx(udp_packet(f"9.9.9.{key}"), now=now))
+            now += 0.001
+        model = Counter(keys)
+        if stat4.sparse_cells[0].evictions == 0:
+            assert dict(stat4.read_sparse_items(0)) == dict(model)
+            reference = expected_measures(model)
+            measures = stat4.read_measures(0)
+            assert measures["n"] == reference.count
+            assert measures["xsum"] == reference.xsum
+            assert measures["xsumsq"] == reference.xsumsq

@@ -1,0 +1,86 @@
+"""Library-level tests for percentile-movement alerts."""
+
+import pytest
+
+from repro.p4.errors import ValueRangeError
+from repro.stat4 import (
+    BindingMatch,
+    ExtractSpec,
+    Stat4,
+    Stat4Config,
+    Stat4Runtime,
+)
+from tests.stat4.conftest import make_ctx, udp_packet
+
+
+def build(cooldown=0.0):
+    stat4 = Stat4(Stat4Config(counter_num=1, counter_size=64, binding_stages=1))
+    runtime = Stat4Runtime(stat4)
+    spec = runtime.frequency_of(
+        dist=0,
+        extract=ExtractSpec.field("ipv4.dst", mask=0x3F),
+        percent=50,
+        percentile_alert="median_moved",
+        min_samples=2,
+        cooldown=cooldown,
+    )
+    runtime.bind(0, BindingMatch.ipv4_prefix("10.0.0.0", 8), spec)
+    return stat4
+
+
+def feed(stat4, values, start=0.0, gap=0.001):
+    digests = []
+    now = start
+    for value in values:
+        ctx = make_ctx(udp_packet(f"10.0.0.{value}"), now=now)
+        stat4.process(ctx)
+        digests += ctx.digests
+        now += gap
+    return digests
+
+
+class TestPercentileAlerts:
+    def test_moving_median_raises_digest(self):
+        stat4 = build()
+        digests = feed(stat4, [10] * 20)
+        assert not [d for d in digests if d.name == "median_moved"]
+        # Mass shifts to 40: the median walks and alerts along the way.
+        digests = feed(stat4, [40] * 60, start=1.0)
+        moved = [d for d in digests if d.name == "median_moved"]
+        assert moved
+        assert moved[0].fields["previous"] < moved[0].fields["position"]
+        assert moved[-1].fields["percent"] == 50
+
+    def test_stable_median_is_silent(self):
+        stat4 = build()
+        feed(stat4, [10, 20, 10, 20])
+        digests = feed(stat4, [10, 20] * 50, start=1.0)
+        # After settling between two equal masses the tracker may flap by
+        # one cell; any alerts must stay within that band.
+        moved = [d for d in digests if d.name == "median_moved"]
+        for digest in moved:
+            assert 10 <= digest.fields["position"] <= 20
+
+    def test_cooldown_limits_alert_rate(self):
+        stat4 = build(cooldown=10.0)
+        feed(stat4, [5] * 10)
+        digests = feed(stat4, list(range(5, 60)) * 4, start=1.0)
+        moved = [d for d in digests if d.name == "median_moved"]
+        # One long walk, one alert: the cooldown swallowed the rest.
+        assert len(moved) <= 1
+
+    def test_percentile_alert_requires_percent(self):
+        from repro.stat4.distributions import DistributionKind, TrackSpec
+
+        with pytest.raises(ValueRangeError):
+            TrackSpec(
+                dist=0,
+                kind=DistributionKind.FREQUENCY,
+                extract=ExtractSpec.constant(1),
+                percentile_alert="x",
+            )
+
+    def test_register_position_tracks_alerts(self):
+        stat4 = build()
+        feed(stat4, [10] * 20 + [50] * 200)
+        assert stat4.read_measures(0)["percentile_pos"] == 50

@@ -1,0 +1,100 @@
+"""Tests for the control-plane runtime API: bind/rebind/unbind, priorities."""
+
+import pytest
+
+from repro.p4 import headers as hdr
+from repro.p4.errors import TableError
+from repro.stat4 import (
+    BindingMatch,
+    ExtractSpec,
+    Stat4,
+    Stat4Config,
+    Stat4Runtime,
+)
+from tests.stat4.conftest import make_ctx, tcp_packet, udp_packet
+
+
+def build():
+    stat4 = Stat4(Stat4Config(counter_num=4, counter_size=32, binding_stages=2))
+    return stat4, Stat4Runtime(stat4)
+
+
+class TestUnbind:
+    def test_unbind_stops_tracking(self):
+        stat4, runtime = build()
+        handle, _ = runtime.bind(
+            0,
+            BindingMatch.ipv4_prefix("10.0.0.0", 8),
+            runtime.frequency_of(dist=0, extract=ExtractSpec.field("ipv4.dst", mask=0x1F)),
+        )
+        stat4.process(make_ctx(udp_packet("10.0.0.5")))
+        assert stat4.read_measures(0)["n"] == 1
+        message = runtime.unbind(handle)
+        assert message.table == "stat4_binding_0"
+        stat4.process(make_ctx(udp_packet("10.0.0.6")))
+        # No tracking after unbind; the registers keep their last state.
+        assert stat4.read_measures(0)["n"] == 1
+        assert len(stat4.binding_tables[0]) == 0
+
+    def test_unbind_unknown_entry_raises(self):
+        stat4, runtime = build()
+        handle, _ = runtime.bind(
+            0,
+            BindingMatch.ipv4_prefix("10.0.0.0", 8),
+            runtime.frequency_of(dist=0, extract=ExtractSpec.constant(1)),
+        )
+        runtime.unbind(handle)
+        with pytest.raises(TableError):
+            runtime.unbind(handle)
+
+    def test_message_only_mode_builds_delete(self):
+        runtime = Stat4Runtime()  # no local library
+        from repro.stat4.runtime import BindingHandle
+
+        spec = runtime.frequency_of(dist=0, extract=ExtractSpec.constant(1))
+        handle = BindingHandle(1, 7, spec, BindingMatch())
+        message = runtime.unbind(handle)
+        assert message.table == "stat4_binding_1"
+        assert message.entry_id == 7
+
+
+class TestBindingPriorities:
+    def test_more_specific_rule_wins_with_priority(self):
+        stat4, runtime = build()
+        # General rule: count all IPv4 by protocol into dist 0.
+        runtime.bind(
+            0,
+            BindingMatch(ether_type=hdr.ETHERTYPE_IPV4),
+            runtime.frequency_of(dist=0, extract=ExtractSpec.field("ipv4.protocol")),
+            priority=1,
+        )
+        # Specific rule: SYNs go to dist 1 instead (higher priority).
+        runtime.bind(
+            0,
+            BindingMatch.syn_packets(),
+            runtime.frequency_of(dist=1, extract=ExtractSpec.field("ipv4.dst", mask=0x1F)),
+            priority=10,
+        )
+        stat4.process(make_ctx(tcp_packet("10.0.0.7", flags=hdr.TCP_FLAG_SYN)))
+        stat4.process(make_ctx(udp_packet("10.0.0.7")))
+        # The SYN hit the specific rule only; the UDP hit the general one.
+        assert stat4.read_cells(1)[7] == 1
+        assert stat4.read_cells(0)[hdr.PROTO_UDP] == 1
+        assert stat4.read_cells(0)[hdr.PROTO_TCP] == 0
+
+    def test_equal_priority_falls_back_to_specificity(self):
+        stat4, runtime = build()
+        runtime.bind(
+            0,
+            BindingMatch.ipv4_prefix("10.0.0.0", 8),
+            runtime.frequency_of(dist=0, extract=ExtractSpec.constant(1)),
+        )
+        runtime.bind(
+            0,
+            BindingMatch.ipv4_prefix("10.0.5.0", 24),
+            runtime.frequency_of(dist=1, extract=ExtractSpec.constant(2)),
+        )
+        stat4.process(make_ctx(udp_packet("10.0.5.9")))
+        # Longest prefix wins the stage.
+        assert stat4.read_cells(1)[2] == 1
+        assert stat4.read_measures(0)["n"] == 0

@@ -1,0 +1,99 @@
+"""Model-based property test for the time-series (windowed) update path.
+
+A pure-Python oracle replays the same timestamps: it buckets packets into
+intervals by the same one-close-per-packet rule and maintains the window
+with a deque.  The Stat4 registers must agree exactly — cells, cursor, and
+moments — for arbitrary packet timing patterns, including bursts and long
+silences (the silent-gap snap rule).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import ScaledStats
+from repro.stat4 import (
+    BindingMatch,
+    Stat4,
+    Stat4Config,
+    Stat4Runtime,
+)
+from tests.stat4.conftest import make_ctx, udp_packet
+
+INTERVAL = 0.01
+WINDOW = 6
+
+# Inter-arrival gaps: mostly sub-interval, some spanning many intervals.
+gaps = st.lists(
+    st.one_of(
+        st.floats(min_value=0.0001, max_value=0.004, allow_nan=False),
+        st.floats(min_value=0.01, max_value=0.08, allow_nan=False),
+    ),
+    min_size=2,
+    max_size=120,
+)
+
+
+class WindowOracle:
+    """Reference implementation of the Sec.-4 circular window."""
+
+    def __init__(self):
+        self.start = None
+        self.current = 0
+        self.cells = []
+        self.index = 0
+        self.stats = ScaledStats()
+        self.closed = 0
+
+    def packet(self, now):
+        if self.start is None:
+            self.start = now
+        elif now - self.start >= INTERVAL:
+            completed = self.current
+            if len(self.cells) >= WINDOW:
+                old = self.cells[self.index]
+                self.stats.replace_value(old, completed)
+                self.cells[self.index] = completed
+            else:
+                self.stats.add_value(completed)
+                self.cells.append(completed)
+            self.index = (self.index + 1) % WINDOW
+            self.start += INTERVAL
+            if now - self.start >= INTERVAL:
+                self.start = now
+            self.current = 0
+            self.closed += 1
+        self.current += 1
+
+
+class TestTimeSeriesModel:
+    @settings(max_examples=40, deadline=None)
+    @given(gaps)
+    def test_registers_match_oracle(self, gap_list):
+        stat4 = Stat4(
+            Stat4Config(counter_num=1, counter_size=WINDOW, binding_stages=1)
+        )
+        runtime = Stat4Runtime(stat4)
+        runtime.bind(
+            0,
+            BindingMatch.ipv4_prefix("10.0.0.0", 8),
+            runtime.rate_over_time(dist=0, interval=INTERVAL, k_sigma=0, window=WINDOW),
+        )
+        oracle = WindowOracle()
+        now = 0.0
+        for gap in gap_list:
+            now += gap
+            stat4.process(make_ctx(udp_packet("10.0.1.1"), now=now))
+            oracle.packet(now)
+        state = stat4.state_of(0)
+        assert state.intervals_closed == oracle.closed
+        assert state.current_count == oracle.current
+        assert state.window_index == oracle.index
+        # Cells: the oracle's list is positional like the register slice.
+        cells = stat4.read_cells(0)[:WINDOW]
+        for position, value in enumerate(oracle.cells):
+            assert cells[position] == value
+        measures = stat4.read_measures(0)
+        assert measures["n"] == oracle.stats.count
+        assert measures["xsum"] == oracle.stats.xsum
+        assert measures["xsumsq"] == oracle.stats.xsumsq
+        assert measures["variance"] == oracle.stats.variance_nx
