@@ -1,7 +1,16 @@
 """Module entry point: ``python -m repro <experiment>``."""
 
+import os
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+try:
+    code = main()
+    sys.stdout.flush()
+except BrokenPipeError:
+    # Downstream closed the pipe (e.g. ``repro lint --rules | head``);
+    # exit quietly like other well-behaved CLIs instead of tracebacking.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    code = 0
+sys.exit(code)

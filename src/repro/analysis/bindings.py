@@ -1,0 +1,231 @@
+"""Consistency rules for binding-table deployments (ST42x).
+
+A deployment description lists binding entries as plain mappings (the JSON
+form of a :class:`~repro.stat4.distributions.TrackSpec` plus its stage).
+Checking raw mappings — rather than constructed ``TrackSpec`` objects — is
+deliberate: the analyzer must report *every* problem in a config file with
+codes and context, whereas the constructors raise on the first.
+
+Checked here:
+
+- ST420: stage outside ``[0, binding_stages)``;
+- ST421: two bindings feeding the same distribution slot;
+- ST422: distribution id outside ``[0, counter_num)``;
+- ST423: percentile target outside ``(0, 100)``;
+- ST424: EWMA shift geometry incompatible with the stats width;
+- ST425: sparse-kind binding on a slot not compiled sparse (and the
+  warning-level converse);
+- ST426: empty acceptance window ``[lo, hi)``;
+- ST427: time-series binding without a positive interval;
+- ST428: window larger than ``STAT_COUNTER_SIZE`` (silently clamped at
+  runtime) or a window on a non-time-series binding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, Severity, make
+from repro.stat4.config import Stat4Config
+
+__all__ = ["check_bindings", "check_ewma"]
+
+_KINDS = ("frequency", "time_series", "sparse_frequency")
+
+
+def _as_int(value: object) -> Optional[int]:
+    return value if isinstance(value, int) and not isinstance(value, bool) else None
+
+
+def check_bindings(
+    config: Stat4Config,
+    bindings: Sequence[Mapping[str, object]],
+    file: Optional[str] = None,
+) -> List[Diagnostic]:
+    """Check every binding entry of a deployment against its config."""
+    diagnostics: List[Diagnostic] = []
+    slot_users: Dict[int, List[str]] = {}
+    for index, binding in enumerate(bindings):
+        ref = f"bindings[{index}]"
+
+        stage = _as_int(binding.get("stage", 0))
+        if stage is None or not 0 <= stage < config.binding_stages:
+            diagnostics.append(
+                make(
+                    "ST420",
+                    f"{ref} names stage {binding.get('stage')!r} but the "
+                    f"config compiles {config.binding_stages} stage(s)",
+                    file=file,
+                    binding=index,
+                )
+            )
+
+        dist = _as_int(binding.get("dist"))
+        if dist is None or not 0 <= dist < config.counter_num:
+            diagnostics.append(
+                make(
+                    "ST422",
+                    f"{ref} targets distribution {binding.get('dist')!r} "
+                    f"outside [0, {config.counter_num})",
+                    file=file,
+                    binding=index,
+                )
+            )
+        else:
+            slot_users.setdefault(dist, []).append(ref)
+
+        kind = binding.get("kind", "frequency")
+        if kind not in _KINDS:
+            diagnostics.append(
+                make(
+                    "ST430",
+                    f"{ref} has unknown kind {kind!r} "
+                    f"(expected one of {', '.join(_KINDS)})",
+                    file=file,
+                    binding=index,
+                )
+            )
+            kind = None
+
+        percent = binding.get("percent")
+        if percent is not None:
+            as_int = _as_int(percent)
+            if as_int is None or not 0 < as_int < 100:
+                diagnostics.append(
+                    make(
+                        "ST423",
+                        f"{ref} tracks percentile {percent!r}; targets must "
+                        "lie strictly in (0, 100)",
+                        file=file,
+                        binding=index,
+                    )
+                )
+
+        if dist is not None and kind is not None:
+            is_sparse_slot = dist in config.sparse_dists
+            if kind == "sparse_frequency" and not is_sparse_slot:
+                diagnostics.append(
+                    make(
+                        "ST425",
+                        f"{ref} uses sparse tracking but slot {dist} is not "
+                        "in sparse_dists (hashed storage is compile-time)",
+                        file=file,
+                        binding=index,
+                    )
+                )
+            elif kind != "sparse_frequency" and is_sparse_slot:
+                diagnostics.append(
+                    make(
+                        "ST425",
+                        f"{ref} uses dense tracking on slot {dist}, which is "
+                        "compiled with hashed sparse storage",
+                        file=file,
+                        line=None,
+                        severity=Severity.WARNING,
+                        binding=index,
+                    )
+                )
+
+        accept_lo = _as_int(binding.get("accept_lo", 0)) or 0
+        accept_hi = _as_int(binding.get("accept_hi", 0)) or 0
+        if accept_hi > 0 and accept_lo >= accept_hi:
+            diagnostics.append(
+                make(
+                    "ST426",
+                    f"{ref} filter [{accept_lo}, {accept_hi}) admits no value",
+                    file=file,
+                    binding=index,
+                )
+            )
+
+        interval = binding.get("interval", 0)
+        if kind == "time_series" and not (
+            isinstance(interval, (int, float)) and interval > 0
+        ):
+            diagnostics.append(
+                make(
+                    "ST427",
+                    f"{ref} is a time series but has interval "
+                    f"{interval!r}; windowed tracking needs a positive one",
+                    file=file,
+                    binding=index,
+                )
+            )
+
+        window = _as_int(binding.get("window", 0)) or 0
+        if window > config.counter_size:
+            diagnostics.append(
+                make(
+                    "ST428",
+                    f"{ref} asks for a {window}-interval window but the slot "
+                    f"only has {config.counter_size} cells (clamped)",
+                    file=file,
+                    binding=index,
+                )
+            )
+        elif window > 0 and kind is not None and kind != "time_series":
+            diagnostics.append(
+                make(
+                    "ST428",
+                    f"{ref} sets a window on a {kind} binding; windows apply "
+                    "to time series",
+                    file=file,
+                    binding=index,
+                )
+            )
+
+    for dist, users in sorted(slot_users.items()):
+        if len(users) > 1:
+            diagnostics.append(
+                make(
+                    "ST421",
+                    f"distribution slot {dist} is fed by multiple bindings "
+                    f"({', '.join(users)}); concurrent updates corrupt its "
+                    "moments",
+                    file=file,
+                    dist=dist,
+                )
+            )
+    return diagnostics
+
+
+def check_ewma(
+    config: Stat4Config,
+    ewma: Mapping[str, object],
+    file: Optional[str] = None,
+) -> List[Diagnostic]:
+    """Check EWMA shift geometry against the stats register width.
+
+    ``mean += (x - mean) >> alpha_shift`` only works when the shift leaves
+    bits to fold in: a shift at or beyond the register width swallows
+    every error term (the mean never moves), and a shift beyond the
+    fixed-point fraction silently drops sub-unit errors.
+    """
+    diagnostics: List[Diagnostic] = []
+    alpha_shift = _as_int(ewma.get("alpha_shift", 3)) or 0
+    frac_bits = _as_int(ewma.get("frac_bits", 8)) or 0
+    if alpha_shift >= config.stats_width:
+        diagnostics.append(
+            make(
+                "ST424",
+                f"alpha_shift {alpha_shift} >= stats_width "
+                f"{config.stats_width}: every error term shifts to zero and "
+                "the EWMA never updates",
+                file=file,
+                alpha_shift=alpha_shift,
+                stats_width=config.stats_width,
+            )
+        )
+    elif alpha_shift > frac_bits:
+        diagnostics.append(
+            make(
+                "ST424",
+                f"alpha_shift {alpha_shift} exceeds frac_bits {frac_bits}: "
+                "sub-unit errors are truncated away (slow convergence)",
+                file=file,
+                severity=Severity.WARNING,
+                alpha_shift=alpha_shift,
+                frac_bits=frac_bits,
+            )
+        )
+    return diagnostics

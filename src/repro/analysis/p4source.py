@@ -1,0 +1,152 @@
+"""Static checks over P4-16 source (emitted by p4gen or hand-written).
+
+Two classes of check, both text-level (no p4c in the container):
+
+- **ST417** — inexpressible operators: a ``/`` or ``%`` in executable P4
+  is exactly the construct the paper's arithmetic exists to avoid, and a
+  Tofino-class target would reject it.  Comments and string-free
+  preprocessor lines are ignored.
+- **ST415/ST416** — declared-vs-required register widths: the register
+  declarations (``register<bit<W>>(size) name;`` resolved through
+  ``typedef bit<W> cell_t/stat_t``) are compared against the widths the
+  overflow dataflow derives from the deployment's value magnitude
+  (:func:`repro.analysis.dataflow.required_register_widths`), and against
+  the :class:`~repro.stat4.config.Stat4Config` the program was supposedly
+  generated from.
+
+``STAT_COUNTER_SIZE`` is read from the ``#define`` when no config is
+given, so a standalone ``repro lint program.p4 --max-value N`` works on a
+previously generated file.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.dataflow import required_register_widths
+from repro.analysis.diagnostics import Diagnostic, make
+from repro.stat4.config import Stat4Config
+
+__all__ = ["parse_p4_registers", "check_p4_source"]
+
+_TYPEDEF_RE = re.compile(r"typedef\s+bit<(\d+)>\s+(\w+)\s*;")
+_REGISTER_RE = re.compile(r"register<\s*(bit<\s*(\d+)\s*>|\w+)\s*>\s*\([^)]*\)\s+(\w+)\s*;")
+_DEFINE_RE = re.compile(r"#define\s+(\w+)\s+(\d+)")
+_BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+# A '/' that is not part of a '//' comment marker (those are stripped first).
+_DIVISION_RE = re.compile(r"/|%")
+
+
+def _strip_comments(source: str) -> str:
+    """Blank out comments, preserving line numbers."""
+    def _blank(match: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    without_blocks = _BLOCK_COMMENT_RE.sub(_blank, source)
+    lines = []
+    for line in without_blocks.splitlines():
+        cut = line.find("//")
+        lines.append(line[:cut] if cut >= 0 else line)
+    return "\n".join(lines)
+
+
+def parse_p4_registers(source: str) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """Extract ``(typedef widths, register widths)`` from P4 source.
+
+    Register widths are resolved through the typedefs; registers typed by
+    an unknown name are omitted.
+    """
+    stripped = _strip_comments(source)
+    typedefs = {name: int(width) for width, name in _TYPEDEF_RE.findall(stripped)}
+    registers: Dict[str, int] = {}
+    for type_name, direct_width, reg_name in _REGISTER_RE.findall(stripped):
+        if direct_width:
+            registers[reg_name] = int(direct_width)
+        elif type_name in typedefs:
+            registers[reg_name] = typedefs[type_name]
+    return typedefs, registers
+
+
+def _defined_macros(source: str) -> Dict[str, int]:
+    return {name: int(value) for name, value in _DEFINE_RE.findall(source)}
+
+
+def check_p4_source(
+    source: str,
+    config: Optional[Stat4Config] = None,
+    max_value: Optional[int] = None,
+    file: Optional[str] = None,
+) -> List[Diagnostic]:
+    """Check one P4 program; returns ST415/ST416/ST417 diagnostics."""
+    diagnostics: List[Diagnostic] = []
+    stripped = _strip_comments(source)
+
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        if line.lstrip().startswith("#"):
+            continue  # includes and defines carry no executable arithmetic
+        match = _DIVISION_RE.search(line)
+        if match:
+            diagnostics.append(
+                make(
+                    "ST417",
+                    f"inexpressible operator {match.group(0)!r} in P4 source",
+                    file=file,
+                    line=lineno,
+                    construct="division" if match.group(0) == "/" else "modulo",
+                )
+            )
+
+    typedefs, registers = parse_p4_registers(source)
+
+    if config is not None:
+        declared_cell = typedefs.get("cell_t")
+        declared_stat = typedefs.get("stat_t")
+        if declared_cell is not None and declared_cell != config.counter_width:
+            diagnostics.append(
+                make(
+                    "ST416",
+                    f"cell_t is bit<{declared_cell}> but the config says "
+                    f"counter_width={config.counter_width}",
+                    file=file,
+                    register="cell_t",
+                    declared=declared_cell,
+                    configured=config.counter_width,
+                )
+            )
+        if declared_stat is not None and declared_stat != config.stats_width:
+            diagnostics.append(
+                make(
+                    "ST416",
+                    f"stat_t is bit<{declared_stat}> but the config says "
+                    f"stats_width={config.stats_width}",
+                    file=file,
+                    register="stat_t",
+                    declared=declared_stat,
+                    configured=config.stats_width,
+                )
+            )
+
+    counter_size = (
+        config.counter_size
+        if config is not None
+        else _defined_macros(source).get("STAT_COUNTER_SIZE")
+    )
+    if max_value is not None and max_value > 0 and counter_size:
+        required = required_register_widths(counter_size, max_value)
+        for register, needed in sorted(required.items()):
+            declared = registers.get(register)
+            if declared is not None and declared < needed:
+                diagnostics.append(
+                    make(
+                        "ST415",
+                        f"{register} is declared {declared} bits but needs "
+                        f"{needed} for {counter_size} values of magnitude "
+                        f"{max_value}",
+                        file=file,
+                        register=register,
+                        declared=declared,
+                        required=needed,
+                    )
+                )
+    return diagnostics

@@ -55,6 +55,36 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("identify", help="victim-identification strategies")
     sub.add_parser("ablations", help="all design-choice ablations")
 
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis: expressibility, widths, binding tables (ST4xx)",
+    )
+    lint.add_argument(
+        "targets",
+        nargs="*",
+        help=(
+            "deployment .json, P4 .p4 source, Python file, directory, or "
+            "dotted module name (e.g. repro.core.stats)"
+        ),
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any error-severity diagnostic fires",
+    )
+    lint.add_argument(
+        "--max-value",
+        type=int,
+        default=None,
+        help="worst-case value magnitude for width checks on .p4 targets",
+    )
+    lint.add_argument(
+        "--rules", action="store_true", help="print the rule index and exit"
+    )
+
     generate = sub.add_parser(
         "generate", help="emit the P4-16 program for a configuration"
     )
@@ -202,6 +232,48 @@ def _cmd_ablations() -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import (
+        Severity,
+        analyze_target,
+        format_json,
+        format_text,
+        rule_index,
+    )
+
+    if args.rules:
+        print(rule_index())
+        return 0
+    if not args.targets:
+        print("repro lint: no targets given (see --rules for the rule index)")
+        return 2
+
+    reports = []
+    unresolved = []
+    for target in args.targets:
+        diagnostics, resolved = analyze_target(target, max_value=args.max_value)
+        if not resolved:
+            unresolved.append(target)
+            continue
+        reports.append((target, diagnostics))
+
+    if args.json:
+        print(format_json(reports))
+    else:
+        print(format_text(reports))
+    for target in unresolved:
+        print(f"repro lint: cannot resolve target {target!r}", file=sys.stderr)
+    if unresolved:
+        return 2
+    if args.strict and any(
+        diag.severity is Severity.ERROR
+        for _, diagnostics in reports
+        for diag in diagnostics
+    ):
+        return 1
+    return 0
+
+
 def _cmd_generate(args) -> int:
     from repro.p4gen import generate_p4
     from repro.stat4.config import Stat4Config
@@ -245,6 +317,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_identify()
     if args.command == "ablations":
         return _cmd_ablations()
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "generate":
         return _cmd_generate(args)
     raise AssertionError(f"unhandled command {args.command!r}")

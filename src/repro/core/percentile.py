@@ -149,7 +149,7 @@ class PercentileTracker:
         if self._position is None:
             return 0
         steps = 0
-        while steps < max_steps:
+        while steps < max_steps:  # p4-ok: bounded by compile-time steps_per_update
             if self._should_move_up() and self._position < self.domain_size - 1:
                 # Everything at the old position now lies below the tracker.
                 self.low += self.freqs[self._position]

@@ -1,3 +1,4 @@
+# p4-ok-file: host-side floating-point ground truth (the Figure-5 validation host)
 """Floating-point reference statistics (Welford) and exact percentiles.
 
 The paper explicitly *cannot* use Welford's online algorithm in the data

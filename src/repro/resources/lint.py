@@ -1,39 +1,30 @@
-"""Static P4-expressibility lint.
+"""Static P4-expressibility lint (compatibility surface).
 
 The whole point of the paper is that its statistics avoid operations P4
-cannot express.  This linter makes that claim *checkable*: it parses a
-module's source and reports every construct that has no P4 counterpart —
+cannot express.  The actual checker now lives in
+:mod:`repro.analysis.expressibility` — the rule-registry analyzer behind
+``repro lint`` — which also closes this module's historical blind spot:
+``from math import sqrt`` followed by a bare ``sqrt(x)`` is flagged just
+like ``math.sqrt(x)``, as are aliased imports (``import numpy as anything``).
 
-- division (``/``, ``//``), modulo (``%``) and exponentiation (``**``);
-- float literals and calls into :mod:`math`;
-- ``while`` loops (data-dependent iteration; ``for`` over a fixed ``range``
-  is accepted as compiler unrolling, matching how the MSB if-chain and the
-  parser's bounded traversal map to hardware).
-
-The test suite runs it over every module that claims P4 expressibility
-(:mod:`repro.core` except the Welford reference, and the Stat4 update
-paths), so a regression that sneaks a division into the data plane fails CI
-rather than a hardware port.
+This module keeps the original lightweight API (:class:`LintViolation`,
+:func:`lint_source`, :func:`lint_module`, :func:`assert_p4_expressible`)
+that the test suite and downstream callers use; violations are the
+analyzer's error-severity diagnostics re-shaped.  Lines suppressed with a
+``# p4-ok`` pragma are accepted here too.
 """
 
 from __future__ import annotations
 
-import ast
 import inspect
 from dataclasses import dataclass
 from types import ModuleType
 from typing import List, Union
 
+from repro.analysis.diagnostics import Severity
+from repro.analysis.expressibility import scan_source
+
 __all__ = ["LintViolation", "lint_source", "lint_module", "assert_p4_expressible"]
-
-_FORBIDDEN_BINOPS = {
-    ast.Div: "division",
-    ast.FloorDiv: "integer division",
-    ast.Mod: "modulo",
-    ast.Pow: "exponentiation",
-}
-
-_FORBIDDEN_CALL_MODULES = {"math", "numpy", "np", "statistics"}
 
 
 @dataclass(frozen=True)
@@ -48,56 +39,17 @@ class LintViolation:
         return f"line {self.line}: {self.construct} ({self.detail})"
 
 
-class _Visitor(ast.NodeVisitor):
-    def __init__(self):
-        self.violations: List[LintViolation] = []
-
-    def _flag(self, node: ast.AST, construct: str, detail: str) -> None:
-        self.violations.append(
-            LintViolation(line=getattr(node, "lineno", 0), construct=construct, detail=detail)
-        )
-
-    def visit_BinOp(self, node: ast.BinOp) -> None:
-        for op_type, name in _FORBIDDEN_BINOPS.items():
-            if isinstance(node.op, op_type):
-                self._flag(node, name, "P4 ALUs have no divider")
-        self.generic_visit(node)
-
-    def visit_AugAssign(self, node: ast.AugAssign) -> None:
-        for op_type, name in _FORBIDDEN_BINOPS.items():
-            if isinstance(node.op, op_type):
-                self._flag(node, name, "P4 ALUs have no divider")
-        self.generic_visit(node)
-
-    def visit_Constant(self, node: ast.Constant) -> None:
-        if isinstance(node.value, float):
-            self._flag(node, "float literal", f"{node.value!r}")
-        self.generic_visit(node)
-
-    def visit_While(self, node: ast.While) -> None:
-        self._flag(node, "while loop", "data-dependent iteration")
-        self.generic_visit(node)
-
-    def visit_Call(self, node: ast.Call) -> None:
-        func = node.func
-        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
-            if func.value.id in _FORBIDDEN_CALL_MODULES:
-                self._flag(
-                    node,
-                    "library call",
-                    f"{func.value.id}.{func.attr} is not a switch primitive",
-                )
-        if isinstance(func, ast.Name) and func.id in {"float", "divmod", "pow"}:
-            self._flag(node, "builtin call", f"{func.id}()")
-        self.generic_visit(node)
-
-
 def lint_source(source: str) -> List[LintViolation]:
     """Lint Python source text; returns all violations found."""
-    tree = ast.parse(source)
-    visitor = _Visitor()
-    visitor.visit(tree)
-    return visitor.violations
+    return [
+        LintViolation(
+            line=diag.line or 0,
+            construct=str(diag.context.get("construct", diag.code)),
+            detail=str(diag.context.get("detail", diag.message)),
+        )
+        for diag in scan_source(source)
+        if diag.severity is not Severity.INFO
+    ]
 
 
 def lint_module(module: Union[ModuleType, str]) -> List[LintViolation]:

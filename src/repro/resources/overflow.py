@@ -1,132 +1,19 @@
-"""Register-overflow analysis: how long until Xsumsq wraps?
+"""Register-overflow analysis (compatibility surface).
 
-P4 registers wrap silently.  The paper's measure registers hold
-``Xsum = Σxᵢ`` and ``Xsumsq = Σxᵢ²``; at a given value magnitude and
-distribution size, each has a hard ceiling before the next update wraps
-and every derived measure goes quietly wrong.  This module computes those
-ceilings so a deployment can be checked *before* it is compiled — the
-static counterpart of the Sec. 2 order-of-magnitude discussion (counting
-in coarse units exists precisely to keep these sums small).
-
-All bounds are conservative (worst case: every value at ``max_value``).
+P4 registers wrap silently; the paper's Sec. 2 order-of-magnitude trick
+exists precisely to keep ``Xsum``/``Xsumsq`` small enough to fit.  The
+computation moved into :mod:`repro.analysis.dataflow`, the width/overflow
+pass of the ``repro lint`` analyzer, which also reports the bounds as
+structured ST41x diagnostics; this module keeps the original import
+surface for callers that want the raw numbers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
-
-from repro.stat4.config import Stat4Config
+from repro.analysis.dataflow import (
+    OverflowBound,
+    analyze_overflow,
+    safe_unit_shift,
+)
 
 __all__ = ["OverflowBound", "analyze_overflow", "safe_unit_shift"]
-
-
-@dataclass(frozen=True)
-class OverflowBound:
-    """Worst-case capacity of one measure register.
-
-    Attributes:
-        register: register name.
-        width: bit width.
-        max_safe_values: distribution sizes N the register can absorb with
-            every value at ``max_value`` (None-like huge numbers capped).
-        limiting: whether this register is the binding constraint.
-    """
-
-    register: str
-    width: int
-    max_safe_values: int
-    limiting: bool = False
-
-
-def _floor_div_pow2(value: int, divisor: int) -> int:
-    # Host-side analysis; plain division is fine here.
-    return value // divisor if divisor else 0
-
-
-def analyze_overflow(
-    config: Stat4Config, max_value: int
-) -> List[OverflowBound]:
-    """Bound how many worst-case values each measure register can absorb.
-
-    Args:
-        config: the deployment's register widths.
-        max_value: the largest value of interest a cell can hold (e.g. the
-            packets-per-interval ceiling, or 2^counter_width - 1).
-
-    Returns:
-        one bound per relevant register, with the binding constraint
-        flagged.  ``variance`` uses ``N·Xsumsq`` headroom, the largest
-        intermediate the paper's formula needs.
-    """
-    if max_value <= 0:
-        raise ValueError("max_value must be positive")
-    stats_cap = (1 << config.stats_width) - 1
-    cell_cap = (1 << config.counter_width) - 1
-    if max_value > cell_cap:
-        raise ValueError(
-            f"max_value {max_value} exceeds the cell width "
-            f"({config.counter_width} bits)"
-        )
-    bounds = [
-        OverflowBound(
-            register="stat4_counters",
-            width=config.counter_width,
-            max_safe_values=config.counter_size if max_value <= cell_cap else 0,
-        ),
-        OverflowBound(
-            register="stat4_xsum",
-            width=config.stats_width,
-            max_safe_values=_floor_div_pow2(stats_cap, max_value),
-        ),
-        OverflowBound(
-            register="stat4_xsumsq",
-            width=config.stats_width,
-            max_safe_values=_floor_div_pow2(stats_cap, max_value * max_value),
-        ),
-        OverflowBound(
-            register="stat4_var (N*Xsumsq)",
-            width=config.stats_width,
-            # N * N * max^2 <= cap  =>  N <= sqrt(cap / max^2)
-            max_safe_values=_isqrt(_floor_div_pow2(stats_cap, max_value * max_value)),
-        ),
-    ]
-    tightest = min(bounds[1:], key=lambda bound: bound.max_safe_values)
-    return [
-        OverflowBound(
-            register=bound.register,
-            width=bound.width,
-            max_safe_values=bound.max_safe_values,
-            limiting=(bound is tightest),
-        )
-        for bound in bounds
-    ]
-
-
-def _isqrt(value: int) -> int:
-    # Exact integer sqrt (host-side; not the data-plane approximation).
-    if value < 0:
-        raise ValueError("negative")
-    x = value
-    y = (x + 1) >> 1
-    while y < x:
-        x = y
-        y = (x + value // x) >> 1 if x else 0
-    return x
-
-
-def safe_unit_shift(config: Stat4Config, max_raw_value: int) -> int:
-    """Smallest unit shift making the deployment overflow-safe.
-
-    The Sec. 2 trick operationalized: find the least ``k`` such that
-    counting in ``2^k`` units lets every measure register absorb a full
-    distribution (``counter_size`` values) of worst-case magnitude.
-    """
-    for shift in range(0, 64):
-        coarse = max(max_raw_value >> shift, 1)
-        bounds = analyze_overflow(config, coarse)
-        if all(
-            bound.max_safe_values >= config.counter_size for bound in bounds
-        ):
-            return shift
-    raise ValueError("no unit shift makes this configuration safe")

@@ -128,6 +128,8 @@ class TrackSpec:
                 raise ValueRangeError("percent must be in (0, 100)")
         if self.percentile_alert and self.percent is None:
             raise ValueRangeError("percentile_alert requires percent")
+        if self.cooldown < 0:
+            raise ValueRangeError("cooldown cannot be negative")
         if self.accept_lo < 0 or self.accept_hi < 0:
             raise ValueRangeError("accept bounds cannot be negative")
         if self.accept_hi > 0 and self.accept_lo >= self.accept_hi:
@@ -143,16 +145,6 @@ class TrackSpec:
         if value < self.accept_lo:
             return False
         return self.accept_hi == 0 or value < self.accept_hi
-        if self.cooldown < 0:
-            raise ValueRangeError("cooldown cannot be negative")
-        if self.percent is not None:
-            if self.kind is not DistributionKind.FREQUENCY:
-                raise ValueRangeError(
-                    "percentiles apply to dense frequency distributions "
-                    "(a sparse hashed domain has no cell ordering to walk)"
-                )
-            if not 0 < self.percent < 100:
-                raise ValueRangeError("percent must be in (0, 100)")
 
 
 @dataclass

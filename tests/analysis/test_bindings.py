@@ -1,0 +1,178 @@
+"""Binding-table consistency rules: ST42x, firing and clean."""
+
+from repro.analysis import check_bindings, check_ewma
+from repro.analysis.diagnostics import Severity
+from repro.stat4.config import Stat4Config
+
+CONFIG = Stat4Config(counter_num=8, counter_size=256, binding_stages=2)
+
+
+def codes(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+def one(binding, config=CONFIG):
+    return check_bindings(config, [binding])
+
+
+class TestST420Stage:
+    def test_fires_on_out_of_range_stage(self):
+        assert "ST420" in codes(one({"stage": 5, "dist": 0}))
+
+    def test_clean_on_valid_stage(self):
+        assert "ST420" not in codes(one({"stage": 1, "dist": 0}))
+
+
+class TestST421DuplicateSlot:
+    def test_fires_when_two_bindings_share_a_slot(self):
+        diagnostics = check_bindings(
+            CONFIG,
+            [
+                {"stage": 0, "dist": 3},
+                {"stage": 1, "dist": 3},
+            ],
+        )
+        assert "ST421" in codes(diagnostics)
+
+    def test_clean_on_distinct_slots(self):
+        diagnostics = check_bindings(
+            CONFIG,
+            [
+                {"stage": 0, "dist": 3},
+                {"stage": 1, "dist": 4},
+            ],
+        )
+        assert "ST421" not in codes(diagnostics)
+
+
+class TestST422DanglingDist:
+    def test_fires_on_out_of_range_dist(self):
+        assert "ST422" in codes(one({"stage": 0, "dist": 12}))
+
+    def test_fires_on_missing_dist(self):
+        assert "ST422" in codes(one({"stage": 0}))
+
+    def test_clean_on_valid_dist(self):
+        assert "ST422" not in codes(one({"stage": 0, "dist": 7}))
+
+
+class TestST423Percentile:
+    def test_fires_above_100(self):
+        assert "ST423" in codes(one({"stage": 0, "dist": 0, "percent": 150}))
+
+    def test_fires_on_boundaries(self):
+        assert "ST423" in codes(one({"stage": 0, "dist": 0, "percent": 0}))
+        assert "ST423" in codes(one({"stage": 0, "dist": 0, "percent": 100}))
+
+    def test_clean_inside_range(self):
+        assert "ST423" not in codes(one({"stage": 0, "dist": 0, "percent": 50}))
+
+
+class TestST424Ewma:
+    def test_fires_when_shift_swallows_the_register(self):
+        diagnostics = check_ewma(
+            Stat4Config(stats_width=32), {"alpha_shift": 40, "frac_bits": 8}
+        )
+        assert codes(diagnostics) == ["ST424"]
+        assert diagnostics[0].severity is Severity.ERROR
+
+    def test_warns_when_shift_exceeds_frac_bits(self):
+        diagnostics = check_ewma(
+            Stat4Config(stats_width=64), {"alpha_shift": 12, "frac_bits": 8}
+        )
+        assert codes(diagnostics) == ["ST424"]
+        assert diagnostics[0].severity is Severity.WARNING
+
+    def test_clean_on_default_geometry(self):
+        assert check_ewma(CONFIG, {"alpha_shift": 3, "frac_bits": 8}) == []
+
+
+class TestST425SparseMismatch:
+    SPARSE = Stat4Config(counter_num=8, sparse_dists=(2,))
+
+    def test_fires_on_sparse_kind_for_dense_slot(self):
+        diagnostics = one(
+            {"stage": 0, "dist": 1, "kind": "sparse_frequency"},
+            config=self.SPARSE,
+        )
+        fired = [d for d in diagnostics if d.code == "ST425"]
+        assert fired and fired[0].severity is Severity.ERROR
+
+    def test_warns_on_dense_kind_for_sparse_slot(self):
+        diagnostics = one(
+            {"stage": 0, "dist": 2, "kind": "frequency"}, config=self.SPARSE
+        )
+        fired = [d for d in diagnostics if d.code == "ST425"]
+        assert fired and fired[0].severity is Severity.WARNING
+
+    def test_clean_on_matching_kinds(self):
+        diagnostics = one(
+            {"stage": 0, "dist": 2, "kind": "sparse_frequency"},
+            config=self.SPARSE,
+        )
+        assert "ST425" not in codes(diagnostics)
+
+
+class TestST426AcceptWindow:
+    def test_fires_on_empty_window(self):
+        assert "ST426" in codes(
+            one({"stage": 0, "dist": 0, "accept_lo": 10, "accept_hi": 10})
+        )
+
+    def test_clean_on_open_upper_bound(self):
+        assert "ST426" not in codes(
+            one({"stage": 0, "dist": 0, "accept_lo": 10, "accept_hi": 0})
+        )
+
+
+class TestST427Interval:
+    def test_fires_on_time_series_without_interval(self):
+        assert "ST427" in codes(
+            one({"stage": 0, "dist": 0, "kind": "time_series"})
+        )
+
+    def test_clean_with_positive_interval(self):
+        assert "ST427" not in codes(
+            one({"stage": 0, "dist": 0, "kind": "time_series", "interval": 0.05})
+        )
+
+
+class TestST428Window:
+    def test_fires_when_window_exceeds_cells(self):
+        assert "ST428" in codes(
+            one(
+                {
+                    "stage": 0,
+                    "dist": 0,
+                    "kind": "time_series",
+                    "interval": 0.05,
+                    "window": 1000,
+                }
+            )
+        )
+
+    def test_fires_on_window_for_frequency(self):
+        assert "ST428" in codes(
+            one({"stage": 0, "dist": 0, "kind": "frequency", "window": 10})
+        )
+
+    def test_clean_on_prefix_window(self):
+        assert "ST428" not in codes(
+            one(
+                {
+                    "stage": 0,
+                    "dist": 0,
+                    "kind": "time_series",
+                    "interval": 0.05,
+                    "window": 100,
+                }
+            )
+        )
+
+
+class TestST430UnknownKind:
+    def test_fires_on_unknown_kind(self):
+        assert "ST430" in codes(one({"stage": 0, "dist": 0, "kind": "exotic"}))
+
+    def test_clean_binding_has_no_diagnostics(self):
+        assert one({"stage": 0, "dist": 0, "kind": "frequency"}) == []

@@ -1,0 +1,96 @@
+"""The analyzer as a CI gate (tier-1).
+
+Every module that claims P4 expressibility and every example deployment
+config is analyzed on every test run, so a regression — a division
+sneaking into a data-plane path, a config drifting past its register
+widths — fails ``pytest`` rather than a hardware port.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.analysis import (
+    P4_CLAIMING_MODULES,
+    RULES,
+    Severity,
+    analyze_deployment,
+    check_p4_source,
+    load_deployment,
+    scan_module,
+)
+from repro.p4gen import generate_p4
+from repro.stat4.config import DEFAULT_CONFIG
+
+CONFIG_DIR = os.path.normpath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "examples", "configs")
+)
+CONFIG_FILES = sorted(glob.glob(os.path.join(CONFIG_DIR, "*.json")))
+CLEAN_CONFIGS = [p for p in CONFIG_FILES if "known_bad" not in p]
+
+
+def errors(diagnostics):
+    return [d for d in diagnostics if d.severity is Severity.ERROR]
+
+
+@pytest.mark.parametrize("module_name", P4_CLAIMING_MODULES)
+def test_p4_claiming_module_is_clean(module_name):
+    diagnostics = errors(scan_module(module_name))
+    assert diagnostics == [], "\n".join(str(d) for d in diagnostics)
+
+
+def test_core_package_walk_is_clean():
+    # The whole package, Welford excepted via its file pragma.
+    diagnostics = errors(scan_module("repro.core"))
+    assert diagnostics == [], "\n".join(str(d) for d in diagnostics)
+
+
+def test_example_configs_exist():
+    assert len(CLEAN_CONFIGS) >= 3
+    assert len(CLEAN_CONFIGS) < len(CONFIG_FILES)  # known_bad is present
+
+
+@pytest.mark.parametrize(
+    "path", CLEAN_CONFIGS, ids=[os.path.basename(p) for p in CLEAN_CONFIGS]
+)
+def test_example_config_is_clean(path):
+    spec, diagnostics = load_deployment(path)
+    assert spec is not None
+    diagnostics = errors(diagnostics + analyze_deployment(spec))
+    assert diagnostics == [], "\n".join(str(d) for d in diagnostics)
+
+
+def test_known_bad_config_still_fails():
+    # The negative control: if the analyzer ever stops catching the
+    # known-bad deployment, the gate itself has regressed.
+    spec, diagnostics = load_deployment(os.path.join(CONFIG_DIR, "known_bad.json"))
+    assert spec is not None
+    assert len(errors(diagnostics + analyze_deployment(spec))) >= 5
+
+
+def test_docs_mirror_the_rule_registry():
+    # docs/P4_MAPPING.md promises one table row per registered rule; a new
+    # or renamed rule must land in the docs in the same change.
+    docs = os.path.normpath(
+        os.path.join(os.path.dirname(__file__), "..", "..", "docs", "P4_MAPPING.md")
+    )
+    with open(docs, encoding="utf-8") as handle:
+        text = handle.read()
+    for code, rule in RULES.items():
+        row = next(
+            (line for line in text.splitlines() if line.startswith(f"| {code} ")),
+            None,
+        )
+        assert row is not None, f"{code} has no table row in P4_MAPPING.md"
+        assert f"| {rule.severity.value} |" in row
+        assert rule.title in row
+
+
+def test_default_generated_program_is_clean():
+    diagnostics = errors(
+        check_p4_source(
+            generate_p4(DEFAULT_CONFIG), config=DEFAULT_CONFIG, max_value=10_000
+        )
+    )
+    assert diagnostics == [], "\n".join(str(d) for d in diagnostics)

@@ -1,0 +1,128 @@
+"""The ``repro lint`` CLI: golden JSON, --strict semantics, rule index."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples", "configs")
+KNOWN_BAD = os.path.normpath(os.path.join(EXAMPLES, "known_bad.json"))
+CASE_STUDY = os.path.normpath(os.path.join(EXAMPLES, "case_study.json"))
+
+#: What the known-bad deployment must produce — the golden rule profile.
+#: (code, severity) sorted as the JSON report sorts.  A change here is a
+#: deliberate analyzer behavior change and must update the docs too.
+KNOWN_BAD_PROFILE = sorted(
+    [
+        ("ST411", "error"),  # xsumsq wraps inside one distribution
+        ("ST411", "error"),  # N*Xsumsq intermediate wraps too
+        ("ST413", "info"),  # ...but a unit shift would fix both
+        ("ST415", "error"),  # p4gen output: xsumsq declared too narrow
+        ("ST415", "error"),  # p4gen output: var declared too narrow
+        ("ST420", "error"),  # stage 5 of 2
+        ("ST421", "error"),  # two bindings feed slot 3
+        ("ST422", "error"),  # dist 12 of 8
+        ("ST423", "error"),  # percentile 150
+        ("ST424", "error"),  # EWMA alpha_shift 40 >= stats_width 32
+        ("ST427", "error"),  # time series without interval
+    ]
+)
+
+
+class TestGoldenJson:
+    def test_known_bad_profile(self, capsys):
+        exit_code = main(["lint", "--json", KNOWN_BAD])
+        report = json.loads(capsys.readouterr().out)
+        assert exit_code == 0  # non-strict: report, don't fail
+        assert report["version"] == 1
+        (target,) = report["targets"]
+        assert target["target"] == KNOWN_BAD
+        produced = sorted(
+            (d["code"], d["severity"]) for d in target["diagnostics"]
+        )
+        assert produced == KNOWN_BAD_PROFILE
+        assert report["summary"] == {"error": 10, "warning": 0, "info": 1}
+
+    def test_diagnostics_carry_context(self, capsys):
+        main(["lint", "--json", KNOWN_BAD])
+        report = json.loads(capsys.readouterr().out)
+        diagnostics = report["targets"][0]["diagnostics"]
+        by_code = {}
+        for diag in diagnostics:
+            by_code.setdefault(diag["code"], diag)
+        assert by_code["ST411"]["context"]["register"] in (
+            "stat4_xsumsq",
+            "stat4_var (N*Xsumsq)",
+        )
+        assert by_code["ST415"]["context"]["origin"] == "p4gen"
+        assert by_code["ST413"]["context"]["unit_shift"] == 10
+        assert all(d["file"] == KNOWN_BAD for d in diagnostics)
+
+    def test_clean_config_empty_report(self, capsys):
+        exit_code = main(["lint", "--json", CASE_STUDY])
+        report = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert report["targets"][0]["diagnostics"] == []
+        assert report["summary"] == {"error": 0, "warning": 0, "info": 0}
+
+
+class TestStrictSemantics:
+    def test_strict_fails_on_errors(self, capsys):
+        assert main(["lint", "--strict", KNOWN_BAD]) == 1
+
+    def test_strict_passes_clean_targets(self, capsys):
+        assert main(["lint", "--strict", CASE_STUDY]) == 0
+
+    def test_non_strict_always_reports_zero(self, capsys):
+        assert main(["lint", KNOWN_BAD]) == 0
+
+    def test_unresolvable_target_exits_two(self, capsys):
+        assert main(["lint", "no/such/file.json"]) == 2
+
+    def test_no_targets_exits_two(self, capsys):
+        assert main(["lint"]) == 2
+
+
+class TestTextOutput:
+    def test_text_lists_codes_and_summary(self, capsys):
+        main(["lint", KNOWN_BAD])
+        out = capsys.readouterr().out
+        assert "ST422 error" in out
+        assert "10 error(s), 0 warning(s), 1 info(s)" in out
+
+    def test_clean_target_says_clean(self, capsys):
+        main(["lint", CASE_STUDY])
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_module_target_by_dotted_name(self, capsys):
+        assert main(["lint", "--strict", "repro.core.stats"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+class TestRuleIndex:
+    def test_rules_flag_prints_every_code(self, capsys):
+        from repro.analysis import RULES
+
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for code in RULES:
+            assert code in out
+
+
+class TestP4Target:
+    def test_p4_file_with_max_value(self, tmp_path, capsys):
+        from repro.p4gen import generate_p4
+        from repro.stat4.config import Stat4Config
+
+        path = tmp_path / "narrow.p4"
+        path.write_text(generate_p4(Stat4Config(stats_width=32)))
+        exit_code = main(
+            ["lint", "--strict", "--json", "--max-value", str(1 << 17), str(path)]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        codes = {d["code"] for d in report["targets"][0]["diagnostics"]}
+        assert "ST415" in codes

@@ -1,0 +1,194 @@
+"""Expressibility pass: one firing and one clean fixture per ST40x rule."""
+
+import textwrap
+
+from repro.analysis import Severity, scan_file, scan_package_dir, scan_source
+
+
+def codes(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+class TestST401Arithmetic:
+    def test_fires_on_division(self):
+        assert "ST401" in codes(scan_source("x = a / b"))
+
+    def test_fires_on_floor_division(self):
+        assert "ST401" in codes(scan_source("x = a // b"))
+
+    def test_fires_on_modulo(self):
+        assert "ST401" in codes(scan_source("x = a % b"))
+
+    def test_fires_on_pow(self):
+        assert "ST401" in codes(scan_source("x = a ** 2"))
+
+    def test_fires_on_augmented(self):
+        assert "ST401" in codes(scan_source("x //= 2"))
+
+    def test_clean_on_shift_add_mask(self):
+        source = "x = (a << 1) + (b >> 2) & 0xFF\ny = a - b\nz = a * 4"
+        assert scan_source(source) == []
+
+
+class TestST402FloatLiteral:
+    def test_fires(self):
+        assert "ST402" in codes(scan_source("x = 0.5"))
+
+    def test_clean_on_integers(self):
+        assert scan_source("x = 5\ny = 1 << 20") == []
+
+
+class TestST403LibraryCall:
+    def test_fires_on_attribute_call(self):
+        assert "ST403" in codes(scan_source("import math\nx = math.sqrt(2)"))
+
+    def test_fires_on_from_import_bypass(self):
+        # The historical blind spot: a bare name bound by ImportFrom.
+        source = "from math import sqrt\nx = sqrt(2)"
+        assert "ST403" in codes(scan_source(source))
+
+    def test_fires_on_renamed_from_import(self):
+        source = "from math import sqrt as s\nx = s(2)"
+        assert "ST403" in codes(scan_source(source))
+
+    def test_fires_on_aliased_module(self):
+        source = "import numpy as anything\nx = anything.mean(v)"
+        assert "ST403" in codes(scan_source(source))
+
+    def test_clean_on_unrelated_from_import(self):
+        source = "from repro.core.bitops import msb_index\nx = msb_index(4)"
+        assert "ST403" not in codes(scan_source(source))
+
+
+class TestST404BuiltinCall:
+    def test_fires_on_float_builtin(self):
+        assert "ST404" in codes(scan_source("x = float(3)"))
+
+    def test_fires_on_divmod(self):
+        assert "ST404" in codes(scan_source("q, r = divmod(a, b)"))
+
+    def test_clean_on_allowed_builtins(self):
+        assert scan_source("x = max(1, min(2, 3))") == []
+
+
+class TestST405Loops:
+    def test_fires_on_while(self):
+        assert "ST405" in codes(scan_source("while x:\n    pass"))
+
+    def test_clean_on_bounded_for(self):
+        assert scan_source("for i in range(8):\n    x = x + i") == []
+
+
+class TestST406Suppression:
+    def test_pragma_downgrades_to_info(self):
+        source = "while x:  # p4-ok: bounded elsewhere\n    pass"
+        diagnostics = scan_source(source)
+        assert codes(diagnostics) == ["ST406"]
+        assert diagnostics[0].severity is Severity.INFO
+        assert diagnostics[0].context["suppressed"] == "ST405"
+
+    def test_pragma_only_covers_its_line(self):
+        source = "while x:  # p4-ok\n    y = a / b"
+        assert "ST401" in codes(scan_source(source))
+
+    def test_file_pragma_skips_in_package_walk(self, tmp_path):
+        bad = tmp_path / "hostside.py"
+        bad.write_text("# p4-ok-file: reference\nx = 1.5\n")
+        diagnostics = scan_package_dir(str(tmp_path))
+        assert codes(diagnostics) == ["ST406"]
+
+    def test_file_pragma_ignored_on_direct_scan(self):
+        source = "# p4-ok-file: reference\nx = 1.5\n"
+        assert "ST402" in codes(scan_source(source))
+
+
+class TestCallGraphFollowing:
+    def _write(self, tmp_path, name, source):
+        path = tmp_path / name
+        path.write_text(textwrap.dedent(source))
+        return str(path)
+
+    def test_follows_from_imported_helper(self, tmp_path):
+        self._write(
+            tmp_path,
+            "helper.py",
+            """
+            def ratio(a, b):
+                return a / b
+            """,
+        )
+        root = self._write(
+            tmp_path,
+            "update.py",
+            """
+            from helper import ratio
+
+            def step(x, total):
+                return ratio(x, total)
+            """,
+        )
+        diagnostics = scan_file(root)
+        assert "ST401" in codes(diagnostics)
+        flagged = [d for d in diagnostics if d.code == "ST401"]
+        assert flagged[0].file.endswith("helper.py")
+
+    def test_follows_transitively(self, tmp_path):
+        self._write(
+            tmp_path,
+            "deep.py",
+            """
+            def inner(v):
+                return v % 7
+            """,
+        )
+        self._write(
+            tmp_path,
+            "mid.py",
+            """
+            from deep import inner
+
+            def outer(v):
+                return inner(v)
+            """,
+        )
+        root = self._write(
+            tmp_path,
+            "entry.py",
+            """
+            from mid import outer
+
+            def run(v):
+                return outer(v)
+            """,
+        )
+        assert "ST401" in codes(scan_file(root))
+
+    def test_uncalled_helpers_not_followed(self, tmp_path):
+        self._write(
+            tmp_path,
+            "helper.py",
+            """
+            def dirty(a, b):
+                return a / b
+            """,
+        )
+        root = self._write(
+            tmp_path,
+            "update.py",
+            """
+            from helper import dirty
+
+            def step(x):
+                return x + 1
+            """,
+        )
+        assert scan_file(root) == []
+
+    def test_package_walk_covers_every_file(self, tmp_path):
+        self._write(tmp_path, "clean.py", "x = 1\n")
+        self._write(tmp_path, "dirty.py", "y = 2.5\n")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "worse.py").write_text("z = a % b\n")
+        diagnostics = scan_package_dir(str(tmp_path))
+        assert codes(diagnostics) == ["ST401", "ST402"]

@@ -1,0 +1,113 @@
+"""P4-source pass: declared-vs-required widths and operators (ST415-417)."""
+
+import textwrap
+
+from repro.analysis import check_p4_source
+from repro.p4gen import generate_p4
+from repro.stat4.config import Stat4Config
+
+
+def codes(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+def snippet(stats_width=64, counter_size=256):
+    return textwrap.dedent(
+        f"""
+        // generated test fixture
+        #define STAT_COUNTER_SIZE {counter_size}
+        typedef bit<32> cell_t;
+        typedef bit<{stats_width}> stat_t;
+        register<cell_t>(2048) stat4_counters;
+        register<stat_t>(8) stat4_xsum;
+        register<stat_t>(8) stat4_xsumsq;
+        register<stat_t>(8) stat4_var;
+        """
+    )
+
+
+class TestST415DeclaredVsRequired:
+    def test_fires_when_register_too_narrow(self):
+        diagnostics = check_p4_source(
+            snippet(stats_width=32),
+            config=Stat4Config(stats_width=32),
+            max_value=1 << 17,
+        )
+        fired = {d.context["register"] for d in diagnostics if d.code == "ST415"}
+        assert fired == {"stat4_xsumsq", "stat4_var"}
+
+    def test_clean_when_widths_suffice(self):
+        diagnostics = check_p4_source(
+            snippet(stats_width=64),
+            config=Stat4Config(stats_width=64),
+            max_value=10_000,
+        )
+        assert diagnostics == []
+
+    def test_counter_size_read_from_define_without_config(self):
+        # Standalone .p4 analysis: geometry comes from the #define.
+        diagnostics = check_p4_source(snippet(stats_width=32), max_value=1 << 17)
+        assert "ST415" in codes(diagnostics)
+
+
+class TestST416TypedefDrift:
+    def test_fires_when_typedef_disagrees_with_config(self):
+        diagnostics = check_p4_source(
+            snippet(stats_width=32),
+            config=Stat4Config(stats_width=64),
+        )
+        assert codes(diagnostics) == ["ST416"]
+
+    def test_clean_when_typedefs_match(self):
+        diagnostics = check_p4_source(
+            snippet(stats_width=64), config=Stat4Config(stats_width=64)
+        )
+        assert diagnostics == []
+
+
+class TestST417Operators:
+    def test_fires_on_division(self):
+        source = "control C() { apply { x = a / b; } }"
+        diagnostics = check_p4_source(source)
+        assert codes(diagnostics) == ["ST417"]
+
+    def test_fires_on_modulo(self):
+        source = "control C() { apply { x = a % b; } }"
+        assert "ST417" in codes(check_p4_source(source))
+
+    def test_comments_and_preprocessor_lines_ignored(self):
+        source = textwrap.dedent(
+            """
+            #include <core.p4>
+            // a / in a comment is fine
+            /* and a % inside
+               a block comment / too */
+            control C() { apply { x = a + b; } }
+            """
+        )
+        assert check_p4_source(source) == []
+
+
+class TestGeneratedProgram:
+    def test_default_emission_is_clean(self):
+        config = Stat4Config()
+        diagnostics = check_p4_source(
+            generate_p4(config), config=config, max_value=10_000
+        )
+        assert diagnostics == []
+
+    def test_sparse_emission_is_clean(self):
+        config = Stat4Config(sparse_dists=(2,))
+        diagnostics = check_p4_source(
+            generate_p4(config), config=config, max_value=1024
+        )
+        assert diagnostics == []
+
+    def test_narrow_config_emission_flags_width(self):
+        # Asking p4gen for 32-bit stats registers at 2^17 magnitudes must
+        # trip the declared-vs-required check on its own output.
+        config = Stat4Config(stats_width=32)
+        diagnostics = check_p4_source(
+            generate_p4(config), config=config, max_value=1 << 17
+        )
+        assert "ST415" in codes(diagnostics)
