@@ -9,9 +9,29 @@ not the wall-clock of the driver.
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+pytest-benchmark is optional: without it every bench skips cleanly
+(``pytest benchmarks/`` stays green) instead of erroring on the missing
+``benchmark`` fixture.
 """
 
 from __future__ import annotations
+
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip (not error) every bench when pytest-benchmark is unavailable.
+
+    Checking plugin registration rather than package importability also
+    covers a disabled plugin (``-p no:benchmark``).
+    """
+    if config.pluginmanager.hasplugin("benchmark"):
+        return
+    skip = pytest.mark.skip(reason="pytest-benchmark is not installed")
+    for item in items:
+        if "benchmark" in getattr(item, "fixturenames", ()):
+            item.add_marker(skip)
 
 
 def once(benchmark, fn, *args, **kwargs):

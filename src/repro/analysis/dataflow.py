@@ -1,3 +1,4 @@
+# p4-ok-file — host-side static analyzer, not data-plane code.
 """Width/overflow dataflow: value magnitudes → register requirements.
 
 P4 registers wrap silently.  The measure registers hold ``Xsum = Σxᵢ`` and

@@ -1,3 +1,4 @@
+# p4-ok-file — host-side application builder; the data-plane pieces it wires are linted individually.
 """The Sec. 4 case-study application: spike detection with drill-down.
 
 The switch provides connectivity for a /8 aggregate (forwarding by LPM) and

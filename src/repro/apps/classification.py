@@ -1,3 +1,4 @@
+# p4-ok-file — host-side application builder; the data-plane pieces it wires are linted individually.
 """Traffic-mix monitoring (Table 1: "traffic classification — packets by type").
 
 Tracks the frequency distribution of packets by IP protocol.  The paper's

@@ -1,3 +1,4 @@
+# p4-ok-file — host-side application builder; the data-plane pieces it wires are linted individually.
 """Remote-failure detection (Table 1: "remote failure — stalled flows over time").
 
 The paper's first use case — and the one its own citation [12] (Blink)

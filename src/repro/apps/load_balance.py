@@ -1,3 +1,4 @@
+# p4-ok-file — host-side application builder; the data-plane pieces it wires are linted individually.
 """Load-balance monitoring (Table 1: "load balancing — avoid imbalances").
 
 Tracks the traffic share of each server behind a virtual IP prefix as a

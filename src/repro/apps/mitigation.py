@@ -1,3 +1,4 @@
+# p4-ok-file — host-side application builder; the data-plane pieces it wires are linted individually.
 """Local in-switch reaction: detect a spike, then rate-limit it — no controller.
 
 The paper's Figure-1c architecture lets switches "locally react to

@@ -1,3 +1,4 @@
+# p4-ok-file — host-side application builder; the data-plane pieces it wires are linted individually.
 """SYN-flood monitoring (Table 1: "SYN flood — protect servers").
 
 Two bindings over TCP SYN packets only:

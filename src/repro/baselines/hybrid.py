@@ -1,3 +1,4 @@
+# p4-ok-file — host-side baseline model, not data-plane code.
 """The hybrid architecture the paper's Sec. 5 envisions.
 
 "future monitoring systems will profitably combine in-switch and

@@ -1,3 +1,4 @@
+# p4-ok-file — host-side baseline model, not data-plane code.
 """A KLL-style quantile sketch — the QPipe comparison point.
 
 The paper cites QPipe [13] ("QPipe also explores estimating quantiles in

@@ -1,3 +1,4 @@
+# p4-ok-file — host-side baseline model, not data-plane code.
 """The sketch-only architecture (Figure 1b) — the paper's comparison point.
 
 The data plane keeps sketches only: a circular window of per-interval

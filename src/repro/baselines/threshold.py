@@ -1,3 +1,4 @@
+# p4-ok-file — host-side baseline model, not data-plane code.
 """Static in-switch thresholding — the pre-Stat4 detector.
 
 Prior in-switch detection "use[s] basic algorithms such as thresholding to

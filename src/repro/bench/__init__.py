@@ -1,0 +1,35 @@
+# p4-ok-file — host-side benchmarking harness, not data-plane code.
+"""Throughput benchmarks for the Stat4 hot loop (``repro bench``).
+
+The suite measures packets/second through the scalar :meth:`Stat4.process`
+path and the batched :class:`~repro.stat4.batch.BatchEngine` path for each
+distribution kind, plus wall-clock for the paper-table experiments, and
+emits a schema-versioned ``BENCH_<rev>.json`` artifact.  CI compares the
+*speedup ratios* (batched over scalar, machine-independent to first order)
+against committed floors in ``benchmarks/baseline.json`` — see
+``docs/BENCHMARKS.md``.
+"""
+
+from repro.bench.compare import (
+    ComparisonRow,
+    compare_reports,
+    format_delta_table,
+    load_baseline,
+)
+from repro.bench.suite import (
+    SCHEMA_VERSION,
+    format_report,
+    run_suite,
+    write_report,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "run_suite",
+    "write_report",
+    "format_report",
+    "compare_reports",
+    "format_delta_table",
+    "load_baseline",
+    "ComparisonRow",
+]

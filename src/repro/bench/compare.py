@@ -1,0 +1,143 @@
+# p4-ok-file — host-side benchmarking harness, not data-plane code.
+"""Baseline comparison for the CI perf-smoke gate.
+
+CI never compares absolute packets/second — runners differ too much.  What
+is stable across machines (to first order: both paths run on the same
+interpreter on the same box) is the batched-over-scalar *speedup ratio*
+per kernel.  ``benchmarks/baseline.json`` commits conservative floors for
+those ratios; a change that drags a ratio more than ``tolerance`` below
+its floor is a perf regression and fails the job.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "ComparisonRow",
+    "load_baseline",
+    "compare_reports",
+    "format_delta_table",
+]
+
+BASELINE_SCHEMA = "repro-bench-baseline/1"
+
+
+@dataclass
+class ComparisonRow:
+    """One (kernel, backend) pair checked against its committed floor.
+
+    Attributes:
+        kernel: kernel name from the suite.
+        backend: batch backend the floor applies to.
+        baseline: the committed speedup floor.
+        current: the measured speedup (None when the backend did not run —
+            e.g. a numpy floor on a machine without numpy).
+        regressed: measured more than ``tolerance`` below the floor.
+    """
+
+    kernel: str
+    backend: str
+    baseline: float
+    current: Optional[float]
+    regressed: bool
+
+    @property
+    def delta_percent(self) -> Optional[float]:
+        """Relative change vs the floor, in percent (None = not measured)."""
+        if self.current is None or self.baseline <= 0:
+            return None
+        return (self.current - self.baseline) / self.baseline * 100.0
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    """Read and sanity-check a committed baseline file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    if baseline.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: unknown baseline schema {baseline.get('schema')!r} "
+            f"(expected {BASELINE_SCHEMA!r})"
+        )
+    if not isinstance(baseline.get("speedups"), dict):
+        raise ValueError(f"{path}: baseline has no 'speedups' mapping")
+    return baseline
+
+
+def compare_reports(
+    report: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = 0.2,
+) -> List[ComparisonRow]:
+    """Check a bench report against baseline floors.
+
+    A (kernel, backend) floor the report has no measurement for is only a
+    regression when the backend *should* have run: a missing numpy
+    measurement on a numpy-less machine is recorded as unmeasured
+    (``current=None, regressed=False``) so local runs stay green, while CI
+    (which installs numpy) always measures it.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance cannot be negative")
+    measured = report.get("speedups", {})
+    has_numpy = report.get("numpy") is not None
+    rows: List[ComparisonRow] = []
+    for kernel in sorted(baseline["speedups"]):
+        floors = baseline["speedups"][kernel]
+        for backend in sorted(floors):
+            floor = float(floors[backend])
+            current = measured.get(kernel, {}).get(backend)
+            if current is None:
+                skippable = backend == "numpy" and not has_numpy
+                rows.append(
+                    ComparisonRow(
+                        kernel=kernel,
+                        backend=backend,
+                        baseline=floor,
+                        current=None,
+                        regressed=not skippable,
+                    )
+                )
+                continue
+            regressed = current < floor * (1.0 - tolerance)
+            rows.append(
+                ComparisonRow(
+                    kernel=kernel,
+                    backend=backend,
+                    baseline=floor,
+                    current=float(current),
+                    regressed=regressed,
+                )
+            )
+    return rows
+
+
+def format_delta_table(rows: List[ComparisonRow], tolerance: float = 0.2) -> str:
+    """The per-kernel delta table the perf-smoke job prints."""
+    lines = [
+        f"perf-smoke: speedup floors ± {tolerance * 100:.0f}% tolerance",
+        f"{'kernel':<14} {'backend':<8} {'floor':>7} {'current':>8} "
+        f"{'delta':>8}  verdict",
+    ]
+    for row in rows:
+        if row.current is None:
+            current = "-"
+            delta = "-"
+            verdict = "FAIL (not measured)" if row.regressed else "skipped"
+        else:
+            current = f"{row.current:.2f}x"
+            delta = f"{row.delta_percent:+.0f}%"
+            verdict = "FAIL" if row.regressed else "ok"
+        lines.append(
+            f"{row.kernel:<14} {row.backend:<8} {row.baseline:>6.2f}x "
+            f"{current:>8} {delta:>8}  {verdict}"
+        )
+    failed = sum(1 for row in rows if row.regressed)
+    lines.append(
+        "perf-smoke: "
+        + (f"{failed} regression(s) detected" if failed else "no regressions")
+    )
+    return "\n".join(lines)

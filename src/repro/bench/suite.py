@@ -1,0 +1,353 @@
+# p4-ok-file — host-side benchmarking harness, not data-plane code.
+"""The fixed benchmark suite behind ``repro bench``.
+
+Five kernels, one per hot loop:
+
+- ``mean_variance`` — dense frequency counting with moments only (the
+  batched counting kernel; the headline scalar-vs-batched ratio);
+- ``percentile``  — frequency counting plus the one-step-per-packet
+  median walk (order-dependent, so batching only amortizes dispatch);
+- ``time_series`` — interval closes over a circular window;
+- ``sparse``      — HashPipe-style hashed slots (order-dependent);
+- ``ewma``        — the shift-based EWMA detector, loop vs ``update_many``.
+
+Each kernel times the *same* prepared workload through the scalar path and
+the batched path (per backend), best-of-``repeats``, on a fresh
+:class:`Stat4` instance per measurement.  Batch *assembly* (parsing,
+column extraction) is excluded from the batched timings: the artifact
+reports steady-state ingestion throughput, and the value-column cache is
+shared across repeats exactly as a long-lived engine would share it.
+
+The emitted report is schema-versioned (``repro-bench/1``); CI compares
+the ``speedups`` section against committed floors, never the absolute pps
+(machine-dependent).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.ewma import EwmaDetector
+from repro.p4.parser import standard_parser
+from repro.p4.switch import PacketContext, StandardMetadata
+from repro.stat4.batch import HAS_NUMPY, BatchEngine, PacketBatch, resolve_backend
+from repro.stat4.binding import BindingMatch
+from repro.stat4.config import Stat4Config
+from repro.stat4.extract import ExtractSpec
+from repro.stat4.library import Stat4
+from repro.stat4.runtime import Stat4Runtime
+from repro.traffic.builders import udp_to
+
+__all__ = ["SCHEMA_VERSION", "run_suite", "write_report", "format_report"]
+
+SCHEMA_VERSION = "repro-bench/1"
+
+#: (packets per kernel, timing repeats) per profile.
+_FULL_PROFILE = (20_000, 3)
+_QUICK_PROFILE = (4_000, 2)
+
+
+def _revision() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+        rev = out.stdout.strip()
+        return rev if out.returncode == 0 and rev else "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def _best_of(repeats: int, run: Callable[[], None]) -> float:
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best if best is not None else 0.0
+
+
+def _make_contexts(packets: int, dst_values: int, timestamp_gap: float):
+    """Parse a UDP workload into packet contexts (shared by both paths)."""
+    parser = standard_parser()
+    contexts = []
+    for index in range(packets):
+        # Deterministic value stream without random: a multiplicative walk
+        # over the dst domain gives every cell roughly equal mass.
+        dst = (index * 2654435761) % dst_values
+        packet = udp_to(0x0A000000 | dst)
+        ctx = PacketContext(
+            parsed=parser.parse(packet),
+            meta=StandardMetadata(
+                ingress_port=0, timestamp=index * timestamp_gap
+            ),
+        )
+        ctx.user["frame_bytes"] = len(packet)
+        contexts.append(ctx)
+    return contexts
+
+
+def _bind(build_spec: Callable[[Stat4Runtime], Any], config: Stat4Config) -> Stat4:
+    stat4 = Stat4(config)
+    runtime = Stat4Runtime(stat4)
+    spec = build_spec(runtime)
+    runtime.bind(0, BindingMatch(ether_type=0x0800), spec)
+    return stat4
+
+
+#: name -> (config, spec builder, timestamp gap).
+def _kernel_definitions() -> Dict[str, Any]:
+    freq_config = Stat4Config(counter_num=2, counter_size=256, binding_stages=1)
+    sparse_config = Stat4Config(
+        counter_num=2, counter_size=64, binding_stages=1, sparse_dists=(0,)
+    )
+    return {
+        "mean_variance": (
+            freq_config,
+            lambda rt: rt.frequency_of(0, ExtractSpec.field("ipv4.dst", mask=0xFF)),
+            1e-4,
+        ),
+        "percentile": (
+            freq_config,
+            lambda rt: rt.frequency_of(
+                0, ExtractSpec.field("ipv4.dst", mask=0xFF), percent=50
+            ),
+            1e-4,
+        ),
+        "time_series": (
+            freq_config,
+            lambda rt: rt.rate_over_time(0, interval=0.008, k_sigma=2),
+            1e-3,
+        ),
+        "sparse": (
+            sparse_config,
+            lambda rt: rt.sparse_frequency_of(0, ExtractSpec.field("ipv4.dst")),
+            1e-4,
+        ),
+    }
+
+
+def _time_stat4_kernels(
+    packets: int, repeats: int, backends: List[str]
+) -> List[Dict[str, Any]]:
+    results: List[Dict[str, Any]] = []
+    for name, (config, build_spec, gap) in _kernel_definitions().items():
+        contexts = _make_contexts(packets, dst_values=1024, timestamp_gap=gap)
+
+        def run_scalar():
+            stat4 = _bind(build_spec, config)
+            for ctx in contexts:
+                stat4.process(ctx)
+
+        seconds = _best_of(repeats, run_scalar)
+        results.append(
+            {
+                "name": name,
+                "mode": "scalar",
+                "backend": None,
+                "packets": packets,
+                "seconds": seconds,
+                "pps": packets / seconds if seconds > 0 else 0.0,
+            }
+        )
+        batch = PacketBatch.from_contexts(contexts)
+        for backend in backends:
+
+            def run_batched():
+                stat4 = _bind(build_spec, config)
+                BatchEngine(stat4, backend=backend).process(batch)
+
+            seconds = _best_of(repeats, run_batched)
+            results.append(
+                {
+                    "name": name,
+                    "mode": "batched",
+                    "backend": backend,
+                    "packets": packets,
+                    "seconds": seconds,
+                    "pps": packets / seconds if seconds > 0 else 0.0,
+                }
+            )
+    return results
+
+
+def _time_ewma(packets: int, repeats: int, backends: List[str]) -> List[Dict[str, Any]]:
+    samples = [(index * 2654435761) % 97 for index in range(packets)]
+
+    def run_scalar():
+        detector = EwmaDetector()
+        for sample in samples:
+            detector.update(sample)
+
+    seconds = _best_of(repeats, run_scalar)
+    results = [
+        {
+            "name": "ewma",
+            "mode": "scalar",
+            "backend": None,
+            "packets": packets,
+            "seconds": seconds,
+            "pps": packets / seconds if seconds > 0 else 0.0,
+        }
+    ]
+    for backend in backends:
+
+        def run_batched():
+            EwmaDetector().update_many(samples)
+
+        seconds = _best_of(repeats, run_batched)
+        results.append(
+            {
+                "name": "ewma",
+                "mode": "batched",
+                "backend": backend,
+                "packets": packets,
+                "seconds": seconds,
+                "pps": packets / seconds if seconds > 0 else 0.0,
+            }
+        )
+    return results
+
+
+def _time_experiments(quick: bool) -> List[Dict[str, Any]]:
+    from repro.experiments.table2_sqrt import run_table2
+    from repro.experiments.validation import run_validation, run_validation_batched
+
+    experiments: List[Dict[str, Any]] = []
+
+    def timed(name: str, run: Callable[[], Any]) -> None:
+        start = time.perf_counter()
+        run()
+        experiments.append(
+            {"name": name, "seconds": time.perf_counter() - start}
+        )
+
+    timed("table2_sqrt", run_table2)
+    packets = 2_000 if quick else 10_000
+    timed(f"validation_{packets}", lambda: run_validation(packets=packets))
+    timed(
+        f"validation_batched_{packets}",
+        lambda: run_validation_batched(packets=packets),
+    )
+    if not quick:
+        from repro.experiments.table3_median import DEFAULT_SIZES, run_table3
+
+        sizes = [(n, label) for n, label in DEFAULT_SIZES if n <= 4096]
+        timed("table3_median_4096", lambda: run_table3(sizes=sizes, repetitions=3))
+    return experiments
+
+
+def _speedups(kernels: List[Dict[str, Any]]) -> Dict[str, Dict[str, float]]:
+    scalar_pps: Dict[str, float] = {}
+    for row in kernels:
+        if row["mode"] == "scalar":
+            scalar_pps[row["name"]] = row["pps"]
+    speedups: Dict[str, Dict[str, float]] = {}
+    for row in kernels:
+        if row["mode"] != "batched":
+            continue
+        base = scalar_pps.get(row["name"], 0.0)
+        if base <= 0 or row["pps"] <= 0:
+            continue
+        speedups.setdefault(row["name"], {})[row["backend"]] = row["pps"] / base
+    return speedups
+
+
+def run_suite(
+    quick: bool = False,
+    backend: str = "auto",
+    skip_experiments: bool = False,
+    packets: Optional[int] = None,
+    repeats: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Run the full suite; returns the report as a plain dict.
+
+    Args:
+        quick: the CI profile — fewer packets, fewer repeats, cheaper
+            experiment set.
+        backend: ``"auto"`` benchmarks every available backend (numpy and
+            python when numpy is importable); a specific backend name
+            restricts to that one.
+        skip_experiments: kernels only (used by unit tests).
+        packets / repeats: override the profile (tests use tiny values).
+    """
+    profile_packets, profile_repeats = _QUICK_PROFILE if quick else _FULL_PROFILE
+    n = packets if packets is not None else profile_packets
+    reps = repeats if repeats is not None else profile_repeats
+    if backend == "auto":
+        backends = ["numpy", "python"] if HAS_NUMPY else ["python"]
+    else:
+        backends = [resolve_backend(backend)]
+    kernels = _time_stat4_kernels(n, reps, backends)
+    kernels.extend(_time_ewma(n, reps, backends))
+    report: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "revision": _revision(),
+        "python": platform.python_version(),
+        "numpy": _numpy_version(),
+        "quick": quick,
+        "kernels": kernels,
+        "experiments": [] if skip_experiments else _time_experiments(quick),
+        "speedups": _speedups(kernels),
+    }
+    return report
+
+
+def _numpy_version() -> Optional[str]:
+    if not HAS_NUMPY:
+        return None
+    import numpy
+
+    return numpy.__version__
+
+
+def write_report(report: Dict[str, Any], output: Optional[str] = None) -> str:
+    """Write the artifact; returns the path written.
+
+    Default filename is ``BENCH_<rev>.json`` in the working directory.
+    """
+    path = output if output is not None else f"BENCH_{report['revision']}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Human-readable kernel table plus experiment timings."""
+    lines = [
+        f"repro bench — revision {report['revision']} "
+        f"(python {report['python']}, "
+        f"numpy {report['numpy'] or 'unavailable'}, "
+        f"{'quick' if report['quick'] else 'full'} profile)",
+        "",
+        f"{'kernel':<14} {'mode':<8} {'backend':<8} {'pps':>12} {'speedup':>8}",
+    ]
+    speedups = report.get("speedups", {})
+    for row in report["kernels"]:
+        backend = row["backend"] or "-"
+        ratio = ""
+        if row["mode"] == "batched":
+            value = speedups.get(row["name"], {}).get(row["backend"])
+            if value is not None:
+                ratio = f"{value:.1f}x"
+        lines.append(
+            f"{row['name']:<14} {row['mode']:<8} {backend:<8} "
+            f"{row['pps']:>12,.0f} {ratio:>8}"
+        )
+    if report.get("experiments"):
+        lines.append("")
+        lines.append("experiments:")
+        for row in report["experiments"]:
+            lines.append(f"  {row['name']:<28} {row['seconds']:.2f}s")
+    return "\n".join(lines)

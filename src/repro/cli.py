@@ -1,3 +1,4 @@
+# p4-ok-file — host-side CLI entry point, not data-plane code.
 """Command-line interface: ``python -m repro <experiment> [options]``.
 
 Each subcommand runs one of the paper's experiments (or an extension) and
@@ -36,6 +37,20 @@ def build_parser() -> argparse.ArgumentParser:
     validate = sub.add_parser("validate", help="Figure 5: echo validation")
     validate.add_argument("--packets", type=int, default=10_000)
     validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument(
+        "--batched",
+        action="store_true",
+        help="differential run: batched ingestion vs the scalar library",
+    )
+    validate.add_argument(
+        "--backend",
+        choices=["auto", "numpy", "python"],
+        default="auto",
+        help="batch backend for --batched",
+    )
+    validate.add_argument(
+        "--batch-size", type=int, default=1024, help="chunk size for --batched"
+    )
 
     case = sub.add_parser("case-study", help="Figure 6: detection + drill-down")
     case.add_argument("--interval", type=float, default=0.008, help="seconds")
@@ -85,6 +100,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--rules", action="store_true", help="print the rule index and exit"
     )
 
+    bench = sub.add_parser(
+        "bench", help="throughput suite: scalar vs batched, BENCH_<rev>.json"
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="the CI profile (fewer packets)"
+    )
+    bench.add_argument(
+        "--json", action="store_true", help="print the report as JSON on stdout"
+    )
+    bench.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="artifact path (default BENCH_<rev>.json in the working dir)",
+    )
+    bench.add_argument(
+        "--backend",
+        choices=["auto", "numpy", "python"],
+        default="auto",
+        help="batch backend(s) to measure (auto = every available one)",
+    )
+    bench.add_argument(
+        "--baseline",
+        type=str,
+        default=None,
+        help="compare speedups against this committed baseline file",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed relative drop below a baseline floor (0.2 = 20%%)",
+    )
+
     generate = sub.add_parser(
         "generate", help="emit the P4-16 program for a configuration"
     )
@@ -118,6 +167,24 @@ def _cmd_table3(args) -> int:
 
 def _cmd_validate(args) -> int:
     from repro.experiments.validation import run_validation
+
+    if args.batched:
+        from repro.experiments.validation import run_validation_batched
+
+        diff = run_validation_batched(
+            packets=args.packets,
+            seed=args.seed,
+            backend=args.backend,
+            batch_size=args.batch_size,
+        )
+        print(
+            f"packets={diff.packets} batches={diff.batches} "
+            f"backend={diff.backend} mismatches={len(diff.mismatches)}"
+        )
+        for detail in diff.mismatches:
+            print(f"  {detail}")
+        print("PASSED" if diff.passed else "FAILED")
+        return 0 if diff.passed else 1
 
     result = run_validation(packets=args.packets, seed=args.seed)
     print(
@@ -274,6 +341,35 @@ def _cmd_lint(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import json as json_module
+
+    from repro.bench import (
+        compare_reports,
+        format_delta_table,
+        format_report,
+        load_baseline,
+        run_suite,
+        write_report,
+    )
+
+    report = run_suite(quick=args.quick, backend=args.backend)
+    path = write_report(report, output=args.output)
+    if args.json:
+        print(json_module.dumps(report, indent=2))
+        print(f"wrote {path}", file=sys.stderr)
+    else:
+        print(format_report(report))
+        print(f"wrote {path}")
+    if args.baseline is None:
+        return 0
+    rows = compare_reports(report, load_baseline(args.baseline), args.tolerance)
+    table = format_delta_table(rows, args.tolerance)
+    # The delta table goes to stderr under --json so stdout stays parseable.
+    print(table, file=sys.stderr if args.json else sys.stdout)
+    return 1 if any(row.regressed for row in rows) else 0
+
+
 def _cmd_generate(args) -> int:
     from repro.p4gen import generate_p4
     from repro.stat4.config import Stat4Config
@@ -319,6 +415,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_ablations()
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "generate":
         return _cmd_generate(args)
     raise AssertionError(f"unhandled command {args.command!r}")

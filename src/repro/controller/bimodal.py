@@ -1,3 +1,4 @@
+# p4-ok-file — control-plane logic running off-switch, not data-plane code.
 """Bimodal distribution handling (paper Sec. 5).
 
 "In our approach, the controller has access to all the values of

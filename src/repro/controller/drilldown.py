@@ -1,3 +1,4 @@
+# p4-ok-file — control-plane logic running off-switch, not data-plane code.
 """The case study's drill-down controller (paper Sec. 4).
 
 State machine::

@@ -144,6 +144,37 @@ class ScaledStats:
         self._mark_dirty()
         return old_count + 1
 
+    def observe_frequencies(self, old_count: int, repeat: int) -> int:
+        """One counter moves from ``old_count`` to ``old_count + repeat``.
+
+        The batched form of :meth:`observe_frequency`: ``repeat``
+        consecutive increments of the *same* frequency cell telescope into
+        closed forms —
+
+            Σ_{i=0}^{repeat−1} (2·(old_count+i) + 1) = 2·old_count·repeat + repeat²
+
+        so ``Xsum`` grows by ``repeat``, ``Xsumsq`` by the telescoped sum,
+        and ``N`` grows by one iff the cell was empty.  Bit-identical to
+        calling :meth:`observe_frequency` ``repeat`` times (the batched
+        fast path's differential tests pin this down).  Host-side only: a
+        P4 action sees one packet at a time and keeps the per-packet form.
+
+        Returns:
+            the new frequency ``old_count + repeat``.
+        """
+        self._check_value(old_count)
+        if repeat < 0:
+            raise ValueError("repeat count cannot be negative")
+        if repeat == 0:
+            return old_count
+        if old_count == 0:
+            self.count = self.count + 1
+        self.xsum = self.xsum + repeat
+        self.xsumsq = self.xsumsq + ((old_count * repeat) << 1) + repeat * repeat
+        self.updates = self.updates + repeat
+        self._sd_dirty = True
+        return old_count + repeat
+
     def remove_value(self, x: int) -> None:
         """A value leaves the distribution (hash-table eviction, Sec. 5).
 

@@ -1,3 +1,4 @@
+# p4-ok-file — host-side experiment driver, not data-plane code.
 """Ablations of the design choices DESIGN.md calls out.
 
 Each function isolates one decision the paper makes and quantifies the

@@ -1,3 +1,4 @@
+# p4-ok-file — host-side experiment driver, not data-plane code.
 """Sec. 4 case study (Figure 6): spike detection and drill-down.
 
 Topology, as in the paper: a single traffic source feeds a P4 switch that

@@ -1,3 +1,4 @@
+# p4-ok-file — host-side experiment driver, not data-plane code.
 """Shared helpers for the experiment drivers."""
 
 from __future__ import annotations

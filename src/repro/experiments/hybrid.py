@@ -1,3 +1,4 @@
+# p4-ok-file — host-side experiment driver, not data-plane code.
 """Victim-identification strategies compared (Sec. 4 vs Sec. 5 designs).
 
 Three ways to answer "who is the spike hitting?" after in-switch detection:

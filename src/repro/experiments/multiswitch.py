@@ -1,3 +1,4 @@
+# p4-ok-file — host-side experiment driver, not data-plane code.
 """Cross-switch aggregation experiment (paper Sec. 5 future work).
 
 Scenario: twelve destinations are split across two ingress switches (six

@@ -1,3 +1,4 @@
+# p4-ok-file — host-side experiment driver, not data-plane code.
 """Figure 1 / Sec. 1: reactivity of push vs pull architectures.
 
 The paper's motivation: "for any sketch-only system, a delay is inevitable

@@ -1,3 +1,4 @@
+# p4-ok-file — host-side experiment driver, not data-plane code.
 """Sec. 4 "Resource Consumption": the case-study app's footprint.
 
 The paper reports that the case-study application "occupies 3.1KB",

@@ -1,3 +1,4 @@
+# p4-ok-file — host-side experiment driver, not data-plane code.
 """Detection sensitivity: how small a spike can mean + 2σ catch?
 
 The paper's case study uses a large spike ("much more traffic"); this

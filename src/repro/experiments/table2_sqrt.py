@@ -1,3 +1,4 @@
+# p4-ok-file — host-side experiment driver, not data-plane code.
 """Table 2: percentage error of the approximate square root.
 
 The paper reports, per input decade, the 50th/90th-percentile and maximum

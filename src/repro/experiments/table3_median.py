@@ -1,3 +1,4 @@
+# p4-ok-file — host-side experiment driver, not data-plane code.
 """Table 3: estimation error of the online median.
 
 "Table 3 shows the results of experiments where we feed our median

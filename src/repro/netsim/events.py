@@ -1,3 +1,4 @@
+# p4-ok-file — host-side network simulator, not data-plane code.
 """A minimal discrete-event simulator.
 
 Replaces the paper's Mininet/OVS emulation (Figure 6): instead of wall-clock

@@ -1,3 +1,4 @@
+# p4-ok-file — host-side network simulator, not data-plane code.
 """Control-channel messages between switches and controllers.
 
 The Figure-1 architectures differ only in *what* crosses this channel:

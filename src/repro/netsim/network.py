@@ -1,3 +1,4 @@
+# p4-ok-file — host-side network simulator, not data-plane code.
 """Topology wiring: nodes, ports, and delay links.
 
 A :class:`Network` owns a :class:`~repro.netsim.events.Simulator` and a set

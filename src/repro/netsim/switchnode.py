@@ -1,3 +1,4 @@
+# p4-ok-file — host-side network simulator, not data-plane code.
 """A behavioral switch attached to the simulated network.
 
 :class:`SwitchNode` bridges the two substrates: data-plane packets arriving
@@ -93,6 +94,23 @@ class SwitchNode:
             # No controller attached: digests fall on the floor, like a P4
             # digest stream nobody subscribed to.
             pass
+
+    def ingest_batch(self, batch: Any, engine: Any) -> Any:
+        """Run a :class:`~repro.stat4.batch.PacketBatch` through a batch engine.
+
+        The monitoring fast path: the batch updates the Stat4 registers
+        (bit-identically to per-packet processing) and every digest it
+        produces is pushed out of the CPU port exactly as the scalar
+        pipeline would push it.  Packet *forwarding* is bypassed — batched
+        ingestion models a monitoring tap, not the forwarding path.
+
+        Returns the engine's :class:`~repro.stat4.batch.BatchResult`.
+        """
+        result = engine.process(batch)
+        for digest in result.digests:
+            self.digests_pushed += 1
+            self._push_control(DigestMessage(switch=self.name, digest=digest))
+        return result
 
     # -- control plane -----------------------------------------------------------
 

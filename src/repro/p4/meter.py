@@ -91,4 +91,4 @@ class TokenBucket:
     @property
     def tokens(self) -> float:
         """Current bucket level in packets (diagnostics)."""
-        return self._state.peek()[0] / _UNITS_PER_TOKEN
+        return self._state.peek()[0] / _UNITS_PER_TOKEN  # p4-ok: diagnostic helper for tests, never compiled to the data plane

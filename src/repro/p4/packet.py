@@ -63,7 +63,7 @@ class HeaderType:
                 raise ValueRangeError(f"duplicate field {spec.name!r} in {name}")
             seen.add(spec.name)
         self.bit_width = sum(spec.width for spec in self.fields)
-        if self.bit_width % 8 != 0:
+        if self.bit_width % 8 != 0:  # p4-ok: compile-time width check in the header DSL, not switch arithmetic
             raise ValueRangeError(
                 f"header {name!r} is {self.bit_width} bits; must be byte-aligned"
             )
@@ -199,7 +199,7 @@ class Packet:
     """
 
     data: bytes
-    created_at: float = 0.0
+    created_at: float = 0.0  # p4-ok: simulation wall-clock bookkeeping, not a register value
     trace_id: Optional[int] = None
 
     def __len__(self) -> int:
@@ -249,6 +249,6 @@ class ParsedPacket:
         parts.append(self.payload)
         return b"".join(parts)
 
-    def to_packet(self, created_at: float = 0.0, trace_id: Optional[int] = None) -> Packet:
+    def to_packet(self, created_at: float = 0.0, trace_id: Optional[int] = None) -> Packet:  # p4-ok: simulation wall-clock bookkeeping, not a register value
         """Deparse into a fresh :class:`Packet`."""
         return Packet(self.deparse(), created_at=created_at, trace_id=trace_id)

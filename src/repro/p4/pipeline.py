@@ -115,7 +115,7 @@ class DependencyGraph:
         best = max(range(n), key=lambda idx: depth[idx])
         chain = []
         node = best
-        while node != -1:
+        while node != -1:  # p4-ok: bounded control-graph walk at program install time, not per-packet
             chain.append(self._steps[node].name)
             node = parent[node]
         chain.reverse()

@@ -70,7 +70,7 @@ TOFINO_LIKE = TargetProfile(
 #: Unconstrained profile for reference/baseline code that is *not* claimed to
 #: be P4-expressible (e.g. the controller or the Welford baseline).
 SOFTWARE = TargetProfile(
-    name="software", runtime_multiply=True, max_pipeline_stages=10**9
+    name="software", runtime_multiply=True, max_pipeline_stages=10**9  # p4-ok: software target profile constant, never lowered to P4
 )
 
 _ACTIVE: TargetProfile = BMV2

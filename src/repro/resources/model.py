@@ -1,3 +1,4 @@
+# p4-ok-file — host-side resource accounting model, not data-plane code.
 """Static resource analysis of a pipeline program (paper Sec. 4).
 
 Reproduces the three numbers the paper reports for the case-study

@@ -7,6 +7,13 @@ the configured anomaly checks fire.  Binding tables let a controller retune
 what is tracked at runtime without recompiling.
 """
 
+from repro.stat4.batch import (
+    HAS_NUMPY,
+    BatchEngine,
+    BatchResult,
+    PacketBatch,
+    resolve_backend,
+)
 from repro.stat4.binding import (
     MATCH_ALL,
     TRACK_ACTION,
@@ -23,6 +30,11 @@ from repro.stat4.sparse import HashedCells
 
 __all__ = [
     "Stat4",
+    "PacketBatch",
+    "BatchEngine",
+    "BatchResult",
+    "HAS_NUMPY",
+    "resolve_backend",
     "Stat4Config",
     "DEFAULT_CONFIG",
     "Stat4Runtime",

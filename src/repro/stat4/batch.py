@@ -1,0 +1,717 @@
+# p4-ok-file — host-side batching fast path; the per-packet P4 semantics
+# it replicates live (and are linted) in repro.stat4.library.
+"""Batched Stat4 ingestion: the software fast path for heavy traffic.
+
+The scalar :meth:`~repro.stat4.library.Stat4.process` walks one packet at a
+time through binding lookup, value extraction, and the register updates of
+Figure 4.  That is the right *specification* — it mirrors what the P4
+pipeline does per packet — but as a software server it leaves throughput on
+the table: every packet pays a full binding lookup, a value extraction, and
+a lazy-σ recomputation even when ten thousand packets in a row hit the same
+rule.
+
+This module ingests packets in **array batches** while producing *register
+and working state bit-identical to the scalar path* (the paper's
+integer-only semantics are the spec; differential tests enforce equality):
+
+- :class:`PacketBatch` — a structure-of-arrays view of many packets
+  (timestamps, binding keys, per-source value columns), built from parsed
+  contexts, raw packets, a recorded trace, or synthetic columns;
+- :class:`BatchEngine` — applies a batch to a :class:`Stat4` instance.
+  Binding lookups are memoized per unique key (entries are fixed for the
+  duration of a batch, exactly like a pipeline between control-plane
+  writes), matched packets are partitioned into per-distribution event
+  streams in scalar order, and each stream runs the fastest *exact* kernel
+  available:
+
+  * dense frequency slots with no percentile tracker and no k·σ check use a
+    counting kernel — occurrences are tallied per unique value
+    (``numpy.bincount`` on the numpy backend), folded into the moments with
+    the telescoped :meth:`~repro.core.stats.ScaledStats.observe_frequencies`
+    identity, and the derived measures are synced once per batch (the
+    final lazy-σ value is identical; only *how often* it was recomputed
+    differs);
+  * time-series slots scan for interval closes with the same
+    ``now − start ≥ interval`` float comparison the scalar path evaluates
+    (vectorized on the numpy backend) and sum the in-between values in one
+    step, calling the library's own ``_close_interval`` at each close so
+    window/alert/silent-gap semantics stay byte-for-byte the library's;
+  * everything order-dependent (percentile stepping, k·σ alert checks,
+    sparse hashed slots) runs the library's own per-packet update methods
+    in a tight loop — still faster than the scalar path because lookups,
+    extraction, and context plumbing are amortized.
+
+The numpy backend is optional: ``backend="auto"`` uses numpy when
+importable and falls back to pure Python otherwise.  Both backends are
+exact; numpy only accelerates counting and close-point scans.
+
+What is *not* preserved: per-register read/write accounting and the
+σ-recomputation counter (the batch path coalesces touches by design).
+Every value a controller can observe — register contents, digests and their
+order, alert counts, table hit statistics, drop counters — is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.p4.switch import Digest, PacketContext, StandardMetadata
+from repro.stat4.binding import TRACK_ACTION, binding_key_of
+from repro.stat4.distributions import DistributionKind, TrackSpec
+from repro.stat4.library import Stat4, _to_us
+
+try:  # pragma: no cover - exercised via both-backend test parametrization
+    import numpy as _np
+
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover
+    _np = None
+    HAS_NUMPY = False
+
+__all__ = [
+    "HAS_NUMPY",
+    "resolve_backend",
+    "PacketBatch",
+    "BatchResult",
+    "BatchEngine",
+]
+
+#: Value columns: one optional int per packet (None = no value of interest).
+Column = List[Optional[int]]
+
+_FRAME_SIZE = "frame.size"
+_CONSTANT = "const"
+
+#: Memoization miss sentinel (lookup results may legitimately be None).
+_MISS = object()
+
+
+def resolve_backend(backend: str = "auto") -> str:
+    """Normalize a backend request to ``"numpy"`` or ``"python"``.
+
+    Raises:
+        RuntimeError: if ``"numpy"`` is requested but not importable.
+        ValueError: on an unknown backend name.
+    """
+    if backend == "auto":
+        return "numpy" if HAS_NUMPY else "python"
+    if backend == "numpy":
+        if not HAS_NUMPY:
+            raise RuntimeError(
+                "numpy backend requested but numpy is not importable; "
+                "use backend='python' or 'auto'"
+            )
+        return "numpy"
+    if backend == "python":
+        return "python"
+    raise ValueError(f"unknown batch backend {backend!r}")
+
+
+class PacketBatch:
+    """A structure-of-arrays view of many packets.
+
+    Args:
+        timestamps: per-packet switch-local times (seconds).
+        keys: per-packet composite binding keys
+            ``(ether_type, ipv4_dst, ip_protocol, tcp_flags)``.
+        contexts: the parsed contexts backing the batch (value columns are
+            derived lazily from them); None for synthetic batches.
+        columns: raw per-source value columns for synthetic batches —
+            ``{"ipv4.dst": [...], "meta.v": [...]}``, each one optional int
+            per packet, None meaning the header/metadata is absent.
+        frame_bytes: per-packet frame sizes for synthetic batches (defaults
+            to 0 per packet, mirroring ``ctx.user.get("frame_bytes", 0)``).
+    """
+
+    __slots__ = (
+        "timestamps",
+        "keys",
+        "contexts",
+        "frame_bytes",
+        "parse_errors",
+        "_raw_columns",
+        "_value_columns",
+    )
+
+    def __init__(
+        self,
+        timestamps: Sequence[float],
+        keys: Sequence[Tuple[int, int, int, int]],
+        contexts: Optional[Sequence[PacketContext]] = None,
+        columns: Optional[Dict[str, Column]] = None,
+        frame_bytes: Optional[Sequence[int]] = None,
+    ):
+        if len(timestamps) != len(keys):
+            raise ValueError("timestamps and keys must have equal length")
+        self.timestamps: List[float] = list(timestamps)
+        self.keys: List[Tuple[int, int, int, int]] = list(keys)
+        self.contexts = list(contexts) if contexts is not None else None
+        self.frame_bytes = list(frame_bytes) if frame_bytes is not None else None
+        self.parse_errors = 0
+        self._raw_columns: Dict[str, Column] = dict(columns or {})
+        self._value_columns: Dict[Tuple[Any, int, int], Column] = {}
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_contexts(cls, contexts: Sequence[PacketContext]) -> "PacketBatch":
+        """Build a batch over already-parsed packet contexts."""
+        return cls(
+            timestamps=[ctx.meta.timestamp for ctx in contexts],
+            keys=[binding_key_of(ctx) for ctx in contexts],
+            contexts=contexts,
+        )
+
+    @classmethod
+    def from_packets(
+        cls,
+        packets: Sequence[Any],
+        parser: Any,
+        timestamps: Optional[Sequence[float]] = None,
+        ingress_port: int = 0,
+    ) -> "PacketBatch":
+        """Parse raw packets into a batch.
+
+        Frames the parser rejects are skipped and counted in
+        ``parse_errors`` — the same packets a :class:`BehavioralSwitch`
+        drops before its ingress (and before ``Stat4.process``) ever runs.
+        """
+        contexts: List[PacketContext] = []
+        skipped = 0
+        for index, packet in enumerate(packets):
+            when = (
+                timestamps[index]
+                if timestamps is not None
+                else getattr(packet, "created_at", 0.0)
+            )
+            try:
+                parsed = parser.parse(packet)
+            except Exception:
+                skipped += 1
+                continue
+            ctx = PacketContext(
+                parsed=parsed,
+                meta=StandardMetadata(ingress_port=ingress_port, timestamp=when),
+            )
+            ctx.user["frame_bytes"] = len(packet)
+            contexts.append(ctx)
+        batch = cls.from_contexts(contexts)
+        batch.parse_errors = skipped
+        return batch
+
+    @classmethod
+    def from_trace(
+        cls, records: Iterable[Any], parser: Any, ingress_port: int = 0
+    ) -> "PacketBatch":
+        """Build a batch from :class:`~repro.traffic.trace.TraceRecord`s."""
+        from repro.p4.packet import Packet
+
+        records = list(records)
+        packets = [
+            Packet(record.data, created_at=record.timestamp) for record in records
+        ]
+        return cls.from_packets(
+            packets,
+            parser,
+            timestamps=[record.timestamp for record in records],
+            ingress_port=ingress_port,
+        )
+
+    # -- column access --------------------------------------------------------
+
+    def raw_column(self, source: str) -> Column:
+        """The raw (pre-shift/mask) per-packet values of one extract source.
+
+        Mirrors :meth:`repro.stat4.extract.ExtractSpec.extract` exactly:
+        missing headers/metadata yield None, ``frame.size`` defaults to 0.
+        """
+        column = self._raw_columns.get(source)
+        if column is not None:
+            return column
+        if self.contexts is None:
+            # Synthetic batch without this source: the header/metadata is
+            # absent on every packet (frame sizes default to zero).
+            if source == _FRAME_SIZE:
+                column = list(self.frame_bytes or [0] * len(self))
+            else:
+                column = [None] * len(self)
+        elif source == _FRAME_SIZE:
+            column = [ctx.user.get("frame_bytes", 0) for ctx in self.contexts]
+        elif source.startswith("meta."):
+            key = source[5:]
+            column = [ctx.user.get(key) for ctx in self.contexts]
+        else:
+            header_name, _, field_name = source.partition(".")
+            column = []
+            append = column.append
+            for ctx in self.contexts:
+                # The hot path of ExtractSpec.extract with the per-call
+                # validity and field-spec lookups flattened out.
+                header = ctx.parsed.headers.get(header_name)
+                if header is None or not header._valid:
+                    append(None)
+                else:
+                    append(header._values[field_name].value)
+        self._raw_columns[source] = column
+        return column
+
+    def values_for(self, spec: TrackSpec) -> Column:
+        """Per-packet values of interest for one spec (None = no value).
+
+        Applies the extract's shift/mask and the spec's accept filter — the
+        exact pipeline of ``_apply`` in the scalar path.  Cached per
+        ``(extract, accept_lo, accept_hi)`` so equal specs (across rebinds
+        or repeated batches) share the work.
+        """
+        cache_key = (spec.extract, spec.accept_lo, spec.accept_hi)
+        cached = self._value_columns.get(cache_key)
+        if cached is not None:
+            return cached
+        extract = spec.extract
+        shift = extract.shift
+        mask = extract.mask
+        lo = spec.accept_lo
+        hi = spec.accept_hi
+        out: Column = []
+        append = out.append
+        if extract.source == _CONSTANT:
+            value = extract.constant_value >> shift
+            if mask is not None:
+                value &= mask
+            if value < lo or (hi != 0 and value >= hi):
+                value = None
+            out = [value] * len(self)
+        else:
+            for item in self.raw_column(extract.source):
+                if item is None:
+                    append(None)
+                    continue
+                value = item >> shift
+                if mask is not None:
+                    value &= mask
+                if value < lo or (hi != 0 and value >= hi):
+                    append(None)
+                else:
+                    append(value)
+        self._value_columns[cache_key] = out
+        return out
+
+
+@dataclass
+class BatchResult:
+    """What one batch produced.
+
+    Attributes:
+        packets: packets ingested (``Stat4.packets_seen`` grew by this).
+        digests: every digest emitted, in scalar order (packet-major,
+            binding-stage-minor).
+        kernels: events handled per kernel, keyed by kernel name
+            (``frequency_fast`` / ``time_series`` / ``exact_loop``).
+        backend: the backend that ran the batch.
+    """
+
+    packets: int = 0
+    digests: List[Digest] = field(default_factory=list)
+    kernels: Dict[str, int] = field(default_factory=dict)
+    backend: str = "python"
+
+    @property
+    def alerts(self) -> int:
+        """Digest count (every alert is a digest)."""
+        return len(self.digests)
+
+
+class _DigestSink:
+    """A minimal stand-in for :class:`PacketContext` inside batch kernels.
+
+    The library's update methods touch their context only through
+    ``emit_digest``; the sink implements that one method, stamping each
+    digest with the packet's timestamp (as ``PacketContext.emit_digest``
+    does) and tagging it with ``(packet, stage)`` so the batch result can
+    restore the scalar emission order.
+    """
+
+    __slots__ = ("records", "_pkt", "_stage", "_now")
+
+    def __init__(self):
+        self.records: List[Tuple[int, int, Digest]] = []
+        self._pkt = 0
+        self._stage = 0
+        self._now = 0.0
+
+    def set(self, pkt: int, stage: int, now: float) -> None:
+        self._pkt = pkt
+        self._stage = stage
+        self._now = now
+
+    def emit_digest(self, name: str, **fields: int) -> None:
+        self.records.append(
+            (
+                self._pkt,
+                self._stage,
+                Digest(name=name, fields=dict(fields), timestamp=self._now),
+            )
+        )
+
+    def in_scalar_order(self) -> List[Digest]:
+        # Stable sort: digests from one update keep their relative order.
+        return [d for _, _, d in sorted(self.records, key=lambda r: (r[0], r[1]))]
+
+
+#: One matched application: (packet index, binding stage, spec).
+_Event = Tuple[int, int, TrackSpec]
+
+
+class BatchEngine:
+    """Applies :class:`PacketBatch`es to a :class:`Stat4` instance.
+
+    Args:
+        stat4: the library instance to drive.
+        backend: ``"auto"`` (numpy when available), ``"numpy"``, or
+            ``"python"``.
+    """
+
+    def __init__(self, stat4: Stat4, backend: str = "auto"):
+        self.stat4 = stat4
+        self.backend = resolve_backend(backend)
+        self._np = _np if self.backend == "numpy" else None
+
+    # -- entry point ----------------------------------------------------------
+
+    def process(self, batch: PacketBatch) -> BatchResult:
+        """Ingest one batch; returns the digests and kernel statistics.
+
+        Table entries must not change mid-batch (they cannot: the batch is
+        the data-plane unit of work, and control-plane writes land between
+        batches — the same atomicity a pipeline gives a single packet).
+        """
+        stat4 = self.stat4
+        n = len(batch)
+        result = BatchResult(packets=n, backend=self.backend)
+        if n == 0:
+            return result
+        stat4.packets_seen += n
+        events = self._match(batch)
+        sink = _DigestSink()
+        for dist in sorted(events):
+            self._process_dist(events[dist], batch, sink, result)
+        digests = sink.in_scalar_order()
+        result.digests.extend(digests)
+        return result
+
+    # -- binding resolution ---------------------------------------------------
+
+    def _match(self, batch: PacketBatch) -> Dict[int, List[_Event]]:
+        """Matched applications grouped by distribution slot, in scalar order.
+
+        Within a batch every distinct composite key resolves once per
+        table — entries are fixed for the batch — and the memo caches the
+        destination event bucket alongside the spec, so repeat keys cost
+        one dict probe.  The table's ``lookups``/``hits`` counters are set
+        to exactly what n scalar lookups would have left behind.
+
+        The scalar path applies stage 0 then stage 1 for packet i before
+        touching packet i+1; slots are independent of each other, so each
+        slot's event stream in packet-major, stage-minor order replayed
+        sequentially reproduces the interleaved execution exactly — even
+        when two stages feed the *same* slot with different specs (the
+        repurpose-per-packet ping-pong case).  With one binding stage the
+        single pass below is already packet-major; with several, the
+        per-stage passes still fill each bucket packet-major, and bucket
+        merging is only needed when two stages share a dist — handled by a
+        packet-major merge pass.
+        """
+        keys = batch.keys
+        n = len(keys)
+        tables = self.stat4.binding_tables
+        events: Dict[int, List[_Event]] = {}
+        multi = len(tables) > 1
+        stage_dists: List[set] = []
+        for stage, table in enumerate(tables):
+            before_lookups = table.lookups
+            before_hits = table.hits
+            # memo: key -> None (miss) or (spec|None, bucket|None).
+            memo: Dict[Tuple[int, int, int, int], Any] = {}
+            memo_get = memo.get
+            matched = 0
+            dists: set = set()
+            for i, key in enumerate(keys):
+                hit = memo_get(key, _MISS)
+                if hit is _MISS:
+                    entry = table.lookup(key)
+                    if entry is None:
+                        hit = None
+                    elif entry.action == TRACK_ACTION:
+                        spec = entry.params["spec"]
+                        bucket = (
+                            events.setdefault((stage, spec.dist), [])
+                            if multi
+                            else events.setdefault(spec.dist, [])
+                        )
+                        dists.add(spec.dist)
+                        hit = (spec, bucket)
+                    else:
+                        hit = (None, None)
+                    memo[key] = hit
+                if hit is None:
+                    continue
+                matched += 1
+                spec, bucket = hit
+                if bucket is not None:
+                    bucket.append((i, stage, spec))
+            table.lookups = before_lookups + n
+            table.hits = before_hits + matched
+            stage_dists.append(dists)
+        if not multi:
+            return events
+        return self._merge_stage_buckets(events, stage_dists)
+
+    @staticmethod
+    def _merge_stage_buckets(
+        staged: Dict[Any, List[_Event]], stage_dists: List[set]
+    ) -> Dict[int, List[_Event]]:
+        """Collapse per-(stage, dist) buckets into per-dist scalar order.
+
+        A dist fed by one stage keeps its bucket as-is (already
+        packet-major).  A dist fed by several stages merges their buckets
+        on ``(packet, stage)`` — both already sorted, so this is a linear
+        heap-free merge.
+        """
+        events: Dict[int, List[_Event]] = {}
+        all_dists = set()
+        for dists in stage_dists:
+            all_dists |= dists
+        for dist in all_dists:
+            buckets = [
+                staged[(stage, dist)]
+                for stage in range(len(stage_dists))
+                if (stage, dist) in staged
+            ]
+            if len(buckets) == 1:
+                events[dist] = buckets[0]
+                continue
+            merged: List[_Event] = []
+            cursors = [0] * len(buckets)
+            total = sum(len(b) for b in buckets)
+            while len(merged) < total:
+                best = None
+                best_rank = None
+                for b, bucket in enumerate(buckets):
+                    c = cursors[b]
+                    if c >= len(bucket):
+                        continue
+                    rank = (bucket[c][0], bucket[c][1])
+                    if best_rank is None or rank < best_rank:
+                        best_rank = rank
+                        best = b
+                merged.append(buckets[best][cursors[best]])
+                cursors[best] += 1
+            events[dist] = merged
+        return events
+
+    # -- per-distribution dispatch --------------------------------------------
+
+    def _process_dist(
+        self,
+        dist_events: List[_Event],
+        batch: PacketBatch,
+        sink: _DigestSink,
+        result: BatchResult,
+    ) -> None:
+        stat4 = self.stat4
+        i = 0
+        n = len(dist_events)
+        while i < n:
+            spec = dist_events[i][2]
+            j = i + 1
+            while j < n:
+                other = dist_events[j][2]
+                if other is not spec and other != spec:
+                    break
+                j += 1
+            # One _state_for per run of equal specs — idempotent for the
+            # rest of the run, resetting the slot iff it was repurposed
+            # (exactly the scalar per-application behaviour).
+            state = stat4._state_for(spec)
+            segment = dist_events[i:j]
+            values = batch.values_for(spec)
+            if (
+                spec.kind is DistributionKind.FREQUENCY
+                and state.tracker is None
+                and spec.k_sigma <= 0
+            ):
+                self._frequency_kernel(state, segment, values, result)
+            elif spec.kind is DistributionKind.TIME_SERIES:
+                self._time_series_kernel(
+                    state, segment, values, batch.timestamps, sink, result
+                )
+            else:
+                self._exact_loop(
+                    state, segment, values, batch.timestamps, sink, result
+                )
+            i = j
+
+    # -- kernels -------------------------------------------------------------
+
+    def _frequency_kernel(
+        self,
+        state,
+        segment: List[_Event],
+        values: Column,
+        result: BatchResult,
+    ) -> None:
+        """Dense frequency slots with no tracker and no k·σ check.
+
+        Occurrences are tallied per unique value and folded into the
+        moments with the telescoped ``observe_frequencies`` identity; the
+        cell register is written once per unique value and the derived
+        measures are synced once.  Final register state is bit-identical to
+        per-packet updates (a near-wrap cell falls back to the per-packet
+        loop so width wrapping reproduces exactly).
+        """
+        stat4 = self.stat4
+        size = stat4.config.counter_size
+        observed: List[int] = []
+        dropped = 0
+        for pkt, _stage, _spec in segment:
+            value = values[pkt]
+            if value is None:
+                # Matched but no value of interest: with no percentile
+                # tracker the scalar path does nothing for this packet.
+                continue
+            if value >= size:
+                dropped += 1
+            else:
+                observed.append(value)
+        state.values_dropped += dropped
+        result.kernels["frequency_fast"] = (
+            result.kernels.get("frequency_fast", 0) + len(segment)
+        )
+        if not observed:
+            return
+        counts = self._tally(observed, size)
+        counters = stat4.counters
+        width_mask = (1 << counters.width) - 1
+        base = stat4.config.cell_index(state.spec.dist, 0)
+        stats = state.stats
+        for value, repeat in counts:
+            cell = base + value
+            old = counters.read(cell)
+            if old + repeat > width_mask:
+                # The cell would wrap mid-run: replay per occurrence so the
+                # wrapped reads feed the moments exactly as the scalar path.
+                for _ in range(repeat):
+                    current = counters.read(cell)
+                    counters.write(cell, stats.observe_frequency(current))
+            else:
+                stats.observe_frequencies(old, repeat)
+                counters.write(cell, old + repeat)
+        stat4._sync_stats(state)
+
+    def _tally(self, observed: List[int], size: int) -> List[Tuple[int, int]]:
+        """``(value, occurrences)`` pairs for in-domain observed values."""
+        if self._np is not None:
+            array = self._np.asarray(observed, dtype=self._np.int64)
+            counts = self._np.bincount(array, minlength=0)
+            nonzero = self._np.nonzero(counts)[0]
+            return [(int(v), int(counts[v])) for v in nonzero]
+        tally: Dict[int, int] = {}
+        for value in observed:
+            tally[value] = tally.get(value, 0) + 1
+        return sorted(tally.items())
+
+    def _time_series_kernel(
+        self,
+        state,
+        segment: List[_Event],
+        values: Column,
+        timestamps: List[float],
+        sink: _DigestSink,
+        result: BatchResult,
+    ) -> None:
+        """Segmented time-series scan: chunk-sum between interval closes.
+
+        The close predicate is evaluated exactly as the scalar path does —
+        ``now − interval_start ≥ interval`` as one float subtraction and
+        compare per packet — and each close runs the library's own
+        ``_close_interval`` so window absorption, the pre-absorb alert
+        check, cursor advance, and the silent-gap snap are byte-for-byte
+        the library's.  Only the per-packet ``reg_current`` writes are
+        coalesced: the register holds the same final value either way.
+
+        The scan is deliberately scalar Python even on the numpy backend:
+        ``interval_start`` changes at every close, so a vectorized compare
+        would re-examine the whole remaining segment per close (quadratic
+        when closes are frequent), while this loop touches each event
+        exactly once.
+        """
+        stat4 = self.stat4
+        spec = state.spec
+        dist = spec.dist
+        interval = spec.interval
+        m = len(segment)
+        ts = [timestamps[e[0]] for e in segment]
+        counts = [values[e[0]] if values[e[0]] is not None else 0 for e in segment]
+        result.kernels["time_series"] = result.kernels.get("time_series", 0) + m
+        idx = 0
+        if state.interval_start is None:
+            state.interval_start = ts[0]
+            stat4.reg_interval_start.write(dist, _to_us(ts[0]))
+            state.current_count += counts[0]
+            idx = 1
+        while idx < m:
+            start = state.interval_start
+            j = -1
+            for k in range(idx, m):
+                if ts[k] - start >= interval:
+                    j = k
+                    break
+            if j < 0:
+                state.current_count += sum(counts[idx:])
+                break
+            if j > idx:
+                state.current_count += sum(counts[idx:j])
+            pkt, stage, _spec = segment[j]
+            now = ts[j]
+            sink.set(pkt, stage, now)
+            stat4._close_interval(state, sink, now)
+            state.current_count += counts[j]
+            idx = j + 1
+        stat4.reg_current.write(dist, state.current_count)
+
+    def _exact_loop(
+        self,
+        state,
+        segment: List[_Event],
+        values: Column,
+        timestamps: List[float],
+        sink: _DigestSink,
+        result: BatchResult,
+    ) -> None:
+        """Order-dependent slots: run the library's own per-packet updates.
+
+        Percentile stepping moves at most one unit per packet, k·σ checks
+        judge each sample against the pre-update moments, and sparse hashed
+        slots evict by probe order — none of that can be reordered, so this
+        loop calls the exact scalar methods with the context plumbing
+        stripped away.
+        """
+        stat4 = self.stat4
+        kind = state.spec.kind
+        if kind is DistributionKind.FREQUENCY:
+            update = stat4._update_frequency
+        elif kind is DistributionKind.SPARSE_FREQUENCY:
+            update = stat4._update_sparse
+        else:
+            update = stat4._update_time_series
+        result.kernels["exact_loop"] = (
+            result.kernels.get("exact_loop", 0) + len(segment)
+        )
+        for pkt, stage, _spec in segment:
+            now = timestamps[pkt]
+            sink.set(pkt, stage, now)
+            update(state, sink, values[pkt], now)

@@ -51,7 +51,7 @@ class Stat4Config:
     counter_width: int = 32
     stats_width: int = 64
     binding_stages: int = 2
-    alert_cooldown: float = 0.0
+    alert_cooldown: float = 0.0  # p4-ok: control-plane config knob in seconds, not a register value
     sparse_dists: Tuple[int, ...] = ()
     sparse_slots: int = 64
     sparse_stages: int = 2

@@ -92,7 +92,7 @@ class TrackSpec:
     dist: int
     kind: DistributionKind
     extract: ExtractSpec
-    interval: float = 0.0
+    interval: float = 0.0  # p4-ok: control-plane spec field in seconds, not a register value
     k_sigma: int = 0
     alert: str = "stat4_alert"
     percent: Optional[int] = None
@@ -100,7 +100,7 @@ class TrackSpec:
     percentile_alert: str = ""
     min_samples: int = 2
     margin: int = 1
-    cooldown: float = 0.0
+    cooldown: float = 0.0  # p4-ok: control-plane spec field in seconds, not a register value
     accept_lo: int = 0
     accept_hi: int = 0
     generation: int = 0

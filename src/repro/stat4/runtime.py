@@ -148,7 +148,7 @@ class Stat4Runtime:
         per_byte: bool = False,
         unit_shift: int = 0,
         margin: int = 1,
-        cooldown: float = 0.0,
+        cooldown: float = 0.0,  # p4-ok: control-plane API default in seconds, not a register value
         window: int = 0,
     ) -> TrackSpec:
         """Packets (or bytes) per ``interval`` in a circular window.
@@ -184,7 +184,7 @@ class Stat4Runtime:
         percentile_alert: str = "",
         min_samples: int = 2,
         margin: int = 1,
-        cooldown: float = 0.0,
+        cooldown: float = 0.0,  # p4-ok: control-plane API default in seconds, not a register value
     ) -> TrackSpec:
         """Frequencies of a header-derived index (types, subnets, ports…)."""
         return TrackSpec(
@@ -208,7 +208,7 @@ class Stat4Runtime:
         alert: str = "heavy_key",
         min_samples: int = 6,
         margin: int = 1,
-        cooldown: float = 0.0,
+        cooldown: float = 0.0,  # p4-ok: control-plane API default in seconds, not a register value
     ) -> TrackSpec:
         """Frequencies over a sparse domain in hashed slots (Sec. 5).
 

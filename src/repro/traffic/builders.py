@@ -1,3 +1,4 @@
+# p4-ok-file — host-side traffic generation, not data-plane code.
 """Packet construction helpers shared by generators and experiments."""
 
 from __future__ import annotations

@@ -1,3 +1,4 @@
+# p4-ok-file — host-side traffic generation, not data-plane code.
 """Traffic phases and destination choosers.
 
 The case study's workload (Sec. 4) is "traffic generated uniformly across

@@ -1,3 +1,4 @@
+# p4-ok-file — host-side traffic generation, not data-plane code.
 """A traffic-source node that plays phases into the simulated network.
 
 Abstracts the paper's "packet source" box in Figure 6: external hosts are

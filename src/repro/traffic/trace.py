@@ -1,3 +1,4 @@
+# p4-ok-file — host-side traffic generation, not data-plane code.
 """Packet traces: record to and replay from real pcap files.
 
 Experiments become portable when their workloads are files: a recorded
@@ -58,6 +59,17 @@ class PacketTrace:
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self.records)
+
+    def iter_batches(self, size: int) -> Iterator[List[TraceRecord]]:
+        """Yield the records in consecutive chunks of at most ``size``.
+
+        The unit of work for the batched fast path: feed each chunk to
+        :meth:`repro.stat4.batch.PacketBatch.from_trace`.
+        """
+        if size <= 0:
+            raise ValueError("batch size must be positive")
+        for start in range(0, len(self.records), size):
+            yield self.records[start : start + size]
 
     @property
     def duration(self) -> float:

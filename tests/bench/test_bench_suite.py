@@ -1,0 +1,201 @@
+"""Tests for the machine-readable perf harness and its CI gate logic.
+
+``run_suite`` runs here with tiny packet/repeat overrides — these tests
+check the report contract (schema, structure, speedup derivation) and the
+baseline comparison semantics, not actual performance numbers.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    ComparisonRow,
+    compare_reports,
+    format_delta_table,
+    format_report,
+    load_baseline,
+    run_suite,
+    write_report,
+)
+from repro.bench.compare import BASELINE_SCHEMA
+
+BASELINE_PATH = (
+    pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "baseline.json"
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    # One shared tiny run: 200 packets, 1 repeat, kernels only.
+    return run_suite(
+        quick=True,
+        backend="python",
+        skip_experiments=True,
+        packets=200,
+        repeats=1,
+    )
+
+
+class TestRunSuite:
+    def test_report_schema_fields(self, tiny_report):
+        assert tiny_report["schema"] == SCHEMA_VERSION
+        assert tiny_report["quick"] is True
+        assert isinstance(tiny_report["revision"], str)
+        assert isinstance(tiny_report["python"], str)
+        assert tiny_report["experiments"] == []
+        assert isinstance(tiny_report["kernels"], list)
+        assert tiny_report["kernels"], "suite measured no kernels"
+
+    def test_every_kernel_has_scalar_and_batched_rows(self, tiny_report):
+        names = {row["name"] for row in tiny_report["kernels"]}
+        assert {"mean_variance", "percentile", "time_series", "sparse", "ewma"} <= names
+        for name in names:
+            modes = {
+                row["mode"]
+                for row in tiny_report["kernels"]
+                if row["name"] == name
+            }
+            assert {"scalar", "batched"} <= modes, name
+
+    def test_speedups_derived_from_kernel_rows(self, tiny_report):
+        speedups = tiny_report["speedups"]
+        for kernel, per_backend in speedups.items():
+            for backend, ratio in per_backend.items():
+                scalar = next(
+                    row["pps"]
+                    for row in tiny_report["kernels"]
+                    if row["name"] == kernel and row["mode"] == "scalar"
+                )
+                batched = next(
+                    row["pps"]
+                    for row in tiny_report["kernels"]
+                    if row["name"] == kernel
+                    and row["mode"] == "batched"
+                    and row["backend"] == backend
+                )
+                assert ratio == pytest.approx(batched / scalar)
+
+    def test_report_round_trips_through_json(self, tiny_report, tmp_path):
+        path = write_report(tiny_report, output=str(tmp_path / "bench.json"))
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle) == tiny_report
+
+    def test_format_report_mentions_every_kernel(self, tiny_report):
+        text = format_report(tiny_report)
+        for row in tiny_report["kernels"]:
+            assert row["name"] in text
+
+
+def make_report(speedups, numpy_version="2.0"):
+    return {
+        "schema": SCHEMA_VERSION,
+        "revision": "test",
+        "python": "3.x",
+        "numpy": numpy_version,
+        "quick": True,
+        "kernels": [],
+        "experiments": [],
+        "speedups": speedups,
+    }
+
+
+def make_baseline(speedups, tolerance=0.2):
+    return {"schema": BASELINE_SCHEMA, "tolerance": tolerance, "speedups": speedups}
+
+
+class TestCompareReports:
+    def test_above_floor_passes(self):
+        rows = compare_reports(
+            make_report({"k": {"python": 3.5}}),
+            make_baseline({"k": {"python": 3.0}}),
+        )
+        assert [(r.kernel, r.regressed) for r in rows] == [("k", False)]
+
+    def test_within_tolerance_passes(self):
+        rows = compare_reports(
+            make_report({"k": {"python": 2.5}}),
+            make_baseline({"k": {"python": 3.0}}),
+            tolerance=0.2,
+        )
+        assert not rows[0].regressed
+
+    def test_below_tolerance_fails(self):
+        rows = compare_reports(
+            make_report({"k": {"python": 2.3}}),
+            make_baseline({"k": {"python": 3.0}}),
+            tolerance=0.2,
+        )
+        assert rows[0].regressed
+        assert rows[0].delta_percent < 0
+
+    def test_missing_measurement_fails(self):
+        rows = compare_reports(
+            make_report({}),
+            make_baseline({"k": {"python": 3.0}}),
+        )
+        assert rows[0].regressed
+        assert rows[0].current is None
+
+    def test_missing_numpy_measurement_skipped_without_numpy(self):
+        rows = compare_reports(
+            make_report({"k": {"python": 3.5}}, numpy_version=None),
+            make_baseline({"k": {"numpy": 3.0, "python": 3.0}}),
+        )
+        by_backend = {r.backend: r for r in rows}
+        assert not by_backend["numpy"].regressed
+        assert by_backend["numpy"].current is None
+        assert not by_backend["python"].regressed
+
+    def test_missing_numpy_measurement_fails_with_numpy(self):
+        # numpy importable but the floor unmeasured: that IS a regression
+        # (the backend silently stopped being benchmarked).
+        rows = compare_reports(
+            make_report({"k": {"python": 3.5}}, numpy_version="2.0"),
+            make_baseline({"k": {"numpy": 3.0}}),
+        )
+        assert rows[0].regressed
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_reports(make_report({}), make_baseline({}), tolerance=-0.1)
+
+    def test_delta_table_lists_verdicts(self):
+        rows = [
+            ComparisonRow("good", "python", 3.0, 3.6, False),
+            ComparisonRow("bad", "python", 3.0, 1.0, True),
+            ComparisonRow("skipped", "numpy", 3.0, None, False),
+        ]
+        text = format_delta_table(rows)
+        assert "ok" in text
+        assert "FAIL" in text
+        assert "skipped" in text
+        assert "1 regression(s) detected" in text
+
+
+class TestLoadBaseline:
+    def test_loads_committed_baseline(self):
+        baseline = load_baseline(str(BASELINE_PATH))
+        assert baseline["schema"] == BASELINE_SCHEMA
+        assert "mean_variance" in baseline["speedups"]
+
+    def test_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope", "speedups": {}}))
+        with pytest.raises(ValueError):
+            load_baseline(str(path))
+
+    def test_rejects_missing_speedups(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": BASELINE_SCHEMA}))
+        with pytest.raises(ValueError):
+            load_baseline(str(path))
+
+    def test_committed_baseline_consistent_with_suite_kernels(self, tiny_report):
+        # Every committed floor must name a kernel the suite measures, so
+        # the perf-smoke gate can never silently check nothing.
+        baseline = load_baseline(str(BASELINE_PATH))
+        measured = set(tiny_report["speedups"])
+        assert set(baseline["speedups"]) <= measured

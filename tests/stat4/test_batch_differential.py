@@ -1,0 +1,326 @@
+"""Differential tests: batched ingestion is bit-identical to the scalar path.
+
+The tentpole guarantee of :mod:`repro.stat4.batch`: for any trace, feeding
+it through :class:`BatchEngine` (in arbitrary chunk sizes, on either
+backend) leaves *exactly* the state the scalar ``Stat4.process`` loop
+leaves — every register cell, every working-state field, every digest in
+the same order with the same fields.  Hypothesis generates the traces; a
+seed expands deterministically into a ≥10k-packet mixture of matching,
+non-matching, value-free and out-of-domain packets for every
+DistributionKind.
+
+Intentionally excluded from the comparison (documented in
+``docs/BENCHMARKS.md``): per-register read/write accounting and
+``ScaledStats.sd_recomputations`` — the batch path coalesces those touches
+by design.
+"""
+
+import random
+
+import pytest
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.p4.packet import HeaderType, ParsedPacket
+from repro.p4.switch import PacketContext, StandardMetadata
+from repro.stat4 import (
+    HAS_NUMPY,
+    BatchEngine,
+    BindingMatch,
+    ExtractSpec,
+    MATCH_ALL,
+    PacketBatch,
+    Stat4,
+    Stat4Config,
+    Stat4Runtime,
+)
+
+BACKENDS = [
+    pytest.param("python", id="python"),
+    pytest.param(
+        "numpy",
+        id="numpy",
+        marks=pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed"),
+    ),
+]
+
+TRACE_PACKETS = 10_000
+
+# Synthetic header types carrying exactly the fields binding_key_of and the
+# extract specs read — building contexts directly is ~20x faster than
+# packing and re-parsing bytes, which keeps 10k-packet traces cheap.
+ETH = HeaderType("ethernet", [("ether_type", 16)])
+IPV4 = HeaderType("ipv4", [("dst", 32), ("protocol", 8)])
+TCP = HeaderType("tcp", [("sport", 16), ("flags", 8)])
+
+
+def make_ctx(now, ether_type=None, dst=None, protocol=6, tcp_sport=None):
+    parsed = ParsedPacket()
+    if ether_type is not None:
+        parsed.add("ethernet", ETH.instance(ether_type=ether_type))
+    if dst is not None:
+        parsed.add("ipv4", IPV4.instance(dst=dst, protocol=protocol))
+    if tcp_sport is not None:
+        parsed.add("tcp", TCP.instance(sport=tcp_sport, flags=0x02))
+    ctx = PacketContext(
+        parsed=parsed, meta=StandardMetadata(ingress_port=0, timestamp=now)
+    )
+    ctx.user["frame_bytes"] = 64
+    return ctx
+
+
+def generate_trace(seed, packets=TRACE_PACKETS):
+    """Expand a seed into an adversarial mixed trace.
+
+    ~80% IPv4 packets with a dst drawn from twice the cell domain (so the
+    value mask keeps some, drops some), ~10% matching packets with no IPv4
+    header at all (matched-but-value-free), ~10% non-matching EtherTypes.
+    Timestamps increase with jitter; occasional large gaps exercise the
+    time-series silent-gap snap.
+    """
+    rng = random.Random(seed)
+    now = 0.0
+    contexts = []
+    for _ in range(packets):
+        now += rng.random() * 0.003
+        if rng.random() < 0.02:
+            now += 0.05  # silent gap
+        roll = rng.random()
+        if roll < 0.80:
+            contexts.append(
+                make_ctx(
+                    now,
+                    ether_type=0x0800,
+                    dst=rng.randrange(1024),
+                    tcp_sport=rng.randrange(1 << 16),
+                )
+            )
+        elif roll < 0.90:
+            # Matches an ether-only binding but carries no IPv4 header:
+            # the extracted value is None.
+            contexts.append(make_ctx(now, ether_type=0x0800))
+        else:
+            contexts.append(make_ctx(now, ether_type=0x86DD, dst=rng.randrange(64)))
+    return contexts
+
+
+def process_scalar(stat4, contexts):
+    digests = []
+    for ctx in contexts:
+        stat4.process(ctx)
+        digests.extend(ctx.digests)
+        ctx.digests.clear()  # contexts are shared with the batched side
+    return digests
+
+
+def process_batched(stat4, contexts, backend, seed):
+    engine = BatchEngine(stat4, backend=backend)
+    rng = random.Random(seed ^ 0xBA7C4)
+    digests = []
+    index = 0
+    while index < len(contexts):
+        size = rng.randrange(1, 2048)
+        chunk = contexts[index : index + size]
+        result = engine.process(PacketBatch.from_contexts(chunk))
+        digests.extend(result.digests)
+        index += size
+    return digests
+
+
+def assert_equal_state(scalar, batched, scalar_digests, batched_digests):
+    for reg_a, reg_b in zip(scalar.registers, batched.registers):
+        assert reg_a.peek() == reg_b.peek(), f"register {reg_a.name} differs"
+    assert scalar.packets_seen == batched.packets_seen
+    assert scalar.alerts_emitted == batched.alerts_emitted
+    for table_a, table_b in zip(scalar.binding_tables, batched.binding_tables):
+        assert table_a.lookups == table_b.lookups, table_a.name
+        assert table_a.hits == table_b.hits, table_a.name
+    for dist in range(scalar.config.counter_num):
+        state_a = scalar.state_of(dist)
+        state_b = batched.state_of(dist)
+        assert (state_a is None) == (state_b is None), f"dist {dist}"
+        if state_a is None:
+            continue
+        assert state_a.spec == state_b.spec, f"dist {dist} spec"
+        assert state_a.stats.snapshot() == state_b.stats.snapshot(), f"dist {dist}"
+        assert state_a.stats.updates == state_b.stats.updates, f"dist {dist}"
+        assert (
+            state_a.window_index,
+            state_a.window_filled,
+            state_a.interval_start,
+            state_a.current_count,
+            state_a.last_alert,
+            state_a.last_percentile_alert,
+            state_a.intervals_closed,
+            state_a.values_dropped,
+        ) == (
+            state_b.window_index,
+            state_b.window_filled,
+            state_b.interval_start,
+            state_b.current_count,
+            state_b.last_alert,
+            state_b.last_percentile_alert,
+            state_b.intervals_closed,
+            state_b.values_dropped,
+        ), f"dist {dist} working state"
+        if state_a.tracker is not None:
+            assert state_b.tracker is not None
+            assert state_a.tracker.freqs == state_b.tracker.freqs
+            assert (
+                state_a.tracker.low,
+                state_a.tracker.high,
+                state_a.tracker.total,
+                state_a.tracker.moves,
+            ) == (
+                state_b.tracker.low,
+                state_b.tracker.high,
+                state_b.tracker.total,
+                state_b.tracker.moves,
+            ), f"dist {dist} tracker"
+    for dist, cells_a in scalar.sparse_cells.items():
+        cells_b = batched.sparse_cells[dist]
+        # Slot contents live in the shared register file, already compared
+        # above; the eviction counters are the only private state.
+        assert (cells_a.evictions, cells_a.evicted_mass) == (
+            cells_b.evictions,
+            cells_b.evicted_mass,
+        ), f"dist {dist} sparse evictions"
+    assert [
+        (digest.name, digest.fields, digest.timestamp) for digest in scalar_digests
+    ] == [
+        (digest.name, digest.fields, digest.timestamp) for digest in batched_digests
+    ], "digest sequences differ"
+
+
+SCENARIOS = {}
+
+
+def scenario(name):
+    def register(build):
+        SCENARIOS[name] = build
+        return build
+
+    return register
+
+
+@scenario("frequency")
+def _frequency_scenario():
+    """Plain dense counting — exercises the batched counting kernel."""
+    config = Stat4Config(counter_num=4, counter_size=256, binding_stages=1)
+    stat4 = Stat4(config)
+    runtime = Stat4Runtime(stat4)
+    spec = runtime.frequency_of(0, ExtractSpec.field("ipv4.dst", mask=0x1FF))
+    runtime.bind(0, BindingMatch(ether_type=0x0800), spec)
+    return stat4
+
+
+@scenario("frequency_tracked")
+def _frequency_tracked_scenario():
+    """Percentile walk + k·σ alerts — the order-dependent frequency path."""
+    config = Stat4Config(counter_num=4, counter_size=256, binding_stages=1)
+    stat4 = Stat4(config)
+    runtime = Stat4Runtime(stat4)
+    spec = runtime.frequency_of(
+        0,
+        ExtractSpec.field("ipv4.dst", mask=0xFF),
+        k_sigma=2,
+        percent=50,
+        percentile_alert="median_moved",
+    )
+    runtime.bind(0, BindingMatch(ether_type=0x0800), spec)
+    return stat4
+
+
+@scenario("time_series")
+def _time_series_scenario():
+    """Interval closes, window wrap, silent gaps, spike alerts."""
+    config = Stat4Config(counter_num=4, counter_size=64, binding_stages=1)
+    stat4 = Stat4(config)
+    runtime = Stat4Runtime(stat4)
+    spec = runtime.rate_over_time(
+        0, interval=0.008, k_sigma=2, min_samples=3, window=12
+    )
+    runtime.bind(0, MATCH_ALL, spec)
+    return stat4
+
+
+@scenario("sparse_frequency")
+def _sparse_scenario():
+    """Hashed slots with evictions — strictly order-dependent."""
+    config = Stat4Config(
+        counter_num=4, counter_size=64, binding_stages=1, sparse_dists=(0,)
+    )
+    stat4 = Stat4(config)
+    runtime = Stat4Runtime(stat4)
+    spec = runtime.sparse_frequency_of(
+        0, ExtractSpec.field("ipv4.dst"), k_sigma=2
+    )
+    runtime.bind(0, BindingMatch(ether_type=0x0800), spec)
+    return stat4
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("scenario_name", sorted(SCENARIOS))
+@settings(deadline=None, max_examples=2)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@example(seed=0)
+def test_batched_equals_scalar(scenario_name, backend, seed):
+    contexts = generate_trace(seed)
+    scalar = SCENARIOS[scenario_name]()
+    batched = SCENARIOS[scenario_name]()
+    scalar_digests = process_scalar(scalar, contexts)
+    batched_digests = process_batched(batched, contexts, backend, seed)
+    assert_equal_state(scalar, batched, scalar_digests, batched_digests)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(deadline=None, max_examples=3)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@example(seed=7)
+def test_two_stages_feeding_one_slot_ping_pong(backend, seed):
+    """Two stages with *different* specs on the same dist repurpose the slot
+    on every packet — the hardest ordering case for the batch partitioner."""
+
+    def build():
+        config = Stat4Config(counter_num=2, counter_size=64, binding_stages=2)
+        stat4 = Stat4(config)
+        runtime = Stat4Runtime(stat4)
+        spec_a = runtime.frequency_of(0, ExtractSpec.field("ipv4.dst", mask=0x3F))
+        spec_b = runtime.frequency_of(0, ExtractSpec.field("ipv4.protocol"))
+        runtime.bind(0, BindingMatch(ether_type=0x0800), spec_a)
+        runtime.bind(1, BindingMatch(ether_type=0x0800), spec_b)
+        return stat4
+
+    contexts = generate_trace(seed, packets=2_000)
+    scalar = build()
+    batched = build()
+    scalar_digests = process_scalar(scalar, contexts)
+    batched_digests = process_batched(batched, contexts, backend, seed)
+    assert_equal_state(scalar, batched, scalar_digests, batched_digests)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(deadline=None, max_examples=3)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@example(seed=3)
+def test_two_stages_two_slots(backend, seed):
+    """The case-study shape: stage 0 tracks a rate, stage 1 the spread."""
+
+    def build():
+        config = Stat4Config(counter_num=4, counter_size=64, binding_stages=2)
+        stat4 = Stat4(config)
+        runtime = Stat4Runtime(stat4)
+        rate = runtime.rate_over_time(0, interval=0.01, k_sigma=2, min_samples=3)
+        spread = runtime.frequency_of(
+            1, ExtractSpec.field("ipv4.dst", mask=0x3F), k_sigma=3
+        )
+        runtime.bind(0, MATCH_ALL, rate)
+        runtime.bind(1, BindingMatch(ether_type=0x0800), spread)
+        return stat4
+
+    contexts = generate_trace(seed, packets=2_000)
+    scalar = build()
+    batched = build()
+    scalar_digests = process_scalar(scalar, contexts)
+    batched_digests = process_batched(batched, contexts, backend, seed)
+    assert_equal_state(scalar, batched, scalar_digests, batched_digests)
