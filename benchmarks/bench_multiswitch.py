@@ -10,16 +10,15 @@ def test_multiswitch_aggregation(benchmark):
     merged_victim = result.merged_counts[result.victim_index]
     emit(
         "Sec. 5 extension: statistics across multiple switches",
-        f"local in-switch alerts: {result.local_alerts} (anomaly invisible "
-        "per-switch)\n"
+        f"shards: {result.shards}  loads: {result.shard_loads}\n"
         f"merged view flags index {result.victim_index} with count "
         f"{merged_victim} "
         f"(outliers: {result.global_outliers})\n"
-        "merging is exact because N/Xsum/Xsumsq are sums",
+        "merge is exact: cells sum, moments recompute from merged cells",
     )
-    assert result.detected_globally_only
+    assert result.detected
 
 
 def test_multiswitch_scales_with_load(benchmark):
     result = once(benchmark, run_multiswitch, packets_per_destination=400)
-    assert result.detected_globally_only
+    assert result.detected

@@ -13,8 +13,17 @@ against committed floors in ``benchmarks/baseline.json`` — see
 from repro.bench.compare import (
     ComparisonRow,
     compare_reports,
+    format_delta_markdown,
     format_delta_table,
     load_baseline,
+)
+from repro.bench.history import (
+    DEFAULT_HISTORY_DIR,
+    HISTORY_SCHEMA,
+    append_history,
+    format_trend,
+    load_index,
+    previous_report,
 )
 from repro.bench.suite import (
     SCHEMA_VERSION,
@@ -30,6 +39,13 @@ __all__ = [
     "format_report",
     "compare_reports",
     "format_delta_table",
+    "format_delta_markdown",
     "load_baseline",
     "ComparisonRow",
+    "HISTORY_SCHEMA",
+    "DEFAULT_HISTORY_DIR",
+    "append_history",
+    "load_index",
+    "previous_report",
+    "format_trend",
 ]

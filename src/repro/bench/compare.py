@@ -7,6 +7,11 @@ interpreter on the same box) is the batched-over-scalar *speedup ratio*
 per kernel.  ``benchmarks/baseline.json`` commits conservative floors for
 those ratios; a change that drags a ratio more than ``tolerance`` below
 its floor is a perf regression and fails the job.
+
+The comparison is also checked in the *other* direction: a kernel the
+report measures but the baseline has no floor for is surfaced as a WARN
+row instead of silently passing — a newly added kernel must get a
+committed floor before its performance is actually gated.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ __all__ = [
     "load_baseline",
     "compare_reports",
     "format_delta_table",
+    "format_delta_markdown",
 ]
 
 BASELINE_SCHEMA = "repro-bench-baseline/1"
@@ -33,22 +39,26 @@ class ComparisonRow:
     Attributes:
         kernel: kernel name from the suite.
         backend: batch backend the floor applies to.
-        baseline: the committed speedup floor.
+        baseline: the committed speedup floor (None when the kernel has no
+            floor at all — a WARN row, see ``missing_floor``).
         current: the measured speedup (None when the backend did not run —
             e.g. a numpy floor on a machine without numpy).
         regressed: measured more than ``tolerance`` below the floor.
+        missing_floor: measured by the suite but absent from the baseline —
+            not gated, listed so the gap is visible instead of silent.
     """
 
     kernel: str
     backend: str
-    baseline: float
+    baseline: Optional[float]
     current: Optional[float]
     regressed: bool
+    missing_floor: bool = False
 
     @property
     def delta_percent(self) -> Optional[float]:
-        """Relative change vs the floor, in percent (None = not measured)."""
-        if self.current is None or self.baseline <= 0:
+        """Relative change vs the floor, in percent (None = not derivable)."""
+        if self.current is None or self.baseline is None or self.baseline <= 0:
             return None
         return (self.current - self.baseline) / self.baseline * 100.0
 
@@ -79,16 +89,19 @@ def compare_reports(
     measurement on a numpy-less machine is recorded as unmeasured
     (``current=None, regressed=False``) so local runs stay green, while CI
     (which installs numpy) always measures it.
+
+    Conversely, every measured (kernel, backend) pair with no committed
+    floor yields a ``missing_floor`` WARN row — never a silent pass.
     """
     if tolerance < 0:
         raise ValueError("tolerance cannot be negative")
     measured = report.get("speedups", {})
     has_numpy = report.get("numpy") is not None
+    floors = baseline["speedups"]
     rows: List[ComparisonRow] = []
-    for kernel in sorted(baseline["speedups"]):
-        floors = baseline["speedups"][kernel]
-        for backend in sorted(floors):
-            floor = float(floors[backend])
+    for kernel in sorted(floors):
+        for backend in sorted(floors[kernel]):
+            floor = float(floors[kernel][backend])
             current = measured.get(kernel, {}).get(backend)
             if current is None:
                 skippable = backend == "numpy" and not has_numpy
@@ -112,32 +125,99 @@ def compare_reports(
                     regressed=regressed,
                 )
             )
+    for kernel in sorted(measured):
+        for backend in sorted(measured[kernel]):
+            if backend in floors.get(kernel, {}):
+                continue
+            rows.append(
+                ComparisonRow(
+                    kernel=kernel,
+                    backend=backend,
+                    baseline=None,
+                    current=float(measured[kernel][backend]),
+                    regressed=False,
+                    missing_floor=True,
+                )
+            )
     return rows
+
+
+def _verdict_of(row: ComparisonRow) -> str:
+    if row.missing_floor:
+        return "WARN (no baseline floor)"
+    if row.current is None:
+        return "FAIL (not measured)" if row.regressed else "skipped"
+    return "FAIL" if row.regressed else "ok"
+
+
+def _summary_lines(rows: List[ComparisonRow]) -> List[str]:
+    failed = sum(1 for row in rows if row.regressed)
+    lines = [
+        "perf-smoke: "
+        + (f"{failed} regression(s) detected" if failed else "no regressions")
+    ]
+    unbaselined = sorted(
+        {f"{row.kernel}/{row.backend}" for row in rows if row.missing_floor}
+    )
+    if unbaselined:
+        lines.append(
+            "perf-smoke: measured but missing a committed floor "
+            "(not gated): " + ", ".join(unbaselined)
+        )
+    return lines
 
 
 def format_delta_table(rows: List[ComparisonRow], tolerance: float = 0.2) -> str:
     """The per-kernel delta table the perf-smoke job prints."""
     lines = [
         f"perf-smoke: speedup floors ± {tolerance * 100:.0f}% tolerance",
-        f"{'kernel':<14} {'backend':<8} {'floor':>7} {'current':>8} "
+        f"{'kernel':<22} {'backend':<8} {'floor':>7} {'current':>8} "
         f"{'delta':>8}  verdict",
     ]
     for row in rows:
-        if row.current is None:
-            current = "-"
-            delta = "-"
-            verdict = "FAIL (not measured)" if row.regressed else "skipped"
-        else:
-            current = f"{row.current:.2f}x"
-            delta = f"{row.delta_percent:+.0f}%"
-            verdict = "FAIL" if row.regressed else "ok"
-        lines.append(
-            f"{row.kernel:<14} {row.backend:<8} {row.baseline:>6.2f}x "
-            f"{current:>8} {delta:>8}  {verdict}"
+        floor = f"{row.baseline:.2f}x" if row.baseline is not None else "-"
+        current = f"{row.current:.2f}x" if row.current is not None else "-"
+        delta = (
+            f"{row.delta_percent:+.0f}%" if row.delta_percent is not None else "-"
         )
-    failed = sum(1 for row in rows if row.regressed)
-    lines.append(
-        "perf-smoke: "
-        + (f"{failed} regression(s) detected" if failed else "no regressions")
-    )
+        lines.append(
+            f"{row.kernel:<22} {row.backend:<8} {floor:>7} "
+            f"{current:>8} {delta:>8}  {_verdict_of(row)}"
+        )
+    lines.extend(_summary_lines(rows))
+    return "\n".join(lines)
+
+
+def format_delta_markdown(rows: List[ComparisonRow], tolerance: float = 0.2) -> str:
+    """The same delta table as GitHub-flavored markdown (job summaries).
+
+    CI appends this to ``$GITHUB_STEP_SUMMARY`` so the per-kernel verdicts
+    render on the workflow run page instead of hiding in the logs.
+    """
+    verdict_marks = {"ok": "✅ ok", "FAIL": "❌ FAIL"}
+    lines = [
+        f"### perf-smoke: speedup floors ± {tolerance * 100:.0f}% tolerance",
+        "",
+        "| kernel | backend | floor | current | delta | verdict |",
+        "| --- | --- | ---: | ---: | ---: | --- |",
+    ]
+    for row in rows:
+        floor = f"{row.baseline:.2f}x" if row.baseline is not None else "—"
+        current = f"{row.current:.2f}x" if row.current is not None else "—"
+        delta = (
+            f"{row.delta_percent:+.0f}%" if row.delta_percent is not None else "—"
+        )
+        verdict = _verdict_of(row)
+        if row.missing_floor:
+            verdict = "⚠️ " + verdict
+        elif verdict == "skipped":
+            verdict = "➖ skipped"
+        else:
+            verdict = verdict_marks.get(verdict, "❌ " + verdict)
+        lines.append(
+            f"| `{row.kernel}` | {row.backend} | {floor} | {current} | "
+            f"{delta} | {verdict} |"
+        )
+    lines.append("")
+    lines.extend(_summary_lines(rows))
     return "\n".join(lines)

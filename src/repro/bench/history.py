@@ -1,0 +1,150 @@
+# p4-ok-file — host-side benchmarking harness, not data-plane code.
+"""Revision-over-revision bench history (``repro bench --history``).
+
+Each run's report is appended under ``benchmarks/history/`` as
+``BENCH_<rev>.json`` next to a small ``index.json`` recording run order and
+the per-run speedup summaries.  The trend printer compares the current
+report against the most recent run of a *different* revision, so CI output
+answers "did this commit move the needle?" rather than re-stating floors.
+
+Re-running the same revision replaces its history entry (latest wins) —
+the index holds one entry per revision, ordered by first appearance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "HISTORY_SCHEMA",
+    "DEFAULT_HISTORY_DIR",
+    "append_history",
+    "load_index",
+    "previous_report",
+    "format_trend",
+]
+
+HISTORY_SCHEMA = "repro-bench-history/1"
+DEFAULT_HISTORY_DIR = os.path.join("benchmarks", "history")
+_INDEX_NAME = "index.json"
+
+
+def load_index(history_dir: str) -> Dict[str, Any]:
+    """Read the history index (an empty one when none exists yet)."""
+    path = os.path.join(history_dir, _INDEX_NAME)
+    if not os.path.exists(path):
+        return {"schema": HISTORY_SCHEMA, "runs": []}
+    with open(path, "r", encoding="utf-8") as handle:
+        index = json.load(handle)
+    if index.get("schema") != HISTORY_SCHEMA:
+        raise ValueError(
+            f"{path}: unknown history schema {index.get('schema')!r} "
+            f"(expected {HISTORY_SCHEMA!r})"
+        )
+    return index
+
+
+def append_history(
+    report: Dict[str, Any], history_dir: str = DEFAULT_HISTORY_DIR
+) -> str:
+    """Write the report into the history and update the index.
+
+    Returns the path of the written ``BENCH_<rev>.json``.
+    """
+    os.makedirs(history_dir, exist_ok=True)
+    revision = report["revision"]
+    filename = f"BENCH_{revision}.json"
+    report_path = os.path.join(history_dir, filename)
+    with open(report_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    index = load_index(history_dir)
+    entry = {
+        "revision": revision,
+        "file": filename,
+        "quick": report.get("quick", False),
+        "python": report.get("python"),
+        "numpy": report.get("numpy"),
+        "speedups": report.get("speedups", {}),
+    }
+    runs: List[Dict[str, Any]] = index["runs"]
+    for position, run in enumerate(runs):
+        if run.get("revision") == revision:
+            runs[position] = entry
+            break
+    else:
+        runs.append(entry)
+    with open(os.path.join(history_dir, _INDEX_NAME), "w", encoding="utf-8") as handle:
+        json.dump(index, handle, indent=2)
+        handle.write("\n")
+    return report_path
+
+
+def previous_report(
+    history_dir: str, revision: str
+) -> Optional[Dict[str, Any]]:
+    """The most recent history report from a different revision.
+
+    Returns None when the history is empty, holds only this revision, or
+    the indexed file has gone missing.
+    """
+    try:
+        index = load_index(history_dir)
+    except (OSError, ValueError, json.JSONDecodeError):
+        return None
+    for run in reversed(index.get("runs", [])):
+        if run.get("revision") == revision:
+            continue
+        path = os.path.join(history_dir, run.get("file", ""))
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+    return None
+
+
+def format_trend(current: Dict[str, Any], previous: Dict[str, Any]) -> str:
+    """Per-kernel speedup deltas vs the previous revision's report."""
+    lines = [
+        f"trend vs revision {previous.get('revision', '?')}:",
+        f"{'kernel':<22} {'backend':<8} {'previous':>9} {'current':>8} {'delta':>8}",
+    ]
+    current_speedups = current.get("speedups", {})
+    previous_speedups = previous.get("speedups", {})
+    kernels = sorted(set(current_speedups) | set(previous_speedups))
+    for kernel in kernels:
+        backends = sorted(
+            set(current_speedups.get(kernel, {}))
+            | set(previous_speedups.get(kernel, {}))
+        )
+        for backend in backends:
+            now = current_speedups.get(kernel, {}).get(backend)
+            before = previous_speedups.get(kernel, {}).get(backend)
+            now_text = f"{now:.2f}x" if now is not None else "-"
+            before_text = f"{before:.2f}x" if before is not None else "-"
+            if now is not None and before is not None and before > 0:
+                delta = f"{(now - before) / before * 100.0:+.0f}%"
+            elif now is not None and before is None:
+                delta = "new"
+            elif now is None and before is not None:
+                delta = "gone"
+            else:
+                delta = "-"
+            lines.append(
+                f"{kernel:<22} {backend:<8} {before_text:>9} "
+                f"{now_text:>8} {delta:>8}"
+            )
+    merge_now = {row["shards"]: row for row in current.get("cluster", [])}
+    merge_before = {row["shards"]: row for row in previous.get("cluster", [])}
+    shared = sorted(set(merge_now) & set(merge_before))
+    if shared:
+        lines.append("cluster merge overhead (seconds):")
+        for shards in shared:
+            lines.append(
+                f"  {shards} shard(s): {merge_before[shards]['merge_seconds']:.4f}"
+                f" -> {merge_now[shards]['merge_seconds']:.4f}"
+            )
+    return "\n".join(lines)

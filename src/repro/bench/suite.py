@@ -1,7 +1,7 @@
 # p4-ok-file — host-side benchmarking harness, not data-plane code.
 """The fixed benchmark suite behind ``repro bench``.
 
-Five kernels, one per hot loop:
+Six kernels, one per hot loop:
 
 - ``mean_variance`` — dense frequency counting with moments only (the
   batched counting kernel; the headline scalar-vs-batched ratio);
@@ -9,7 +9,14 @@ Five kernels, one per hot loop:
   median walk (order-dependent, so batching only amortizes dispatch);
 - ``time_series`` — interval closes over a circular window;
 - ``sparse``      — HashPipe-style hashed slots (order-dependent);
-- ``ewma``        — the shift-based EWMA detector, loop vs ``update_many``.
+- ``ewma``        — the shift-based EWMA detector, loop vs ``update_many``;
+- ``sharded_mean_variance`` — the cluster hot loop: key-hash routing,
+  per-shard counting on a 4-shard :class:`~repro.cluster.sharded.ShardedStat4`,
+  and the exact network-wide merge.
+
+A separate ``cluster`` report section sweeps the same workload across
+1→8 shards, splitting routed-ingest time from controller-side merge time
+(the scale-out overhead curve in ``docs/BENCHMARKS.md``).
 
 Each kernel times the *same* prepared workload through the scalar path and
 the batched path (per backend), best-of-``repeats``, on a fresh
@@ -181,6 +188,127 @@ def _time_stat4_kernels(
     return results
 
 
+#: Shard counts the merge-overhead scaling section sweeps.
+_CLUSTER_SHARDS = (1, 2, 4, 8)
+#: Cluster size the gated sharded kernel runs at.
+_CLUSTER_KERNEL_SHARDS = 4
+
+
+def _cluster_workload(packets: int):
+    """The sharded kernel's workload + binding (dense frequency, dst-keyed)."""
+    from repro.cluster.sharded import ShardedStat4
+
+    config = Stat4Config(counter_num=2, counter_size=256, binding_stages=1)
+    contexts = _make_contexts(packets, dst_values=1024, timestamp_gap=1e-4)
+    match = BindingMatch(ether_type=0x0800)
+
+    def build(shards: int, backend: str) -> ShardedStat4:
+        cluster = ShardedStat4(shards, config=config, backend=backend)
+        spec = cluster.specs.frequency_of(
+            0, ExtractSpec.field("ipv4.dst", mask=0xFF)
+        )
+        cluster.bind(0, match, spec)
+        return cluster
+
+    return contexts, build
+
+
+def _time_cluster_kernels(
+    packets: int, repeats: int, backends: List[str]
+) -> List[Dict[str, Any]]:
+    """The ``sharded_mean_variance`` kernel: routed ingest plus merge.
+
+    Scalar mode routes every packet individually through the owner shard's
+    per-packet path; batched mode routes the batch once and runs the
+    per-shard counting kernels.  Both end with the exact network-wide merge
+    (:meth:`ShardedStat4.merged`), so the ratio prices routing, per-shard
+    ingestion, and merging — the whole cluster hot loop.
+    """
+    contexts, build = _cluster_workload(packets)
+    results: List[Dict[str, Any]] = []
+
+    def run_scalar():
+        cluster = build(_CLUSTER_KERNEL_SHARDS, "python")
+        for ctx in contexts:
+            cluster.process(ctx)
+        cluster.merged(0)
+
+    seconds = _best_of(repeats, run_scalar)
+    results.append(
+        {
+            "name": "sharded_mean_variance",
+            "mode": "scalar",
+            "backend": None,
+            "packets": packets,
+            "seconds": seconds,
+            "pps": packets / seconds if seconds > 0 else 0.0,
+        }
+    )
+    batch = PacketBatch.from_contexts(contexts)
+    for backend in backends:
+
+        def run_batched():
+            cluster = build(_CLUSTER_KERNEL_SHARDS, backend)
+            cluster.ingest(batch)
+            cluster.merged(0)
+
+        seconds = _best_of(repeats, run_batched)
+        results.append(
+            {
+                "name": "sharded_mean_variance",
+                "mode": "batched",
+                "backend": backend,
+                "packets": packets,
+                "seconds": seconds,
+                "pps": packets / seconds if seconds > 0 else 0.0,
+            }
+        )
+    return results
+
+
+def _time_cluster_scaling(
+    packets: int, repeats: int, backend: str
+) -> List[Dict[str, Any]]:
+    """Merge-overhead scaling: the same batch at 1→8 shards.
+
+    Separates routed ingestion from the controller-side merge so the
+    artifact shows where scale-out costs land as the cluster grows (the
+    merge is O(cells·shards) host-side work; ingestion throughput should
+    hold roughly flat since the same packets run the same kernels, just
+    partitioned).
+    """
+    contexts, build = _cluster_workload(packets)
+    batch = PacketBatch.from_contexts(contexts)
+    rows: List[Dict[str, Any]] = []
+    for shards in _CLUSTER_SHARDS:
+        cluster = build(shards, backend)
+        holder = {}
+
+        def run_ingest():
+            fresh = build(shards, backend)
+            fresh.ingest(batch)
+            holder["cluster"] = fresh
+
+        ingest_seconds = _best_of(repeats, run_ingest)
+        ingested = holder["cluster"]
+
+        def run_merge():
+            ingested.merged(0)
+
+        merge_seconds = _best_of(repeats, run_merge)
+        rows.append(
+            {
+                "shards": shards,
+                "backend": backend,
+                "packets": packets,
+                "ingest_seconds": ingest_seconds,
+                "ingest_pps": packets / ingest_seconds if ingest_seconds > 0 else 0.0,
+                "merge_seconds": merge_seconds,
+            }
+        )
+    return rows
+
+
 def _time_ewma(packets: int, repeats: int, backends: List[str]) -> List[Dict[str, Any]]:
     samples = [(index * 2654435761) % 97 for index in range(packets)]
 
@@ -290,6 +418,7 @@ def run_suite(
         backends = [resolve_backend(backend)]
     kernels = _time_stat4_kernels(n, reps, backends)
     kernels.extend(_time_ewma(n, reps, backends))
+    kernels.extend(_time_cluster_kernels(n, reps, backends))
     report: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "revision": _revision(),
@@ -298,6 +427,7 @@ def run_suite(
         "quick": quick,
         "kernels": kernels,
         "experiments": [] if skip_experiments else _time_experiments(quick),
+        "cluster": _time_cluster_scaling(n, reps, backends[0]),
         "speedups": _speedups(kernels),
     }
     return report
@@ -331,7 +461,7 @@ def format_report(report: Dict[str, Any]) -> str:
         f"numpy {report['numpy'] or 'unavailable'}, "
         f"{'quick' if report['quick'] else 'full'} profile)",
         "",
-        f"{'kernel':<14} {'mode':<8} {'backend':<8} {'pps':>12} {'speedup':>8}",
+        f"{'kernel':<22} {'mode':<8} {'backend':<8} {'pps':>12} {'speedup':>8}",
     ]
     speedups = report.get("speedups", {})
     for row in report["kernels"]:
@@ -342,9 +472,20 @@ def format_report(report: Dict[str, Any]) -> str:
             if value is not None:
                 ratio = f"{value:.1f}x"
         lines.append(
-            f"{row['name']:<14} {row['mode']:<8} {backend:<8} "
+            f"{row['name']:<22} {row['mode']:<8} {backend:<8} "
             f"{row['pps']:>12,.0f} {ratio:>8}"
         )
+    if report.get("cluster"):
+        lines.append("")
+        lines.append("cluster scaling (routed ingest + merge):")
+        lines.append(
+            f"  {'shards':>6} {'backend':<8} {'ingest pps':>12} {'merge':>10}"
+        )
+        for row in report["cluster"]:
+            lines.append(
+                f"  {row['shards']:>6} {row['backend']:<8} "
+                f"{row['ingest_pps']:>12,.0f} {row['merge_seconds'] * 1e3:>8.2f}ms"
+            )
     if report.get("experiments"):
         lines.append("")
         lines.append("experiments:")

@@ -51,6 +51,17 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument(
         "--batch-size", type=int, default=1024, help="chunk size for --batched"
     )
+    validate.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "differential run: route the stream across N switch shards and "
+            "check the merged statistics against a single-switch oracle, "
+            "bit for bit"
+        ),
+    )
 
     case = sub.add_parser("case-study", help="Figure 6: detection + drill-down")
     case.add_argument("--interval", type=float, default=0.008, help="seconds")
@@ -66,7 +77,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("reactivity", help="Figure 1: push vs pull trade-off")
     sub.add_parser("resources", help="Sec. 4: resource consumption report")
-    sub.add_parser("multiswitch", help="Sec. 5: cross-switch aggregation")
+    multiswitch = sub.add_parser(
+        "multiswitch", help="Sec. 5: sharded cross-switch aggregation"
+    )
+    multiswitch.add_argument(
+        "--shards", type=int, default=4, help="cluster size (switches)"
+    )
     sub.add_parser("identify", help="victim-identification strategies")
     sub.add_parser("ablations", help="all design-choice ablations")
 
@@ -133,6 +149,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.2,
         help="allowed relative drop below a baseline floor (0.2 = 20%%)",
     )
+    bench.add_argument(
+        "--history",
+        action="store_true",
+        help=(
+            "append the report to the bench history and print trend deltas "
+            "vs the previous revision"
+        ),
+    )
+    bench.add_argument(
+        "--history-dir",
+        type=str,
+        default=None,
+        help="history directory (default benchmarks/history)",
+    )
 
     generate = sub.add_parser(
         "generate", help="emit the P4-16 program for a configuration"
@@ -167,6 +197,26 @@ def _cmd_table3(args) -> int:
 
 def _cmd_validate(args) -> int:
     from repro.experiments.validation import run_validation
+
+    if args.shards:
+        from repro.experiments.validation import run_validation_sharded
+
+        sharded = run_validation_sharded(
+            packets=args.packets,
+            shards=args.shards,
+            seed=args.seed,
+            backend=args.backend,
+            batch_size=args.batch_size,
+        )
+        print(
+            f"packets={sharded.packets} shards={sharded.shards} "
+            f"backend={sharded.backend} loads={sharded.shard_loads} "
+            f"mismatches={len(sharded.mismatches)}"
+        )
+        for detail in sharded.mismatches:
+            print(f"  {detail}")
+        print("PASSED" if sharded.passed else "FAILED")
+        return 0 if sharded.passed else 1
 
     if args.batched:
         from repro.experiments.validation import run_validation_batched
@@ -243,18 +293,21 @@ def _cmd_resources() -> int:
     return 0
 
 
-def _cmd_multiswitch() -> int:
+def _cmd_multiswitch(args) -> int:
     from repro.experiments.multiswitch import run_multiswitch
 
-    result = run_multiswitch()
+    result = run_multiswitch(shards=args.shards)
+    print(f"shards: {result.shards}  loads: {result.shard_loads}")
     print(f"local alerts: {result.local_alerts}")
     print(f"victim index: {result.victim_index}")
+    print(f"merge exact: {'yes' if result.merge_exact else 'NO'}")
+    for error in result.merge_errors:
+        print(f"  {error}")
     print(f"global outliers: {result.global_outliers}")
-    print(
-        "detected globally only: "
-        + ("yes" if result.detected_globally_only else "NO")
-    )
-    return 0 if result.detected_globally_only else 1
+    print(f"oracle outliers: {result.oracle_outliers}")
+    print(f"control bytes: {result.control_bytes}")
+    print("detected: " + ("yes" if result.detected else "NO"))
+    return 0 if result.detected else 1
 
 
 def _cmd_identify() -> int:
@@ -343,15 +396,25 @@ def _cmd_lint(args) -> int:
 
 def _cmd_bench(args) -> int:
     import json as json_module
+    import os
 
     from repro.bench import (
+        DEFAULT_HISTORY_DIR,
+        append_history,
         compare_reports,
+        format_delta_markdown,
         format_delta_table,
         format_report,
+        format_trend,
         load_baseline,
+        previous_report,
         run_suite,
         write_report,
     )
+
+    # Under --json, everything except the report itself goes to stderr so
+    # stdout stays parseable.
+    side = sys.stderr if args.json else sys.stdout
 
     report = run_suite(quick=args.quick, backend=args.backend)
     path = write_report(report, output=args.output)
@@ -361,12 +424,30 @@ def _cmd_bench(args) -> int:
     else:
         print(format_report(report))
         print(f"wrote {path}")
+
+    if args.history or args.history_dir is not None:
+        history_dir = (
+            args.history_dir if args.history_dir is not None else DEFAULT_HISTORY_DIR
+        )
+        previous = previous_report(history_dir, report["revision"])
+        history_path = append_history(report, history_dir)
+        print(f"history: {history_path}", file=side)
+        if previous is not None:
+            print(format_trend(report, previous), file=side)
+        else:
+            print("history: no previous revision to compare against", file=side)
+
     if args.baseline is None:
         return 0
     rows = compare_reports(report, load_baseline(args.baseline), args.tolerance)
     table = format_delta_table(rows, args.tolerance)
-    # The delta table goes to stderr under --json so stdout stays parseable.
-    print(table, file=sys.stderr if args.json else sys.stdout)
+    print(table, file=side)
+    # On GitHub Actions, render the verdicts on the run page too.
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write(format_delta_markdown(rows, args.tolerance))
+            handle.write("\n")
     return 1 if any(row.regressed for row in rows) else 0
 
 
@@ -408,7 +489,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "resources":
         return _cmd_resources()
     if args.command == "multiswitch":
-        return _cmd_multiswitch()
+        return _cmd_multiswitch(args)
     if args.command == "identify":
         return _cmd_identify()
     if args.command == "ablations":

@@ -1,0 +1,21 @@
+# p4-ok-file — host-side cluster scale-out package.
+"""Multi-switch scale-out: one logical Stat4 sharded across N switches.
+
+See :mod:`repro.cluster.sharded` for the routing/merging engine,
+:mod:`repro.cluster.hashing` for the deterministic key router, and
+:mod:`repro.cluster.topology` for deploying a cluster into the netsim.
+"""
+
+from repro.cluster.hashing import fnv1a64, shard_of
+from repro.cluster.sharded import ClusterResult, MergedDistribution, ShardedStat4
+from repro.cluster.topology import ClusterDeployment, deploy_cluster
+
+__all__ = [
+    "fnv1a64",
+    "shard_of",
+    "ClusterResult",
+    "MergedDistribution",
+    "ShardedStat4",
+    "ClusterDeployment",
+    "deploy_cluster",
+]

@@ -1,0 +1,63 @@
+# p4-ok-file — host-side cluster routing, not data-plane code.
+"""Deterministic shard routing for the cluster scale-out.
+
+One logical Stat4 deployment split across N switches needs a *stable*
+assignment of traffic to shards: the same binding key must land on the same
+shard in every run, on every Python version, on every machine — otherwise
+register state is not reproducible and the differential tests against the
+single-switch oracle are meaningless.  Python's builtin ``hash`` is salted
+per process for strings and makes no cross-version promises, so the router
+uses an explicit FNV-1a over the composite binding key's integer fields.
+
+On hardware this is exactly the kind of hash a load balancer or a
+network-wide monitoring plane (Tang et al.'s invertible-sketch deployments)
+computes from header fields to pick the recording switch; here it picks the
+:class:`~repro.stat4.library.Stat4` shard that owns the packet.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+__all__ = ["fnv1a64", "shard_of"]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def fnv1a64(parts: Iterable[int], seed: int = 0) -> int:
+    """FNV-1a over a sequence of non-negative integers, 8 bytes each.
+
+    Each part is folded in as its 8 little-endian bytes (values wider than
+    64 bits contribute their low 64).  ``seed`` perturbs the initial basis
+    so a deployment can re-shuffle shard ownership without changing code.
+    """
+    acc = (_FNV_OFFSET ^ (seed & _MASK64)) & _MASK64
+    for part in parts:
+        value = part & _MASK64
+        for _ in range(8):
+            acc = ((acc ^ (value & 0xFF)) * _FNV_PRIME) & _MASK64
+            value >>= 8
+    return acc
+
+
+def shard_of(key: Tuple[int, int, int, int], shards: int, seed: int = 0) -> int:
+    """The shard that owns a composite binding key.
+
+    Args:
+        key: the ``(ether_type, ipv4_dst, ip_protocol, tcp_flags)`` tuple
+            :func:`~repro.stat4.binding.binding_key_of` assembles.
+        shards: cluster size; must be positive.
+        seed: optional reshuffling seed (see :func:`fnv1a64`).
+
+    Deterministic across processes and Python versions.  All packets of one
+    binding key land on one shard, so any distribution fed by a single key
+    (e.g. a time-series rate on one flow) lives wholly on its owner shard
+    and merges trivially.
+    """
+    if shards <= 0:
+        raise ValueError(f"shard count must be positive, got {shards}")
+    if shards == 1:
+        return 0
+    return fnv1a64(key, seed=seed) % shards

@@ -17,24 +17,129 @@ through *each* of several ingress switches but an outlier amount in total).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.controller.base import Controller
+from repro.core.percentile import true_percentile_of_freqs
 from repro.core.stats import ScaledStats
 from repro.netsim.messages import RegisterReadReply
 from repro.netsim.network import Network
 
-__all__ = ["AggregatingController", "merge_measures"]
+__all__ = [
+    "AggregatingController",
+    "merge_measures",
+    "merge_cells",
+    "stats_from_cells",
+    "merge_sparse_items",
+    "stats_from_items",
+    "percentile_of_cells",
+]
+
+#: The measure registers a merging controller dumps next to the cells.
+MEASURE_REGISTERS = ("stat4_n", "stat4_xsum", "stat4_xsumsq")
 
 
 def merge_measures(dumps: List[Dict[str, int]]) -> ScaledStats:
-    """Merge per-switch (n, xsum, xsumsq) measure dicts exactly."""
+    """Merge per-switch (n, xsum, xsumsq) measure dicts exactly.
+
+    Plain moment summation is exact whenever the per-switch value sets are
+    *disjoint* — each tracked value lives on exactly one switch.  That holds
+    for time-series slots (every closed interval is one switch's own value)
+    and for any distribution whose traffic is wholly owned by one shard.
+    Dense frequency slots split across switches share values (the same cell
+    index counts on several switches); merge those via :func:`merge_cells` +
+    :func:`stats_from_cells` instead.
+    """
     merged = ScaledStats.from_measures(0, 0, 0)
     for dump in dumps:
         merged = merged.merged_with(
             ScaledStats.from_measures(dump["n"], dump["xsum"], dump["xsumsq"])
         )
     return merged
+
+
+def merge_cells(vectors: Sequence[Sequence[int]]) -> List[int]:
+    """Sum per-switch cell vectors into the network-wide frequency vector.
+
+    Counting is order-independent, so the merged vector is *bit-identical*
+    to what one switch seeing the whole trace would hold, for any split of
+    the traffic.  All vectors must have equal length (one logical slot
+    geometry across the cluster).
+    """
+    if not vectors:
+        return []
+    size = len(vectors[0])
+    for vector in vectors:
+        if len(vector) != size:
+            raise ValueError(
+                f"cell vectors differ in length ({len(vector)} vs {size}); "
+                "all shards must share one Stat4Config"
+            )
+    return [sum(vector[i] for vector in vectors) for i in range(size)]
+
+
+def stats_from_cells(cells: Iterable[int]) -> ScaledStats:
+    """Exact moments of a dense frequency vector.
+
+    Rebuilds what :meth:`ScaledStats.observe_frequency` accumulates from
+    the cell contents alone: ``N`` counts non-empty cells, ``Xsum`` is the
+    total mass, ``Xsumsq`` the sum of squared counts (the per-increment
+    ``2c+1`` updates telescope to exactly ``c²``).  Because the inputs are
+    the merged cells, the result matches the single-switch oracle's
+    N/Xsum/Xsumsq — and hence σ²_NX = N·Xsumsq − Xsum² and the lazily
+    derived σ — bit for bit.
+    """
+    stats = ScaledStats.from_measures(0, 0, 0)
+    count = 0
+    xsum = 0
+    xsumsq = 0
+    for cell in cells:
+        if cell > 0:
+            count += 1
+            xsum += cell
+            xsumsq += cell * cell
+    stats.count = count
+    stats.xsum = xsum
+    stats.xsumsq = xsumsq
+    return stats
+
+
+def merge_sparse_items(
+    item_lists: Sequence[Sequence[Tuple[int, int]]]
+) -> List[Tuple[int, int]]:
+    """Merge per-switch resident ``(key, count)`` sets by summing per key.
+
+    Exact as long as no switch evicted (an evicted value's mass left its
+    moments, which no merge can recover) — callers should check the
+    per-shard eviction counters before trusting the merge, as the cluster
+    engine does.  Returned sorted by key for deterministic comparisons.
+    """
+    merged: Dict[int, int] = {}
+    for items in item_lists:
+        for key, count in items:
+            merged[key] = merged.get(key, 0) + count
+    return sorted(merged.items())
+
+
+def stats_from_items(items: Iterable[Tuple[int, int]]) -> ScaledStats:
+    """Exact moments of a sparse resident set (counts are the values)."""
+    return stats_from_cells(count for _key, count in items)
+
+
+def percentile_of_cells(cells: Sequence[int], percent: int) -> Optional[int]:
+    """The exact percentile position of a merged frequency vector.
+
+    The in-switch :class:`~repro.core.percentile.PercentileTracker` walks
+    one step per packet, so its *position* is a function of packet order —
+    per-shard walks cannot be recombined into the oracle's walk.  What
+    merges exactly is the frequency state the walk runs over; the
+    network-wide percentile is therefore *derived* from the merged cells
+    with the exact rule both sides share.  Returns None while the merged
+    distribution is empty.
+    """
+    if sum(cells) == 0:
+        return None
+    return true_percentile_of_freqs(cells, percent)
 
 
 class AggregatingController(Controller):
@@ -49,6 +154,9 @@ class AggregatingController(Controller):
         switch_ports: controller port wired to each switch's CPU port.
         dist: the distribution slot to aggregate.
         cells: number of value cells per switch (dense frequency slots).
+        with_measures: additionally dump the N/Xsum/Xsumsq registers so the
+            scaled moments can be merged without recounting cells (the
+            cluster experiments use this to cross-check both merge routes).
     """
 
     def __init__(
@@ -57,13 +165,18 @@ class AggregatingController(Controller):
         switch_ports: Dict[str, int],
         dist: int = 0,
         cells: int = 256,
+        with_measures: bool = False,
     ):
         super().__init__(name)
         self.switch_ports = dict(switch_ports)
         self.dist = dist
         self.cells = cells
+        self.registers = ["stat4_counters"]
+        if with_measures:
+            self.registers.extend(MEASURE_REGISTERS)
         self._pending: Dict[int, str] = {}
         self._collected: Dict[str, List[int]] = {}
+        self._dumps: Dict[str, Dict[str, List[int]]] = {}
         self._on_complete: Optional[Callable[[Dict[str, List[int]]], None]] = None
         self.global_counts: List[int] = []
         self.aggregations = 0
@@ -82,6 +195,7 @@ class AggregatingController(Controller):
         from repro.netsim.messages import RegisterReadRequest
 
         self._collected = {}
+        self._dumps = {}
         self._on_complete = on_complete
         for switch in self.switch_ports:
             request_id = next(self._request_ids)
@@ -89,7 +203,7 @@ class AggregatingController(Controller):
             self._send_to(
                 switch,
                 RegisterReadRequest(
-                    registers=["stat4_counters"], request_id=request_id
+                    registers=list(self.registers), request_id=request_id
                 ),
             )
 
@@ -100,6 +214,7 @@ class AggregatingController(Controller):
             flat = message.values["stat4_counters"]
             base = self.dist * self.cells
             self._collected[switch] = flat[base : base + self.cells]
+            self._dumps[switch] = message.values
             if not self._pending:
                 self._finish()
             return
@@ -107,10 +222,7 @@ class AggregatingController(Controller):
 
     def _finish(self) -> None:
         self.aggregations += 1
-        self.global_counts = [
-            sum(cells[i] for cells in self._collected.values())
-            for i in range(self.cells)
-        ]
+        self.global_counts = merge_cells(list(self._collected.values()))
         if self._on_complete is not None:
             self._on_complete(dict(self._collected))
 
@@ -118,11 +230,30 @@ class AggregatingController(Controller):
 
     def global_stats(self) -> ScaledStats:
         """Exact network-wide moments of the merged frequency counts."""
-        stats = ScaledStats()
-        for count in self.global_counts:
-            if count > 0:
-                stats.add_value(count)
-        return stats
+        return stats_from_cells(self.global_counts)
+
+    def merged_measures(self) -> ScaledStats:
+        """Moment-sum merge of the dumped N/Xsum/Xsumsq registers.
+
+        Requires ``with_measures=True`` at construction (the measure
+        registers ride along with the cell dumps).  Exact under the
+        disjoint-value-set condition documented on :func:`merge_measures`.
+        """
+        missing = [r for r in MEASURE_REGISTERS if r not in self.registers]
+        if missing:
+            raise RuntimeError(
+                "controller was not built with with_measures=True; "
+                f"measure registers {missing} were never dumped"
+            )
+        dumps = [
+            {
+                "n": values["stat4_n"][self.dist],
+                "xsum": values["stat4_xsum"][self.dist],
+                "xsumsq": values["stat4_xsumsq"][self.dist],
+            }
+            for values in self._dumps.values()
+        ]
+        return merge_measures(dumps)
 
     def global_outliers(self, k_sigma: int = 2, margin: int = 1) -> List[Tuple[int, int]]:
         """Indices whose *merged* count is a k·σ outlier globally."""

@@ -1,17 +1,22 @@
 # p4-ok-file — host-side experiment driver, not data-plane code.
-"""Cross-switch aggregation experiment (paper Sec. 5 future work).
+"""Sharded multi-switch scale-out experiment (paper Sec. 5 future work).
 
-Scenario: twelve destinations are split across two ingress switches (six
-each), while one *multihomed* destination receives traffic through both.
-Each switch sees the multihomed host at the same per-switch rate as its
-local destinations — locally unremarkable — but the merged network-wide
-view shows it receiving twice anyone else's traffic.
+Scenario: one logical per-destination frequency monitor is sharded across K
+ingress switches by hashing the binding key — every destination's traffic
+is owned by exactly one switch, as in a network-wide monitoring deployment
+(Tang et al.'s invertible sketches pick the recording switch the same way).
+A heavy-hitter destination receives several times the baseline load, but
+each switch holds only its own key range, so no single register dump is the
+network-wide distribution.
 
-The controller pulls both switches' frequency registers, merges the counts
-(exactly, because N/Xsum/Xsumsq are mergeable sums) and runs the same 2σ
-check host-side: the anomaly is only visible globally.  This quantifies the
-paper's remark that "scalability is a strength of centralized
-architectures" — and that the two layers are complementary.
+The controller pulls every shard's registers over the simulated control
+channel and merges them through :mod:`repro.controller.aggregate`.  The
+headline is **merge exactness**: the merged frequency cells and the
+recomputed N/Xsum/Xsumsq (hence σ²_NX = N·Xsumsq − Xsum²) are bit-identical
+to a single-switch oracle that saw the whole trace, for any shard count —
+so the same 2σ check flags exactly the same outliers globally as it would
+on one giant switch, quantifying the paper's remark that "scalability is a
+strength of centralized architectures".
 """
 
 from __future__ import annotations
@@ -20,15 +25,10 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from repro.controller.aggregate import AggregatingController
-from repro.netsim.hosts import Host
-from repro.netsim.network import Network
-from repro.netsim.switchnode import SwitchNode
-from repro.p4 import headers as hdr
+from repro.cluster.sharded import ShardedStat4
+from repro.cluster.topology import deploy_cluster
 from repro.p4.parser import standard_parser
-from repro.p4.pipeline import PipelineProgram
-from repro.p4.registers import RegisterFile
-from repro.p4.switch import CPU_PORT, PacketContext
+from repro.stat4.batch import PacketBatch
 from repro.stat4.binding import BindingMatch
 from repro.stat4.config import Stat4Config
 from repro.stat4.extract import ExtractSpec
@@ -41,123 +41,152 @@ __all__ = ["MultiSwitchResult", "run_multiswitch"]
 
 @dataclass
 class MultiSwitchResult:
-    """What each view of the network saw.
+    """What the sharded deployment and the oracle each saw.
 
     Attributes:
-        local_alerts: per-switch in-switch alert counts (expected 0: the
-            anomaly is invisible locally).
-        global_outliers: ``(destination index, merged count)`` the merged
-            view flags.
-        victim_index: the multihomed destination's index.
-        per_switch_counts: each switch's local counts (diagnostics).
-        merged_counts: the controller's merged counts.
+        shards: cluster size.
+        victim_index: the heavy-hitter destination's cell index.
+        per_switch_counts: each shard's local cells (diagnostics — no
+            single one is the network-wide distribution).
+        merged_counts: the controller's merged cells.
+        oracle_counts: the single-switch oracle's cells.
+        merge_errors: fields where the merged view differs from the oracle
+            (the headline claim is that this is empty for any shard count).
+        global_outliers: ``(index, merged count)`` the merged 2σ check flags.
+        oracle_outliers: the same check on the oracle's registers.
+        local_alerts: per-shard in-switch alert counts (diagnostics: the
+            owning shard may or may not flag the victim locally; the merged
+            verdict is what matches the oracle).
+        shard_loads: packets each shard ingested.
+        control_bytes: bytes the control channel carried for the merge.
     """
 
-    local_alerts: Dict[str, int] = field(default_factory=dict)
-    global_outliers: List[Tuple[int, int]] = field(default_factory=list)
+    shards: int = 0
     victim_index: int = 0
     per_switch_counts: Dict[str, List[int]] = field(default_factory=dict)
     merged_counts: List[int] = field(default_factory=list)
+    oracle_counts: List[int] = field(default_factory=list)
+    merge_errors: List[str] = field(default_factory=list)
+    global_outliers: List[Tuple[int, int]] = field(default_factory=list)
+    oracle_outliers: List[Tuple[int, int]] = field(default_factory=list)
+    local_alerts: Dict[str, int] = field(default_factory=dict)
+    shard_loads: List[int] = field(default_factory=list)
+    control_bytes: int = 0
 
     @property
-    def detected_globally_only(self) -> bool:
-        """The headline: invisible locally, caught by aggregation."""
+    def merge_exact(self) -> bool:
+        """Merged cells and moments bit-identical to the oracle."""
+        return not self.merge_errors
+
+    @property
+    def detected(self) -> bool:
+        """The headline: exact merge, and the merged 2σ view flags the
+        victim with exactly the oracle's verdicts."""
         flagged = {index for index, _ in self.global_outliers}
         return (
-            all(count == 0 for count in self.local_alerts.values())
+            self.merge_exact
             and self.victim_index in flagged
+            and self.global_outliers == self.oracle_outliers
         )
-
-
-def _monitor_program(name: str) -> Tuple[PipelineProgram, Stat4]:
-    """A minimal per-destination frequency monitor with a 2σ check."""
-    config = Stat4Config(counter_num=1, counter_size=32, binding_stages=1)
-    registers = RegisterFile()
-    stat4 = Stat4(config, registers)
-    runtime = Stat4Runtime(stat4)
-    spec = runtime.frequency_of(
-        dist=0,
-        extract=ExtractSpec.field("ipv4.dst", mask=0x1F),
-        k_sigma=2,
-        alert="local_imbalance",
-        min_samples=5,
-        margin=2,
-        cooldown=0.1,
-    )
-    runtime.bind(0, BindingMatch.ipv4_prefix("10.0.0.0", 8), spec)
-
-    def ingress(ctx: PacketContext) -> None:
-        stat4.process(ctx)
-        ctx.meta.egress_spec = 1
-
-    program = PipelineProgram(
-        name=name, parser=standard_parser(), registers=registers, ingress=ingress
-    )
-    stat4.install_into(program)
-    return program, stat4
 
 
 def run_multiswitch(
-    packets_per_destination: int = 200,
-    background_per_switch: int = 6,
+    packets_per_destination: int = 50,
+    destinations: int = 24,
+    victim_factor: int = 6,
+    shards: int = 4,
     seed: int = 0,
     control_delay: float = 0.005,
+    backend: str = "auto",
 ) -> MultiSwitchResult:
-    """Run the two-switch scenario and both detection layers.
+    """Run the sharded scenario, the merge, and both detection layers.
 
     Args:
-        packets_per_destination: baseline load per local destination; the
-            multihomed victim receives this much *through each switch*.
-        background_per_switch: local destinations per switch.
+        packets_per_destination: baseline load per destination; the victim
+            receives ``victim_factor`` times this.
+        destinations: baseline destination count (cell indices 1..N).
+        victim_factor: the heavy hitter's load multiplier.
+        shards: cluster size.
         seed: shuffles packet interleaving.
         control_delay: controller link delay.
+        backend: batch backend for the shard kernels.
     """
-    network = Network()
-    program_a, stat4_a = _monitor_program("mon_a")
-    program_b, stat4_b = _monitor_program("mon_b")
-    switch_a = network.add(SwitchNode("sw_a", program_a))
-    switch_b = network.add(SwitchNode("sw_b", program_b))
-    sink_a = network.add(Host("sink_a"))
-    sink_b = network.add(Host("sink_b"))
-    network.connect(switch_a, 1, sink_a, 0)
-    network.connect(switch_b, 1, sink_b, 0)
-    controller = network.add(
-        AggregatingController(
-            "agg", switch_ports={"sw_a": 0, "sw_b": 1}, dist=0, cells=32
-        )
-    )
-    network.connect(switch_a, CPU_PORT, controller, 0, delay=control_delay)
-    network.connect(switch_b, CPU_PORT, controller, 1, delay=control_delay)
-    feeder_a = network.add(Host("feeder_a"))
-    feeder_b = network.add(Host("feeder_b"))
-    network.connect(feeder_a, 0, switch_a, 0)
-    network.connect(feeder_b, 0, switch_b, 0)
+    config = Stat4Config(counter_num=1, counter_size=64, binding_stages=1)
+    match = BindingMatch.ipv4_prefix("10.0.0.0", 8)
 
-    victim_index = 2 * background_per_switch + 1
+    def monitor_spec(runtime: Stat4Runtime):
+        return runtime.frequency_of(
+            dist=0,
+            extract=ExtractSpec.field("ipv4.dst", mask=0x3F),
+            k_sigma=2,
+            alert="local_imbalance",
+            min_samples=5,
+            margin=2,
+            cooldown=0.1,
+        )
+
+    # The single-switch oracle: the whole trace through one Stat4.
+    oracle = Stat4(config)
+    oracle_runtime = Stat4Runtime(oracle)
+    oracle_runtime.bind(0, match, monitor_spec(oracle_runtime))
+
+    cluster = ShardedStat4(shards, config=config, backend=backend)
+    cluster.bind(0, match, monitor_spec(cluster.specs))
+    deployment = deploy_cluster(cluster, dist=0, control_delay=control_delay)
+
+    victim_index = destinations + 1
     rng = random.Random(seed)
-    sends: List[Tuple[Host, int]] = []
-    for local in range(1, background_per_switch + 1):
-        sends += [(feeder_a, local)] * packets_per_destination
-        sends += [(feeder_b, background_per_switch + local)] * packets_per_destination
-    # The multihomed destination: same per-switch rate as everyone else,
-    # but through *both* switches.
-    sends += [(feeder_a, victim_index)] * packets_per_destination
-    sends += [(feeder_b, victim_index)] * packets_per_destination
+    loads = [(index, packets_per_destination) for index in range(1, destinations + 1)]
+    loads.append((victim_index, victim_factor * packets_per_destination))
+    sends = [index for index, load in loads for _ in range(load)]
     rng.shuffle(sends)
     gap = 0.0005
-    for step, (feeder, index) in enumerate(sends):
-        feeder.send_at(step * gap, udp_to(hdr.ip_to_int(f"10.0.0.{index}")))
-    network.run()
+    packets = [udp_to(0x0A000000 | index) for index in sends]
+    timestamps = [step * gap for step in range(len(sends))]
+    parser = standard_parser()
+    batch = PacketBatch.from_packets(packets, parser, timestamps=timestamps)
 
-    result = MultiSwitchResult(victim_index=victim_index)
+    oracle.process_batch(batch, backend=cluster.backend)
+    deployment.ingest(batch)
+    deployment.network.run()
+
+    result = MultiSwitchResult(shards=shards, victim_index=victim_index)
     result.local_alerts = {
-        "sw_a": stat4_a.alerts_emitted,
-        "sw_b": stat4_b.alerts_emitted,
+        switch.name: stat4.alerts_emitted
+        for switch, stat4 in zip(deployment.switches, cluster.nodes)
     }
-    collected: Dict[str, List[int]] = {}
-    controller.collect(on_complete=collected.update)
-    network.run()
-    result.per_switch_counts = collected
+    result.shard_loads = cluster.shard_loads()
+    result.per_switch_counts = deployment.collect()
+    controller = deployment.controller
     result.merged_counts = controller.global_counts
-    result.global_outliers = controller.global_outliers(k_sigma=2, margin=1)
+    result.oracle_counts = oracle.read_cells(0)
+    result.global_outliers = controller.global_outliers(k_sigma=2, margin=2)
+
+    # The oracle-side verdicts with the identical host-side rule.
+    from repro.controller.aggregate import stats_from_cells
+
+    oracle_stats = stats_from_cells(result.oracle_counts)
+    result.oracle_outliers = [
+        (index, count)
+        for index, count in enumerate(result.oracle_counts)
+        if count > 0 and oracle_stats.is_outlier(count, 2, margin=2)
+    ]
+
+    # Merge exactness: cells and all derived measures, bit for bit.
+    if result.merged_counts != result.oracle_counts:
+        result.merge_errors.append("merged cells differ from oracle")
+    merged_measures = controller.global_stats()
+    expected = oracle.read_measures(0)
+    for name, got in (
+        ("n", merged_measures.count),
+        ("xsum", merged_measures.xsum),
+        ("xsumsq", merged_measures.xsumsq),
+        ("variance", merged_measures.variance_nx),
+        ("stddev", merged_measures.stddev_nx),
+    ):
+        if got != expected[name]:
+            result.merge_errors.append(
+                f"{name}: merged={got} oracle={expected[name]}"
+            )
+    result.control_bytes = deployment.network.total_control_bytes(controller.name)
     return result

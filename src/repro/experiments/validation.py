@@ -41,6 +41,8 @@ __all__ = [
     "run_validation",
     "BatchedValidationResult",
     "run_validation_batched",
+    "ShardedValidationResult",
+    "run_validation_sharded",
 ]
 
 
@@ -263,4 +265,114 @@ def run_validation_batched(
                 != (tracker_b.low, tracker_b.high, tracker_b.total)
             ):
                 result.mismatches.append("slot 0 percentile tracker differs")
+    return result
+
+
+@dataclass
+class ShardedValidationResult:
+    """Outcome of the sharded-vs-oracle merge validation.
+
+    Attributes:
+        packets: values fed to both the cluster and the oracle.
+        shards: cluster size.
+        batches: chunks the cluster ingested.
+        backend: batch backend the shards ran.
+        shard_loads: packets each shard received from the key router.
+        mismatches: human-readable differences (empty on success).
+    """
+
+    packets: int = 0
+    shards: int = 0
+    batches: int = 0
+    backend: str = "python"
+    shard_loads: List[int] = field(default_factory=list)
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """Merged state bit-identical to the single-switch oracle."""
+        return not self.mismatches
+
+
+def run_validation_sharded(
+    packets: int = 10_000,
+    shards: int = 4,
+    seed: int = 0,
+    backend: str = "auto",
+    batch_size: int = 2048,
+    gap: float = 0.0005,
+) -> ShardedValidationResult:
+    """Figure-5 analogue for the cluster: K shards merged vs one oracle.
+
+    The same echo-value stream (−255..255, shifted to 1..511) rides UDP
+    destinations so the binding keys — and hence the shard assignment —
+    vary per packet.  A single :class:`~repro.stat4.library.Stat4` oracle
+    processes every packet through the *scalar* path; a
+    :class:`~repro.cluster.sharded.ShardedStat4` routes the same packets to
+    K shards in batches.  The merged N/Xsum/Xsumsq (hence mean), the
+    derived σ²_NX and σ, the merged frequency cells, and the percentile
+    derived from them must all equal the oracle's registers bit for bit.
+    """
+    from repro.cluster.sharded import ShardedStat4
+    from repro.controller.aggregate import percentile_of_cells
+    from repro.p4.switch import PacketContext, StandardMetadata
+    from repro.stat4.batch import PacketBatch
+    from repro.stat4.binding import BindingMatch
+    from repro.stat4.config import Stat4Config
+    from repro.stat4.extract import ExtractSpec
+    from repro.stat4.library import Stat4
+    from repro.stat4.runtime import Stat4Runtime
+    from repro.traffic.builders import udp_to
+
+    rng = random.Random(seed)
+    values = [rng.randint(-255, 255) for _ in range(packets)]
+    parser = standard_parser()
+    contexts = []
+    for index, value in enumerate(values):
+        packet = udp_to(0x0A000000 | (value + 256))
+        ctx = PacketContext(
+            parsed=parser.parse(packet),
+            meta=StandardMetadata(ingress_port=0, timestamp=index * gap),
+        )
+        ctx.user["frame_bytes"] = len(packet)
+        contexts.append(ctx)
+
+    config = Stat4Config(counter_num=1, counter_size=512, binding_stages=1)
+    match = BindingMatch.ipv4_prefix("10.0.0.0", 8)
+
+    oracle = Stat4(config)
+    spec = Stat4Runtime(oracle).frequency_of(
+        dist=0, extract=ExtractSpec.field("ipv4.dst", mask=0x1FF), percent=50
+    )
+    Stat4Runtime(oracle).bind(0, match, spec)
+    for ctx in contexts:
+        oracle.process(ctx)
+
+    cluster = ShardedStat4(shards, config=config, backend=backend)
+    cluster.bind(0, match, spec)
+    result = ShardedValidationResult(
+        packets=packets, shards=shards, backend=cluster.backend
+    )
+    for start in range(0, packets, batch_size):
+        cluster.ingest(PacketBatch.from_contexts(contexts[start : start + batch_size]))
+        result.batches += 1
+    result.shard_loads = cluster.shard_loads()
+
+    merged = cluster.merged(0)
+    expected = oracle.read_measures(0)
+    for name, got in merged.measures().items():
+        if got != expected[name]:
+            result.mismatches.append(
+                f"{name}: merged={got} oracle={expected[name]}"
+            )
+    oracle_cells = oracle.read_cells(0)
+    if merged.cells != oracle_cells:
+        result.mismatches.append("merged frequency cells differ from oracle")
+    oracle_percentile = percentile_of_cells(oracle_cells, 50)
+    if merged.percentile != oracle_percentile:
+        result.mismatches.append(
+            f"percentile: merged={merged.percentile} oracle={oracle_percentile}"
+        )
+    if sum(result.shard_loads) != packets:
+        result.mismatches.append("router dropped or duplicated packets")
     return result

@@ -116,6 +116,44 @@ class Network:
             peer=node_a, peer_port=port_a, delay=delay, bytes_per_second=bytes_per_second
         )
 
+    def wire_star(
+        self,
+        center: Node,
+        leaves: Dict[str, int],
+        delay: float = 0.0001,
+        bytes_per_second: Optional[float] = None,
+    ) -> Dict[str, int]:
+        """Wire ``center`` to each leaf's given port, one center port per leaf.
+
+        The shape of every control plane here: one controller (or traffic
+        source) fanning out to N switches.  Center ports are allocated
+        densely from 0 in the leaves' iteration order; the returned mapping
+        ``{leaf_name: center_port}`` is what multi-port nodes like
+        :class:`~repro.controller.aggregate.AggregatingController` take as
+        their ``switch_ports``.
+
+        Args:
+            center: hub node (attached first if necessary).
+            leaves: ``{leaf_name: leaf_port}`` — the port on each *leaf* to
+                wire (e.g. every switch's CPU port).
+            delay: per-link one-way delay.
+            bytes_per_second: per-link serialization rate.
+        """
+        if center.name not in self._nodes:
+            self.add(center)
+        ports: Dict[str, int] = {}
+        for center_port, (leaf_name, leaf_port) in enumerate(leaves.items()):
+            self.connect(
+                center,
+                center_port,
+                self.node(leaf_name),
+                leaf_port,
+                delay=delay,
+                bytes_per_second=bytes_per_second,
+            )
+            ports[leaf_name] = center_port
+        return ports
+
     def link_of(self, node: Node, port: int) -> Link:
         """The outgoing link on a node's port."""
         try:

@@ -221,6 +221,36 @@ class PacketBatch:
             ingress_port=ingress_port,
         )
 
+    def select(self, indices: Sequence[int]) -> "PacketBatch":
+        """A new batch holding the given rows, in the given order.
+
+        The shard router uses this to split one ingest batch into
+        per-owner sub-batches: every backing column (contexts, raw value
+        columns, frame sizes) is subset consistently, so a sub-batch
+        behaves exactly like a batch built from those packets alone.
+        ``parse_errors`` stays with the original batch — the dropped frames
+        never made it into any row.
+        """
+        subset = PacketBatch(
+            timestamps=[self.timestamps[i] for i in indices],
+            keys=[self.keys[i] for i in indices],
+            contexts=(
+                [self.contexts[i] for i in indices]
+                if self.contexts is not None
+                else None
+            ),
+            columns={
+                source: [column[i] for i in indices]
+                for source, column in self._raw_columns.items()
+            },
+            frame_bytes=(
+                [self.frame_bytes[i] for i in indices]
+                if self.frame_bytes is not None
+                else None
+            ),
+        )
+        return subset
+
     # -- column access --------------------------------------------------------
 
     def raw_column(self, source: str) -> Column:

@@ -1,0 +1,122 @@
+"""Tests for the revision-over-revision bench history (``--history``)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    HISTORY_SCHEMA,
+    append_history,
+    format_trend,
+    load_index,
+    previous_report,
+)
+from repro.bench.suite import SCHEMA_VERSION
+
+
+def make_report(revision, speedups=None, cluster=None):
+    return {
+        "schema": SCHEMA_VERSION,
+        "revision": revision,
+        "python": "3.x",
+        "numpy": "2.0",
+        "quick": True,
+        "kernels": [],
+        "experiments": [],
+        "speedups": speedups if speedups is not None else {"k": {"python": 2.0}},
+        "cluster": cluster if cluster is not None else [],
+    }
+
+
+class TestAppendHistory:
+    def test_writes_report_and_index(self, tmp_path):
+        history = str(tmp_path / "history")
+        path = append_history(make_report("abc1234"), history)
+        assert path.endswith("BENCH_abc1234.json")
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle)["revision"] == "abc1234"
+        index = load_index(history)
+        assert index["schema"] == HISTORY_SCHEMA
+        assert [run["revision"] for run in index["runs"]] == ["abc1234"]
+        assert index["runs"][0]["file"] == "BENCH_abc1234.json"
+        assert index["runs"][0]["speedups"] == {"k": {"python": 2.0}}
+
+    def test_one_entry_per_revision_latest_wins(self, tmp_path):
+        history = str(tmp_path / "history")
+        append_history(make_report("aaa", speedups={"k": {"python": 1.0}}), history)
+        append_history(make_report("bbb"), history)
+        append_history(make_report("aaa", speedups={"k": {"python": 9.0}}), history)
+        index = load_index(history)
+        assert [run["revision"] for run in index["runs"]] == ["aaa", "bbb"]
+        assert index["runs"][0]["speedups"]["k"]["python"] == 9.0
+
+    def test_empty_index_when_missing(self, tmp_path):
+        assert load_index(str(tmp_path / "nowhere"))["runs"] == []
+
+    def test_rejects_foreign_schema(self, tmp_path):
+        history = tmp_path / "history"
+        history.mkdir()
+        (history / "index.json").write_text(json.dumps({"schema": "nope"}))
+        with pytest.raises(ValueError):
+            load_index(str(history))
+
+
+class TestPreviousReport:
+    def test_skips_own_revision(self, tmp_path):
+        history = str(tmp_path / "history")
+        append_history(make_report("old"), history)
+        append_history(make_report("new"), history)
+        previous = previous_report(history, "new")
+        assert previous["revision"] == "old"
+
+    def test_none_when_only_self(self, tmp_path):
+        history = str(tmp_path / "history")
+        append_history(make_report("only"), history)
+        assert previous_report(history, "only") is None
+
+    def test_none_when_empty(self, tmp_path):
+        assert previous_report(str(tmp_path / "nowhere"), "x") is None
+
+    def test_none_when_file_vanished(self, tmp_path):
+        history = tmp_path / "history"
+        path = append_history(make_report("old"), str(history))
+        append_history(make_report("new"), str(history))
+        import os
+
+        os.remove(path)
+        assert previous_report(str(history), "new") is None
+
+
+class TestFormatTrend:
+    def test_reports_deltas_and_lifecycle(self):
+        previous = make_report(
+            "old", speedups={"k": {"python": 2.0}, "gone_kernel": {"python": 1.0}}
+        )
+        current = make_report(
+            "new", speedups={"k": {"python": 3.0}, "fresh_kernel": {"python": 1.5}}
+        )
+        text = format_trend(current, previous)
+        assert "trend vs revision old" in text
+        assert "+50%" in text
+        assert "new" in text  # fresh_kernel appeared
+        assert "gone" in text  # gone_kernel vanished
+
+    def test_cluster_merge_overhead_lines(self):
+        previous = make_report(
+            "old", cluster=[{"shards": 4, "merge_seconds": 0.002}]
+        )
+        current = make_report(
+            "new",
+            cluster=[
+                {"shards": 4, "merge_seconds": 0.001},
+                {"shards": 8, "merge_seconds": 0.004},
+            ],
+        )
+        text = format_trend(current, previous)
+        assert "cluster merge overhead" in text
+        assert "4 shard(s): 0.0020 -> 0.0010" in text
+        assert "8 shard" not in text  # no shared previous entry
+
+    def test_no_cluster_section_without_shared_shards(self):
+        text = format_trend(make_report("new"), make_report("old"))
+        assert "cluster merge overhead" not in text

@@ -14,6 +14,7 @@ from repro.bench import (
     SCHEMA_VERSION,
     ComparisonRow,
     compare_reports,
+    format_delta_markdown,
     format_delta_table,
     format_report,
     load_baseline,
@@ -51,7 +52,14 @@ class TestRunSuite:
 
     def test_every_kernel_has_scalar_and_batched_rows(self, tiny_report):
         names = {row["name"] for row in tiny_report["kernels"]}
-        assert {"mean_variance", "percentile", "time_series", "sparse", "ewma"} <= names
+        assert {
+            "mean_variance",
+            "percentile",
+            "time_series",
+            "sparse",
+            "ewma",
+            "sharded_mean_variance",
+        } <= names
         for name in names:
             modes = {
                 row["mode"]
@@ -87,6 +95,15 @@ class TestRunSuite:
         text = format_report(tiny_report)
         for row in tiny_report["kernels"]:
             assert row["name"] in text
+
+    def test_cluster_scaling_sweep(self, tiny_report):
+        rows = tiny_report["cluster"]
+        assert [row["shards"] for row in rows] == [1, 2, 4, 8]
+        for row in rows:
+            assert row["ingest_pps"] > 0
+            assert row["merge_seconds"] >= 0
+        text = format_report(tiny_report)
+        assert "cluster scaling" in text
 
 
 def make_report(speedups, numpy_version="2.0"):
@@ -173,6 +190,56 @@ class TestCompareReports:
         assert "FAIL" in text
         assert "skipped" in text
         assert "1 regression(s) detected" in text
+
+    def test_measured_without_floor_warns_instead_of_silent_pass(self):
+        rows = compare_reports(
+            make_report({"k": {"python": 3.5}, "unbaselined": {"python": 2.0}}),
+            make_baseline({"k": {"python": 3.0}}),
+        )
+        warn = [row for row in rows if row.missing_floor]
+        assert [(r.kernel, r.backend) for r in warn] == [("unbaselined", "python")]
+        assert not warn[0].regressed
+        assert warn[0].baseline is None
+        assert warn[0].delta_percent is None
+        text = format_delta_table(rows)
+        assert "WARN (no baseline floor)" in text
+        assert "unbaselined/python" in text
+
+    def test_missing_backend_floor_also_warns(self):
+        # The kernel has *a* floor, just not for this backend.
+        rows = compare_reports(
+            make_report({"k": {"python": 3.5, "numpy": 4.0}}),
+            make_baseline({"k": {"python": 3.0}}),
+        )
+        warn = [row for row in rows if row.missing_floor]
+        assert [(r.kernel, r.backend) for r in warn] == [("k", "numpy")]
+
+    def test_missing_floor_never_fails_the_gate(self):
+        rows = compare_reports(
+            make_report({"only_measured": {"python": 0.01}}),
+            make_baseline({}),
+        )
+        assert not any(row.regressed for row in rows)
+        assert all(row.missing_floor for row in rows)
+
+
+class TestFormatDeltaMarkdown:
+    def test_renders_github_table(self):
+        rows = [
+            ComparisonRow("good", "python", 3.0, 3.6, False),
+            ComparisonRow("bad", "python", 3.0, 1.0, True),
+            ComparisonRow("quiet", "numpy", 3.0, None, False),
+            ComparisonRow("unbaselined", "python", None, 2.0, False, True),
+        ]
+        text = format_delta_markdown(rows, tolerance=0.2)
+        assert text.startswith("### perf-smoke")
+        assert "| kernel | backend | floor | current | delta | verdict |" in text
+        assert "| `good` | python | 3.00x | 3.60x | +20% | ✅ ok |" in text
+        assert "❌ FAIL" in text
+        assert "➖ skipped" in text
+        assert "⚠️ WARN (no baseline floor)" in text
+        assert "1 regression(s) detected" in text
+        assert "unbaselined/python" in text
 
 
 class TestLoadBaseline:

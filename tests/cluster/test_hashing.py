@@ -1,0 +1,72 @@
+"""Unit tests for the deterministic shard router hash."""
+
+import pytest
+
+from repro.cluster.hashing import fnv1a64, shard_of
+
+
+class TestFnv1a64:
+    def test_known_empty_basis(self):
+        # No parts folded: the accumulator is the unmodified FNV offset.
+        assert fnv1a64([]) == 0xCBF29CE484222325
+
+    def test_deterministic(self):
+        key = (0x0800, 0x0A000001, 6, 0x02)
+        assert fnv1a64(key) == fnv1a64(key)
+        assert fnv1a64(key) == fnv1a64(list(key))
+
+    def test_zero_parts_still_fold(self):
+        # A zero part folds eight zero bytes — it is NOT a no-op, so keys
+        # differing only in how many zero fields they carry hash apart.
+        assert fnv1a64([0]) != fnv1a64([])
+        assert fnv1a64([0, 0]) != fnv1a64([0])
+
+    def test_order_sensitive(self):
+        assert fnv1a64([1, 2]) != fnv1a64([2, 1])
+
+    def test_seed_perturbs(self):
+        key = (0x0800, 7, 6, 0)
+        assert fnv1a64(key, seed=1) != fnv1a64(key, seed=0)
+
+    def test_wide_values_truncate_to_low_64(self):
+        assert fnv1a64([1 << 64]) == fnv1a64([0])
+        assert fnv1a64([(1 << 64) | 5]) == fnv1a64([5])
+
+    def test_result_fits_64_bits(self):
+        for part in (0, 1, 0xFFFFFFFFFFFFFFFF):
+            assert 0 <= fnv1a64([part]) < (1 << 64)
+
+
+class TestShardOf:
+    def test_in_range(self):
+        for shards in (1, 2, 3, 4, 8):
+            for dst in range(64):
+                assert 0 <= shard_of((0x0800, dst, 6, 0), shards) < shards
+
+    def test_single_shard_is_zero(self):
+        assert shard_of((0x0800, 1, 6, 0), 1) == 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            shard_of((0, 0, 0, 0), 0)
+        with pytest.raises(ValueError):
+            shard_of((0, 0, 0, 0), -2)
+
+    def test_stable_across_calls(self):
+        key = (0x0800, 0x0A00002A, 17, 0)
+        assert shard_of(key, 4) == shard_of(key, 4)
+
+    def test_seed_reshuffles_some_keys(self):
+        keys = [(0x0800, dst, 6, 0) for dst in range(256)]
+        moved = sum(
+            1 for key in keys if shard_of(key, 4, seed=0) != shard_of(key, 4, seed=1)
+        )
+        assert moved > 0
+
+    def test_roughly_balanced(self):
+        # 1024 distinct destinations over 4 shards: every shard gets a
+        # non-trivial share (a loose sanity bound, not a chi-squared test).
+        loads = [0, 0, 0, 0]
+        for dst in range(1024):
+            loads[shard_of((0x0800, dst, 6, 0), 4)] += 1
+        assert min(loads) > 1024 // 4 // 2

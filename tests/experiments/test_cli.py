@@ -14,6 +14,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_validate_shards_option(self):
+        args = build_parser().parse_args(["validate", "--shards", "4"])
+        assert args.shards == 4
+        assert build_parser().parse_args(["validate"]).shards == 0
+
+    def test_bench_history_options(self):
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--history", "--history-dir", "somewhere"]
+        )
+        assert args.history
+        assert args.history_dir == "somewhere"
+        defaults = build_parser().parse_args(["bench"])
+        assert not defaults.history
+        assert defaults.history_dir is None
+
     def test_case_study_options(self):
         args = build_parser().parse_args(
             ["case-study", "--interval", "0.1", "--window", "10", "--seed", "3"]
@@ -40,6 +55,13 @@ class TestCommands:
     def test_validate_small(self, capsys):
         assert main(["validate", "--packets", "200"]) == 0
         out = capsys.readouterr().out
+        assert "mismatches=0" in out
+        assert "PASSED" in out
+
+    def test_validate_sharded_small(self, capsys):
+        assert main(["validate", "--shards", "2", "--packets", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "shards=2" in out
         assert "mismatches=0" in out
         assert "PASSED" in out
 

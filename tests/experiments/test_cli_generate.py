@@ -31,4 +31,12 @@ class TestMultiswitchCommand:
     def test_runs_and_reports(self, capsys):
         assert main(["multiswitch"]) == 0
         out = capsys.readouterr().out
-        assert "detected globally only: yes" in out
+        assert "shards: 4" in out
+        assert "merge exact: yes" in out
+        assert "detected: yes" in out
+
+    def test_shard_count_option(self, capsys):
+        assert main(["multiswitch", "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "shards: 2" in out
+        assert "detected: yes" in out

@@ -110,6 +110,34 @@ class TestDelivery:
             Host("lonely").send(packet())
 
 
+class TestWireStar:
+    def test_allocates_center_ports_densely(self):
+        net = Network()
+        a, b, c = net.add(Host("a")), net.add(Host("b")), net.add(Host("c"))
+        hub = Host("hub")
+        ports = net.wire_star(hub, {"a": 5, "b": 5, "c": 5}, delay=0.01)
+        assert ports == {"a": 0, "b": 1, "c": 2}
+        assert net.node("hub") is hub
+        for leaf, port in ports.items():
+            assert net.link_of(hub, port).peer.name == leaf
+        # Leaves hear the hub on their own given port.
+        net.transmit(hub, ports["b"], packet())
+        net.run()
+        assert b.packets_received == 1
+        assert a.packets_received == 0 and c.packets_received == 0
+
+    def test_center_may_be_preattached(self):
+        net = Network()
+        hub = net.add(Host("hub"))
+        net.add(Host("a"))
+        assert net.wire_star(hub, {"a": 0}) == {"a": 0}
+
+    def test_unattached_leaf_rejected(self):
+        net = Network()
+        with pytest.raises(WiringError):
+            net.wire_star(Host("hub"), {"ghost": 0})
+
+
 class TestLinkModel:
     def test_latency_without_rate(self):
         link = Link(peer=None, peer_port=0, delay=0.5)
