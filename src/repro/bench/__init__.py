@@ -20,10 +20,14 @@ from repro.bench.compare import (
 from repro.bench.history import (
     DEFAULT_HISTORY_DIR,
     HISTORY_SCHEMA,
+    FloorSuggestion,
     append_history,
+    format_suggestions,
+    format_suggestions_markdown,
     format_trend,
     load_index,
     previous_report,
+    suggest_floor_bumps,
 )
 from repro.bench.suite import (
     SCHEMA_VERSION,
@@ -48,4 +52,8 @@ __all__ = [
     "load_index",
     "previous_report",
     "format_trend",
+    "FloorSuggestion",
+    "suggest_floor_bumps",
+    "format_suggestions",
+    "format_suggestions_markdown",
 ]

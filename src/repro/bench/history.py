@@ -15,15 +15,20 @@ from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 __all__ = [
     "HISTORY_SCHEMA",
     "DEFAULT_HISTORY_DIR",
+    "FloorSuggestion",
     "append_history",
     "load_index",
     "previous_report",
     "format_trend",
+    "suggest_floor_bumps",
+    "format_suggestions",
+    "format_suggestions_markdown",
 ]
 
 HISTORY_SCHEMA = "repro-bench-history/1"
@@ -147,4 +152,102 @@ def format_trend(current: Dict[str, Any], previous: Dict[str, Any]) -> str:
                 f"  {shards} shard(s): {merge_before[shards]['merge_seconds']:.4f}"
                 f" -> {merge_now[shards]['merge_seconds']:.4f}"
             )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FloorSuggestion:
+    """A committed floor that two consecutive revisions left far behind."""
+
+    kernel: str
+    backend: str
+    floor: float
+    current: float
+    previous: float
+    suggested: float
+
+
+def suggest_floor_bumps(
+    current: Dict[str, Any],
+    previous: Dict[str, Any],
+    baseline: Dict[str, Any],
+    margin: float = 0.25,
+) -> List[FloorSuggestion]:
+    """Floors that both the current and previous revision beat by > ``margin``.
+
+    Floors are deliberately conservative, so one lucky run is no reason to
+    raise one — but when two consecutive revisions each clear a floor by
+    more than 25%, the improvement has held and the floor is stale.  The
+    suggested value follows the documented refresh rule
+    (``docs/BENCHMARKS.md``): half the worst observed ratio, rounded to
+    two decimals, and only suggested when that actually raises the floor.
+    Advisory output only; nothing here changes what the gate enforces.
+    """
+    if margin < 0:
+        raise ValueError(f"margin must be non-negative, got {margin}")
+    current_speedups = current.get("speedups", {})
+    previous_speedups = previous.get("speedups", {})
+    suggestions: List[FloorSuggestion] = []
+    for kernel in sorted(baseline.get("speedups", {})):
+        for backend in sorted(baseline["speedups"][kernel]):
+            floor = baseline["speedups"][kernel][backend]
+            now = current_speedups.get(kernel, {}).get(backend)
+            before = previous_speedups.get(kernel, {}).get(backend)
+            if now is None or before is None or floor <= 0:
+                continue
+            threshold = floor * (1.0 + margin)
+            if now <= threshold or before <= threshold:
+                continue
+            suggested = round(min(now, before) / 2.0, 2)
+            if suggested <= floor:
+                continue
+            suggestions.append(
+                FloorSuggestion(
+                    kernel=kernel,
+                    backend=backend,
+                    floor=floor,
+                    current=now,
+                    previous=before,
+                    suggested=suggested,
+                )
+            )
+    return suggestions
+
+
+def format_suggestions(suggestions: List[FloorSuggestion]) -> str:
+    """Human-readable floor-bump advisory for the trend output."""
+    if not suggestions:
+        return ""
+    lines = [
+        "baseline floors beaten by >25% across two consecutive revisions "
+        "(advisory; see docs/BENCHMARKS.md \"Refreshing the baseline\"):",
+        f"{'kernel':<24} {'backend':<8} {'floor':>7} {'prev':>7} "
+        f"{'current':>8} {'suggest':>8}",
+    ]
+    for s in suggestions:
+        lines.append(
+            f"{s.kernel:<24} {s.backend:<8} {s.floor:>6.2f}x {s.previous:>6.2f}x "
+            f"{s.current:>7.2f}x {s.suggested:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def format_suggestions_markdown(suggestions: List[FloorSuggestion]) -> str:
+    """The same advisory as a GitHub-flavoured markdown table."""
+    if not suggestions:
+        return ""
+    lines = [
+        "### bench floors ready for a bump",
+        "",
+        "Beaten by >25% across two consecutive revisions — consider the",
+        'refresh procedure in `docs/BENCHMARKS.md` ("Refreshing the baseline").',
+        "",
+        "| kernel | backend | floor | previous | current | suggested |",
+        "|---|---|---|---|---|---|",
+    ]
+    for s in suggestions:
+        lines.append(
+            f"| `{s.kernel}` | {s.backend} | {s.floor:.2f}x | {s.previous:.2f}x "
+            f"| {s.current:.2f}x | **{s.suggested:.2f}x** |"
+        )
     return "\n".join(lines)

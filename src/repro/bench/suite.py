@@ -12,7 +12,10 @@ Six kernels, one per hot loop:
 - ``ewma``        — the shift-based EWMA detector, loop vs ``update_many``;
 - ``sharded_mean_variance`` — the cluster hot loop: key-hash routing,
   per-shard counting on a 4-shard :class:`~repro.cluster.sharded.ShardedStat4`,
-  and the exact network-wide merge.
+  and the exact network-wide merge;
+- ``parallel_mean_variance`` — the same counting workload through
+  :class:`~repro.stat4.parallel.ParallelBatchEngine` at ``--workers``
+  workers (chunked tallies merged exactly), against the scalar loop.
 
 A separate ``cluster`` report section sweeps the same workload across
 1→8 shards, splitting routed-ingest time from controller-side merge time
@@ -185,6 +188,68 @@ def _time_stat4_kernels(
                     "pps": packets / seconds if seconds > 0 else 0.0,
                 }
             )
+    return results
+
+
+def _time_parallel_kernels(
+    packets: int, repeats: int, backends: List[str], workers: int
+) -> List[Dict[str, Any]]:
+    """The ``parallel_mean_variance`` kernel: multi-worker chunked ingest.
+
+    Same dense counting workload as ``mean_variance``, driven through
+    :class:`~repro.stat4.parallel.ParallelBatchEngine` with a thread pool
+    at ``workers`` workers, against the scalar per-packet loop.  The ratio
+    uses the repo's standard definition (batched pps / scalar pps), so the
+    committed floor gates the whole parallel path — chunking, dispatch,
+    and exact merge — never falling below it even at ``workers=1``, where
+    the engine delegates to the serial fast path.
+    """
+    from repro.stat4.parallel import ParallelBatchEngine
+
+    config = Stat4Config(counter_num=2, counter_size=256, binding_stages=1)
+
+    def build_spec(rt):
+        return rt.frequency_of(0, ExtractSpec.field("ipv4.dst", mask=0xFF))
+
+    contexts = _make_contexts(packets, dst_values=1024, timestamp_gap=1e-4)
+    results: List[Dict[str, Any]] = []
+
+    def run_scalar():
+        stat4 = _bind(build_spec, config)
+        for ctx in contexts:
+            stat4.process(ctx)
+
+    seconds = _best_of(repeats, run_scalar)
+    results.append(
+        {
+            "name": "parallel_mean_variance",
+            "mode": "scalar",
+            "backend": None,
+            "packets": packets,
+            "seconds": seconds,
+            "pps": packets / seconds if seconds > 0 else 0.0,
+        }
+    )
+    batch = PacketBatch.from_contexts(contexts)
+    for backend in backends:
+
+        def run_parallel():
+            stat4 = _bind(build_spec, config)
+            ParallelBatchEngine(
+                stat4, backend=backend, workers=workers, executor="thread"
+            ).process(batch)
+
+        seconds = _best_of(repeats, run_parallel)
+        results.append(
+            {
+                "name": "parallel_mean_variance",
+                "mode": "batched",
+                "backend": backend,
+                "packets": packets,
+                "seconds": seconds,
+                "pps": packets / seconds if seconds > 0 else 0.0,
+            }
+        )
     return results
 
 
@@ -397,6 +462,7 @@ def run_suite(
     skip_experiments: bool = False,
     packets: Optional[int] = None,
     repeats: Optional[int] = None,
+    workers: int = 4,
 ) -> Dict[str, Any]:
     """Run the full suite; returns the report as a plain dict.
 
@@ -408,6 +474,8 @@ def run_suite(
             restricts to that one.
         skip_experiments: kernels only (used by unit tests).
         packets / repeats: override the profile (tests use tiny values).
+        workers: worker count for the ``parallel_mean_variance`` kernel
+            (``repro bench --workers``); recorded in the report.
     """
     profile_packets, profile_repeats = _QUICK_PROFILE if quick else _FULL_PROFILE
     n = packets if packets is not None else profile_packets
@@ -419,12 +487,14 @@ def run_suite(
     kernels = _time_stat4_kernels(n, reps, backends)
     kernels.extend(_time_ewma(n, reps, backends))
     kernels.extend(_time_cluster_kernels(n, reps, backends))
+    kernels.extend(_time_parallel_kernels(n, reps, backends, workers))
     report: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "revision": _revision(),
         "python": platform.python_version(),
         "numpy": _numpy_version(),
         "quick": quick,
+        "workers": workers,
         "kernels": kernels,
         "experiments": [] if skip_experiments else _time_experiments(quick),
         "cluster": _time_cluster_scaling(n, reps, backends[0]),

@@ -52,6 +52,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=int, default=1024, help="chunk size for --batched"
     )
     validate.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker count for --batched (ParallelBatchEngine) and --shards "
+            "(per-shard thread fan-out); 1 = serial"
+        ),
+    )
+    validate.add_argument(
         "--shards",
         type=int,
         default=0,
@@ -163,6 +172,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="history directory (default benchmarks/history)",
     )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker count for the parallel ingest kernel (default 4)",
+    )
 
     generate = sub.add_parser(
         "generate", help="emit the P4-16 program for a configuration"
@@ -207,6 +222,7 @@ def _cmd_validate(args) -> int:
             seed=args.seed,
             backend=args.backend,
             batch_size=args.batch_size,
+            workers=args.workers,
         )
         print(
             f"packets={sharded.packets} shards={sharded.shards} "
@@ -226,6 +242,7 @@ def _cmd_validate(args) -> int:
             seed=args.seed,
             backend=args.backend,
             batch_size=args.batch_size,
+            workers=args.workers,
         )
         print(
             f"packets={diff.packets} batches={diff.batches} "
@@ -405,10 +422,13 @@ def _cmd_bench(args) -> int:
         format_delta_markdown,
         format_delta_table,
         format_report,
+        format_suggestions,
+        format_suggestions_markdown,
         format_trend,
         load_baseline,
         previous_report,
         run_suite,
+        suggest_floor_bumps,
         write_report,
     )
 
@@ -416,7 +436,9 @@ def _cmd_bench(args) -> int:
     # stdout stays parseable.
     side = sys.stderr if args.json else sys.stdout
 
-    report = run_suite(quick=args.quick, backend=args.backend)
+    report = run_suite(
+        quick=args.quick, backend=args.backend, workers=args.workers
+    )
     path = write_report(report, output=args.output)
     if args.json:
         print(json_module.dumps(report, indent=2))
@@ -425,6 +447,7 @@ def _cmd_bench(args) -> int:
         print(format_report(report))
         print(f"wrote {path}")
 
+    previous = None
     if args.history or args.history_dir is not None:
         history_dir = (
             args.history_dir if args.history_dir is not None else DEFAULT_HISTORY_DIR
@@ -439,15 +462,28 @@ def _cmd_bench(args) -> int:
 
     if args.baseline is None:
         return 0
-    rows = compare_reports(report, load_baseline(args.baseline), args.tolerance)
+    baseline = load_baseline(args.baseline)
+    rows = compare_reports(report, baseline, args.tolerance)
     table = format_delta_table(rows, args.tolerance)
     print(table, file=side)
+    # With both a baseline and a previous history run on record, flag
+    # floors the last two revisions both beat by a wide margin (advisory).
+    suggestions = (
+        suggest_floor_bumps(report, previous, baseline)
+        if previous is not None
+        else []
+    )
+    if suggestions:
+        print(format_suggestions(suggestions), file=side)
     # On GitHub Actions, render the verdicts on the run page too.
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
     if summary_path:
         with open(summary_path, "a", encoding="utf-8") as handle:
             handle.write(format_delta_markdown(rows, args.tolerance))
             handle.write("\n")
+            if suggestions:
+                handle.write(format_suggestions_markdown(suggestions))
+                handle.write("\n")
     return 1 if any(row.regressed for row in rows) else 0
 
 

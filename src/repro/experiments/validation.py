@@ -208,6 +208,7 @@ def run_validation_batched(
     backend: str = "auto",
     batch_size: int = 1024,
     gap: float = 0.0005,
+    workers: int = 1,
 ) -> BatchedValidationResult:
     """Figure-5 differential: batched ingestion vs the scalar library.
 
@@ -217,10 +218,13 @@ def run_validation_batched(
     then compares every register cell and every piece of working state.
     This is the validation experiment for the batched fast path: the paper
     validates switch-vs-host equality, this validates batched-vs-scalar
-    equality on the same workload.
+    equality on the same workload.  With ``workers > 1`` the batched side
+    runs through :class:`~repro.stat4.parallel.ParallelBatchEngine`, so
+    the same differential also covers the multi-worker path.
     """
     from repro.p4.switch import PacketContext, StandardMetadata
     from repro.stat4.batch import BatchEngine, PacketBatch
+    from repro.stat4.parallel import ParallelBatchEngine
 
     rng = random.Random(seed)
     values = [rng.randint(-255, 255) for _ in range(packets)]
@@ -239,7 +243,10 @@ def run_validation_batched(
     batched = build_echo_app()
     for ctx in contexts:
         scalar.stat4.process(ctx)
-    engine = BatchEngine(batched.stat4, backend=backend)
+    if workers > 1:
+        engine = ParallelBatchEngine(batched.stat4, backend=backend, workers=workers)
+    else:
+        engine = BatchEngine(batched.stat4, backend=backend)
     result = BatchedValidationResult(packets=packets, backend=engine.backend)
     for start in range(0, packets, batch_size):
         engine.process(PacketBatch.from_contexts(contexts[start : start + batch_size]))
@@ -301,6 +308,7 @@ def run_validation_sharded(
     backend: str = "auto",
     batch_size: int = 2048,
     gap: float = 0.0005,
+    workers: int = 1,
 ) -> ShardedValidationResult:
     """Figure-5 analogue for the cluster: K shards merged vs one oracle.
 
@@ -354,7 +362,10 @@ def run_validation_sharded(
         packets=packets, shards=shards, backend=cluster.backend
     )
     for start in range(0, packets, batch_size):
-        cluster.ingest(PacketBatch.from_contexts(contexts[start : start + batch_size]))
+        cluster.ingest(
+            PacketBatch.from_contexts(contexts[start : start + batch_size]),
+            workers=workers,
+        )
         result.batches += 1
     result.shard_loads = cluster.shard_loads()
 

@@ -25,6 +25,7 @@ from repro.stat4.config import DEFAULT_CONFIG, Stat4Config
 from repro.stat4.distributions import DistributionKind, DistributionState, TrackSpec
 from repro.stat4.extract import ExtractSpec
 from repro.stat4.library import Stat4
+from repro.stat4.parallel import ParallelBatchEngine, shutdown_pools, split_batch
 from repro.stat4.runtime import BindingHandle, Stat4Runtime
 from repro.stat4.sparse import HashedCells
 
@@ -33,6 +34,9 @@ __all__ = [
     "PacketBatch",
     "BatchEngine",
     "BatchResult",
+    "ParallelBatchEngine",
+    "split_batch",
+    "shutdown_pools",
     "HAS_NUMPY",
     "resolve_backend",
     "Stat4Config",

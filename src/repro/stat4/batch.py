@@ -31,19 +31,34 @@ integer-only semantics are the spec; differential tests enforce equality):
     identity, and the derived measures are synced once per batch (the
     final lazy-σ value is identical; only *how often* it was recomputed
     differs);
+  * tracked frequency slots with no alerts use the same counting kernel for
+    cells and moments plus a **vectorized percentile stepper** (numpy
+    backend): the one-step-per-packet walk of Figure 3 is replayed exactly
+    through a cumulative-count formulation — between position moves the
+    low/high/at counters are affine in the running observation counts, so
+    the next move point is one vectorized compare away (see
+    ``_tracker_walk``);
+  * sparse hashed slots run a specialized per-packet loop that memoizes
+    the per-stage probe slots per unique key (the multiply-shift hashes
+    are computed once per batch instead of once per packet) and syncs the
+    derived-measure registers once per batch, like the counting kernel;
   * time-series slots scan for interval closes with the same
     ``now − start ≥ interval`` float comparison the scalar path evaluates
     (vectorized on the numpy backend) and sum the in-between values in one
     step, calling the library's own ``_close_interval`` at each close so
     window/alert/silent-gap semantics stay byte-for-byte the library's;
-  * everything order-dependent (percentile stepping, k·σ alert checks,
-    sparse hashed slots) runs the library's own per-packet update methods
-    in a tight loop — still faster than the scalar path because lookups,
-    extraction, and context plumbing are amortized.
+  * everything else that is order-dependent (percentile stepping with
+    alerts attached, k·σ checks on dense slots) runs the library's own
+    per-packet update methods in a tight loop — still faster than the
+    scalar path because lookups, extraction, and context plumbing are
+    amortized.
 
 The numpy backend is optional: ``backend="auto"`` uses numpy when
 importable and falls back to pure Python otherwise.  Both backends are
-exact; numpy only accelerates counting and close-point scans.
+exact; numpy only accelerates counting, close-point scans, and the
+percentile walk.  :mod:`repro.stat4.parallel` builds a worker-pool
+execution layer on top of this engine (chunked tallies merged through the
+same ``observe_frequencies`` telescoping).
 
 What is *not* preserved: per-register read/write accounting and the
 σ-recomputation counter (the batch path coalesces touches by design).
@@ -340,7 +355,9 @@ class BatchResult:
         digests: every digest emitted, in scalar order (packet-major,
             binding-stage-minor).
         kernels: events handled per kernel, keyed by kernel name
-            (``frequency_fast`` / ``time_series`` / ``exact_loop``).
+            (``frequency_fast`` / ``percentile_fast`` / ``sparse_fast`` /
+            ``time_series`` / ``exact_loop``; the parallel engine adds
+            ``frequency_parallel``).
         backend: the backend that ran the batch.
     """
 
@@ -388,7 +405,20 @@ class _DigestSink:
         )
 
     def in_scalar_order(self) -> List[Digest]:
-        # Stable sort: digests from one update keep their relative order.
+        """The recorded digests re-ordered as the scalar loop emits them.
+
+        A stable sort on ``(packet, stage)``: digests from one update keep
+        their relative order, and per-distribution kernels that ran in any
+        order collapse back to packet-major, stage-minor emission.
+
+        This also holds **across chunk boundaries**: one sink serves
+        exactly one batch, packet indices are batch-local and
+        monotonically assigned, and every kernel finishes its batch before
+        the next batch starts — so concatenating ``in_scalar_order()``
+        outputs over consecutive (time-ordered) chunks of a trace yields
+        precisely the digest sequence of the scalar loop over the whole
+        trace.  ``tests/stat4/test_digest_ordering.py`` guards this.
+        """
         return [d for _, _, d in sorted(self.records, key=lambda r: (r[0], r[1]))]
 
 
@@ -545,14 +575,18 @@ class BatchEngine:
 
     # -- per-distribution dispatch --------------------------------------------
 
-    def _process_dist(
-        self,
+    @staticmethod
+    def _split_runs(
         dist_events: List[_Event],
-        batch: PacketBatch,
-        sink: _DigestSink,
-        result: BatchResult,
-    ) -> None:
-        stat4 = self.stat4
+    ) -> List[Tuple[TrackSpec, List[_Event]]]:
+        """Split one slot's event stream into runs of equal specs.
+
+        Each run is the longest prefix whose events carry the same spec
+        (identity first, equality as the fallback for rebind-equal specs),
+        so a run maps to exactly one ``_state_for`` call — the scalar
+        repurpose-per-application behaviour, amortized.
+        """
+        runs: List[Tuple[TrackSpec, List[_Event]]] = []
         i = 0
         n = len(dist_events)
         while i < n:
@@ -563,27 +597,56 @@ class BatchEngine:
                 if other is not spec and other != spec:
                     break
                 j += 1
-            # One _state_for per run of equal specs — idempotent for the
-            # rest of the run, resetting the slot iff it was repurposed
-            # (exactly the scalar per-application behaviour).
-            state = stat4._state_for(spec)
-            segment = dist_events[i:j]
-            values = batch.values_for(spec)
-            if (
-                spec.kind is DistributionKind.FREQUENCY
-                and state.tracker is None
-                and spec.k_sigma <= 0
-            ):
-                self._frequency_kernel(state, segment, values, result)
-            elif spec.kind is DistributionKind.TIME_SERIES:
-                self._time_series_kernel(
-                    state, segment, values, batch.timestamps, sink, result
-                )
-            else:
-                self._exact_loop(
-                    state, segment, values, batch.timestamps, sink, result
-                )
+            runs.append((spec, dist_events[i:j]))
             i = j
+        return runs
+
+    def _process_dist(
+        self,
+        dist_events: List[_Event],
+        batch: PacketBatch,
+        sink: _DigestSink,
+        result: BatchResult,
+    ) -> None:
+        for spec, segment in self._split_runs(dist_events):
+            self._process_run(spec, segment, batch, sink, result)
+
+    def _process_run(
+        self,
+        spec: TrackSpec,
+        segment: List[_Event],
+        batch: PacketBatch,
+        sink: _DigestSink,
+        result: BatchResult,
+    ) -> None:
+        # One _state_for per run of equal specs — idempotent for the rest
+        # of the run, resetting the slot iff it was repurposed (exactly
+        # the scalar per-application behaviour).
+        state = self.stat4._state_for(spec)
+        values = batch.values_for(spec)
+        if spec.kind is DistributionKind.FREQUENCY and spec.k_sigma <= 0:
+            if state.tracker is None:
+                self._frequency_kernel(state, segment, values, result)
+                return
+            if (
+                self._np is not None
+                and not spec.percentile_alert
+                and state.tracker.steps_per_update == 1
+            ):
+                self._percentile_kernel(state, segment, values, result)
+                return
+        if spec.kind is DistributionKind.TIME_SERIES:
+            self._time_series_kernel(
+                state, segment, values, batch.timestamps, sink, result
+            )
+        elif spec.kind is DistributionKind.SPARSE_FREQUENCY:
+            self._sparse_kernel(
+                state, segment, values, batch.timestamps, sink, result
+            )
+        else:
+            self._exact_loop(
+                state, segment, values, batch.timestamps, sink, result
+            )
 
     # -- kernels -------------------------------------------------------------
 
@@ -623,7 +686,24 @@ class BatchEngine:
         )
         if not observed:
             return
-        counts = self._tally(observed, size)
+        self._apply_counts(state, self._tally(observed, size))
+
+    def _apply_counts(
+        self, state, counts: Sequence[Tuple[int, int]]
+    ) -> None:
+        """Fold ``(value, occurrences)`` tallies into cells and moments.
+
+        One register write per unique value, the telescoped
+        ``observe_frequencies`` identity for the moments, and one derived-
+        measure sync at the end — bit-identical to replaying the
+        occurrences one at a time (a near-wrap cell falls back to the
+        per-occurrence loop so width wrapping reproduces exactly).  This
+        is also the exact-merge step of the parallel engine: per-chunk
+        tallies summed per value and applied here land on the same final
+        state as the serial kernel, because the moments update of each
+        occurrence depends only on its own cell's prior count.
+        """
+        stat4 = self.stat4
         counters = stat4.counters
         width_mask = (1 << counters.width) - 1
         base = stat4.config.cell_index(state.spec.dist, 0)
@@ -653,6 +733,220 @@ class BatchEngine:
         for value in observed:
             tally[value] = tally.get(value, 0) + 1
         return sorted(tally.items())
+
+    #: Vectorized-walk rounds before the percentile stepper falls back to
+    #: the scalar tracker for the rest of the segment.  Each round re-scans
+    #: the remaining tail once, so a pathological trace that moves the
+    #: position on every packet would otherwise cost O(moves · n).
+    _WALK_ROUNDS = 256
+
+    def _percentile_kernel(
+        self,
+        state,
+        segment: List[_Event],
+        values: Column,
+        result: BatchResult,
+    ) -> None:
+        """Tracked frequency slots with no alerts (numpy backend only).
+
+        Cells and moments take the counting kernel (the tracker's state
+        does not feed them), and the percentile tracker replays the exact
+        observe/tick event sequence through the vectorized stepper
+        (:meth:`_tracker_walk`).  The percentile registers are synced once
+        at the end — same final contents as the scalar per-packet
+        ``_sync_percentile`` calls, and written only if the scalar path
+        would have synced at least once (an observation landed, or the
+        tracker already had a position and a value-free packet ticked it).
+        """
+        stat4 = self.stat4
+        size = stat4.config.counter_size
+        tracker = state.tracker
+        events: List[int] = []
+        observed: List[int] = []
+        dropped = 0
+        for pkt, _stage, _spec in segment:
+            value = values[pkt]
+            if value is None:
+                events.append(-1)  # value-free packet: a tracker tick
+            elif value >= size:
+                # Scalar path returns before the tracker: no tick either.
+                dropped += 1
+            else:
+                events.append(value)
+                observed.append(value)
+        state.values_dropped += dropped
+        result.kernels["percentile_fast"] = (
+            result.kernels.get("percentile_fast", 0) + len(segment)
+        )
+        had_value = tracker.has_value
+        if observed:
+            self._apply_counts(state, self._tally(observed, size))
+        if events:
+            self._tracker_walk(
+                tracker, self._np.asarray(events, dtype=self._np.int64)
+            )
+        if observed or (had_value and len(events) > len(observed)):
+            dist = state.spec.dist
+            stat4.reg_pos.write(dist, tracker.value)
+            stat4.reg_low.write(dist, tracker.low)
+            stat4.reg_high.write(dist, tracker.high)
+
+    def _tracker_walk(self, tracker, vals) -> None:
+        """Replay observe/tick events through a tracker, vectorized.
+
+        ``vals`` is an int64 array: a value in ``[0, domain)`` is one
+        ``observe``, ``-1`` is one ``tick``.  The walk is exact because of
+        the cumulative-count formulation of the one-step-per-packet rule:
+        **between moves the position is fixed**, so after each event the
+        low/high/at counters are the segment-start counters plus running
+        counts of events below/above/at the position — affine in three
+        cumulative sums.  The move conditions ``wl·high > wh·(low + at)``
+        and ``wh·low > wl·(high + at)`` (provably never both true: summing
+        them gives ``0 > (wl+wh)·at``) are then evaluated for *every*
+        event of the segment in one vectorized compare; the first trigger
+        is where the scalar walk would have moved, everything before it is
+        absorbed in bulk, the single-unit move is applied, and the scan
+        restarts after the trigger with the new position.
+        """
+        np = self._np
+        n = int(len(vals))
+        obs_mask = vals >= 0
+        pos = tracker._position
+        start = 0
+        if pos is None:
+            if not bool(obs_mask.any()):
+                return  # ticks before any observation are no-ops
+            first = int(np.argmax(obs_mask))
+            pos = int(vals[first])
+            # The first observation's rebalance cannot move (low=high=0).
+            tracker.freqs[pos] += 1
+            start = first + 1
+        freqs = np.asarray(tracker.freqs, dtype=np.int64)
+        low = tracker.low
+        high = tracker.high
+        domain = tracker.domain_size
+        wl = tracker._weight_low
+        wh = tracker._weight_high
+        moves = 0
+        rounds = 0
+        while start < n:
+            if rounds >= self._WALK_ROUNDS:
+                # Heavy-movement tail: write back what is settled and
+                # replay the rest through the scalar tracker — still
+                # exact, without the quadratic re-scan regime.
+                self._tracker_writeback(
+                    tracker, freqs, low, high, pos,
+                    int(obs_mask[:start].sum()), moves,
+                )
+                for v in vals[start:].tolist():
+                    if v < 0:
+                        tracker.tick()
+                    else:
+                        tracker.observe(v)
+                return
+            rounds += 1
+            seg = vals[start:]
+            seg_obs = obs_mask[start:]
+            low_run = low + np.cumsum(seg_obs & (seg < pos))
+            high_run = high + np.cumsum(seg_obs & (seg > pos))
+            at_run = int(freqs[pos]) + np.cumsum(seg == pos)
+            up = wl * high_run > wh * (low_run + at_run)
+            down = wh * low_run > wl * (high_run + at_run)
+            if pos >= domain - 1:
+                up[:] = False
+            if pos <= 0:
+                down[:] = False
+            trigger = up | down
+            if not bool(trigger.any()):
+                absorbed = seg[seg_obs]
+                if len(absorbed):
+                    freqs += np.bincount(absorbed, minlength=domain)
+                low = int(low_run[-1])
+                high = int(high_run[-1])
+                break
+            hit = int(np.argmax(trigger))
+            absorbed = seg[: hit + 1][seg_obs[: hit + 1]]
+            if len(absorbed):
+                freqs += np.bincount(absorbed, minlength=domain)
+            low = int(low_run[hit])
+            high = int(high_run[hit])
+            if bool(up[hit]):
+                low += int(freqs[pos])
+                pos += 1
+                high -= int(freqs[pos])
+            else:
+                high += int(freqs[pos])
+                pos -= 1
+                low -= int(freqs[pos])
+            moves += 1
+            start += hit + 1
+        self._tracker_writeback(
+            tracker, freqs, low, high, pos, int(obs_mask.sum()), moves
+        )
+
+    @staticmethod
+    def _tracker_writeback(
+        tracker, freqs, low: int, high: int, pos: int, observed: int, moves: int
+    ) -> None:
+        """Install the walked state back into the scalar tracker."""
+        tracker.freqs[:] = [int(f) for f in freqs]
+        tracker.low = low
+        tracker.high = high
+        tracker._position = pos
+        tracker.total += observed
+        tracker.moves += moves
+
+    def _sparse_kernel(
+        self,
+        state,
+        segment: List[_Event],
+        values: Column,
+        timestamps: List[float],
+        sink: _DigestSink,
+        result: BatchResult,
+    ) -> None:
+        """Sparse hashed slots: the exact per-packet loop, batch-amortized.
+
+        Probe order, eviction choice, and the k·σ judgement are all
+        order-dependent, so every event still runs individually — but the
+        multiply-shift probe path is memoized per unique key for the batch
+        (:meth:`~repro.stat4.sparse.HashedCells.probe_path`), and the
+        derived-measure registers are synced once at the end instead of
+        per packet.  Final register contents are identical either way:
+        ``_maybe_alert`` judges samples against the live ``state.stats``,
+        never the registers.
+        """
+        stat4 = self.stat4
+        spec = state.spec
+        cells = stat4.sparse_cells[spec.dist]
+        stats = state.stats
+        probe_path = cells.probe_path
+        increment = cells.increment
+        probes: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        alerts = spec.k_sigma > 0
+        touched = False
+        result.kernels["sparse_fast"] = (
+            result.kernels.get("sparse_fast", 0) + len(segment)
+        )
+        for pkt, stage, _spec in segment:
+            value = values[pkt]
+            if value is None:
+                continue
+            path = probes.get(value)
+            if path is None:
+                path = probe_path(value)
+                probes[value] = path
+            old, new, evicted = increment(value, path)
+            if evicted:
+                stats.remove_value(evicted)
+            stats.observe_frequency(old)
+            touched = True
+            if alerts:
+                now = timestamps[pkt]
+                sink.set(pkt, stage, now)
+                stat4._maybe_alert(state, sink, sample=new, index=value, now=now)
+        if touched:
+            stat4._sync_stats(state)
 
     def _time_series_kernel(
         self,

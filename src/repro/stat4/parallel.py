@@ -1,0 +1,283 @@
+# p4-ok-file — host-side parallel execution layer; the per-packet P4
+# semantics it reproduces live (and are linted) in repro.stat4.library.
+"""Multi-worker Stat4 ingest: chunked kernel dispatch with exact merging.
+
+:class:`~repro.stat4.batch.BatchEngine` already turns per-packet updates
+into per-batch kernels; this module adds the last level of the hierarchy —
+a worker pool that runs independent pieces of that kernel work
+concurrently, **without giving up bit-identity** with the scalar loop:
+
+- a trace is split into time-ordered chunks (:func:`split_batch`) that are
+  processed strictly in order, so all cross-batch state (interval cursors,
+  percentile walks, eviction order) evolves exactly as in serial replay;
+- *within* one batch, the only work that is fanned out to workers is work
+  whose merge is provably exact: tallying occurrences for dense frequency
+  slots with no tracker and no k·σ check.  Each worker counts one
+  contiguous chunk of a run's values; the per-chunk tallies are summed per
+  value and folded into cells and moments through the engine's own
+  :meth:`~repro.stat4.batch.BatchEngine._apply_counts` — the telescoped
+  ``observe_frequencies`` identity makes the result independent of how the
+  occurrences were grouped, and per-chunk drop counters add up exactly;
+- everything order-dependent (percentile stepping, alerts, time series,
+  sparse evictions) runs on the main thread through the serial engine's
+  kernels, sharing the batch's single digest sink — so digests keep scalar
+  order and alert counts are race-free by construction.
+
+The pool is a ``concurrent.futures`` executor: threads by default (the
+tally loop is allocation-light and the numpy backend releases the GIL in
+``bincount``), or a process pool (``executor="process"``) whose task
+inputs are plain picklable lists.  Executors are cached per
+``(kind, workers)`` and shut down at interpreter exit
+(:func:`shutdown_pools`).
+
+`tests/stat4/test_parallel_differential.py` proves ``workers=4`` ingest
+bit-identical to ``workers=1`` and to the scalar oracle — registers,
+digest order, alert counts — for every ``DistributionKind`` on both
+backends.
+"""
+
+from __future__ import annotations
+
+import atexit
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.stat4.batch import (
+    BatchEngine,
+    BatchResult,
+    Column,
+    PacketBatch,
+    _DigestSink,
+    _Event,
+)
+from repro.stat4.distributions import DistributionKind, TrackSpec
+from repro.stat4.library import Stat4
+
+__all__ = [
+    "ParallelBatchEngine",
+    "split_batch",
+    "shutdown_pools",
+]
+
+_EXECUTOR_KINDS = ("auto", "thread", "process", "serial")
+
+#: Live executors, keyed by (kind, workers).  Worker pools are expensive to
+#: start (especially process pools); one bench run reuses them across
+#: batches and repeats.
+_EXECUTORS: Dict[Tuple[str, int], Executor] = {}
+
+
+def _pool(kind: str, workers: int) -> Executor:
+    key = (kind, workers)
+    pool = _EXECUTORS.get(key)
+    if pool is None:
+        if kind == "process":
+            pool = ProcessPoolExecutor(max_workers=workers)
+        else:
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-ingest"
+            )
+        _EXECUTORS[key] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Shut down every cached worker pool (also runs at interpreter exit)."""
+    for pool in _EXECUTORS.values():
+        pool.shutdown(wait=True)
+    _EXECUTORS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+def split_batch(batch: PacketBatch, chunk_size: int) -> List[PacketBatch]:
+    """Split a batch into time-ordered contiguous chunks.
+
+    Processing the chunks in order through any engine leaves the same
+    state as processing the whole batch at once (and as the scalar loop):
+    every kernel finishes its chunk before the next starts, and
+    :meth:`PacketBatch.select` carries every backing column over.  This is
+    the trace-level chunking unit of the parallel ingest layer.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    n = len(batch)
+    return [
+        batch.select(range(start, min(start + chunk_size, n)))
+        for start in range(0, n, chunk_size)
+    ]
+
+
+def _tally_chunk(
+    values: Sequence[Optional[int]], size: int
+) -> Tuple[Dict[int, int], int]:
+    """Worker task: count one chunk of a run's values.
+
+    Returns ``(tally, dropped)`` — in-domain occurrence counts per value
+    and the number of out-of-domain values (the scalar path's
+    ``values_dropped``).  ``None`` entries (matched but value-free
+    packets) are skipped, exactly as the serial counting kernel skips
+    them.  Module-level and built from plain lists/ints so a process pool
+    can pickle it.
+    """
+    tally: Dict[int, int] = {}
+    dropped = 0
+    for value in values:
+        if value is None:
+            continue
+        if value >= size:
+            dropped += 1
+        else:
+            tally[value] = tally.get(value, 0) + 1
+    return tally, dropped
+
+
+def _merge_tallies(
+    parts: Iterable[Tuple[Dict[int, int], int]]
+) -> Tuple[List[Tuple[int, int]], int]:
+    """Sum per-chunk tallies into one ascending ``(value, count)`` list.
+
+    Frequency-cell addition is the exact-merge rule: occurrence counts per
+    value add across any partition of the run, and ascending order matches
+    the serial ``_tally`` output, so the downstream ``_apply_counts`` call
+    sees byte-for-byte the same input as the single-worker path.
+    """
+    total: Dict[int, int] = {}
+    dropped = 0
+    for tally, chunk_dropped in parts:
+        dropped += chunk_dropped
+        for value, count in tally.items():
+            total[value] = total.get(value, 0) + count
+    return sorted(total.items()), dropped
+
+
+class ParallelBatchEngine(BatchEngine):
+    """A :class:`BatchEngine` that fans independent tally work onto a pool.
+
+    Args:
+        stat4: the library instance to drive.
+        backend: kernel backend, as for :class:`BatchEngine`.
+        workers: worker count; ``1`` (the default) delegates every batch
+            to the serial engine, so ``workers=1`` and ``workers=N`` are
+            interchangeable bit for bit.
+        executor: ``"auto"``/``"thread"`` (thread pool), ``"process"``
+            (process pool over picklable chunk lists), or ``"serial"``
+            (never fan out — debugging aid).
+        min_chunk: smallest per-worker chunk worth dispatching; batches or
+            runs below ``2 * min_chunk`` stay serial (pool overhead would
+            dominate).
+    """
+
+    def __init__(
+        self,
+        stat4: Stat4,
+        backend: str = "auto",
+        workers: int = 1,
+        executor: str = "auto",
+        min_chunk: int = 512,
+    ):
+        super().__init__(stat4, backend=backend)
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        if executor not in _EXECUTOR_KINDS:
+            raise ValueError(
+                f"unknown executor {executor!r}; pick one of {_EXECUTOR_KINDS}"
+            )
+        self.workers = workers
+        self.executor = executor
+        self.min_chunk = min_chunk
+
+    # -- fan-out policy -------------------------------------------------------
+
+    @staticmethod
+    def _fan_out_eligible(spec: TrackSpec) -> bool:
+        """Whether a run's kernel work merges exactly across chunks.
+
+        Dense frequency, no percentile tracker, no k·σ check — the
+        counting kernel whose merge is plain frequency-cell addition.
+        Spec-only on purpose: deciding from the spec (a tracker exists iff
+        ``spec.percent`` is set) means no ``_state_for`` call during the
+        submit phase, so slot repurposing still happens in apply order.
+        """
+        return (
+            spec.kind is DistributionKind.FREQUENCY
+            and spec.percent is None
+            and spec.k_sigma <= 0
+        )
+
+    def _chunk_values(
+        self, batch: PacketBatch, spec: TrackSpec, segment: List[_Event]
+    ) -> List[Column]:
+        """The run's value stream, cut into one contiguous chunk per worker."""
+        values = batch.values_for(spec)
+        m = len(segment)
+        if (
+            m == len(values)
+            and len(self.stat4.binding_tables) == 1
+            and segment[0][0] == 0
+            and segment[-1][0] == m - 1
+        ):
+            # Single-stage run covering every packet in order (the common
+            # every-packet-matches case): the column IS the event stream.
+            column = values
+        else:
+            column = [values[pkt] for pkt, _stage, _spec in segment]
+        chunk = -(-m // self.workers)  # ceil: at most `workers` chunks
+        return [column[i : i + chunk] for i in range(0, m, chunk)]
+
+    # -- entry point ----------------------------------------------------------
+
+    def process(self, batch: PacketBatch) -> BatchResult:
+        """Ingest one batch, fanning eligible tally work onto the pool.
+
+        Two phases: *submit* walks the per-distribution runs in scalar
+        order and enqueues chunk tallies for every eligible run (touching
+        no engine state); *apply* then replays the same run order on the
+        main thread, merging worker tallies where they exist and running
+        the serial kernels everywhere else.  All state mutation happens in
+        the apply phase, in scalar order, on one thread.
+        """
+        if (
+            self.workers <= 1
+            or self.executor == "serial"
+            or len(batch) < 2 * self.min_chunk
+        ):
+            return super().process(batch)
+        stat4 = self.stat4
+        n = len(batch)
+        result = BatchResult(packets=n, backend=self.backend)
+        stat4.packets_seen += n
+        events = self._match(batch)
+        sink = _DigestSink()
+        pool = _pool(
+            "process" if self.executor == "process" else "thread", self.workers
+        )
+        size = stat4.config.counter_size
+        plan = []
+        for dist in sorted(events):
+            for spec, segment in self._split_runs(events[dist]):
+                futures = None
+                if (
+                    self._fan_out_eligible(spec)
+                    and len(segment) >= 2 * self.min_chunk
+                ):
+                    futures = [
+                        pool.submit(_tally_chunk, chunk, size)
+                        for chunk in self._chunk_values(batch, spec, segment)
+                    ]
+                plan.append((spec, segment, futures))
+        for spec, segment, futures in plan:
+            if futures is None:
+                self._process_run(spec, segment, batch, sink, result)
+                continue
+            state = stat4._state_for(spec)
+            counts, dropped = _merge_tallies(f.result() for f in futures)
+            state.values_dropped += dropped
+            result.kernels["frequency_parallel"] = (
+                result.kernels.get("frequency_parallel", 0) + len(segment)
+            )
+            if counts:
+                self._apply_counts(state, counts)
+        result.digests.extend(sink.in_scalar_order())
+        return result

@@ -93,10 +93,34 @@ class HashedCells:
         hashed = (key * _STAGE_SEEDS[stage]) & 0xFFFFFFFFFFFFFFFF
         return (hashed * self.slots_per_stage) >> 64
 
+    def probe_path(self, key: int) -> Tuple[Tuple[int, int], ...]:
+        """The ``(stage, slot)`` probe sequence for ``key``.
+
+        A pure function of the key and the table geometry — batch callers
+        memoize it per unique key so the multiply-shift hashes run once
+        per batch instead of once per packet
+        (:meth:`~repro.stat4.batch.BatchEngine._sparse_kernel`).
+        """
+        if key < 0:
+            raise ValueRangeError("keys are unsigned")
+        return tuple(
+            (stage, self._slot(key, stage)) for stage in range(self.stages)
+        )
+
     # -- updates -------------------------------------------------------------
 
-    def increment(self, key: int) -> Tuple[int, int, int]:
+    def increment(
+        self,
+        key: int,
+        probes: Optional[Tuple[Tuple[int, int], ...]] = None,
+    ) -> Tuple[int, int, int]:
         """Count one occurrence of ``key``.
+
+        Args:
+            key: the observed value.
+            probes: a memoized :meth:`probe_path` for ``key`` (computed
+                here when omitted — the results are identical, a caller
+                supplying it only skips the re-hash).
 
         Returns:
             ``(old_count, new_count, evicted_count)`` — the first two feed
@@ -105,13 +129,14 @@ class HashedCells:
             nothing was evicted) so the moments can forget it
             (:meth:`repro.core.stats.ScaledStats.remove_value`).
         """
-        if key < 0:
+        if probes is None:
+            probes = self.probe_path(key)
+        elif key < 0:
             raise ValueRangeError("keys are unsigned")
         stored = key + 1
         # Pass 1 (bounded, unrolled): find the key or an empty slot.
         path: List[Tuple[int, int]] = []
-        for stage in range(self.stages):
-            index = self._slot(key, stage)
+        for stage, index in probes:
             slot_key = self.key_rows[stage].read(index)
             if slot_key == stored:
                 old = self.count_rows[stage].read(index)

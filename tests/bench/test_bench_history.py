@@ -7,10 +7,14 @@ import pytest
 from repro.bench import (
     HISTORY_SCHEMA,
     append_history,
+    format_suggestions,
+    format_suggestions_markdown,
     format_trend,
     load_index,
     previous_report,
+    suggest_floor_bumps,
 )
+from repro.bench.compare import BASELINE_SCHEMA
 from repro.bench.suite import SCHEMA_VERSION
 
 
@@ -120,3 +124,70 @@ class TestFormatTrend:
     def test_no_cluster_section_without_shared_shards(self):
         text = format_trend(make_report("new"), make_report("old"))
         assert "cluster merge overhead" not in text
+
+
+def make_baseline(speedups, tolerance=0.2):
+    return {"schema": BASELINE_SCHEMA, "tolerance": tolerance, "speedups": speedups}
+
+
+class TestSuggestFloorBumps:
+    def test_two_consecutive_big_wins_suggest_half_worst(self):
+        suggestions = suggest_floor_bumps(
+            make_report("new", speedups={"k": {"python": 8.0}}),
+            make_report("old", speedups={"k": {"python": 6.0}}),
+            make_baseline({"k": {"python": 1.5}}),
+        )
+        assert len(suggestions) == 1
+        s = suggestions[0]
+        assert (s.kernel, s.backend, s.floor) == ("k", "python", 1.5)
+        assert (s.current, s.previous) == (8.0, 6.0)
+        # Documented refresh rule: half the worst of the two observations.
+        assert s.suggested == 3.0
+
+    def test_one_lucky_run_is_not_enough(self):
+        # Previous revision only cleared the floor by 10% — no suggestion.
+        suggestions = suggest_floor_bumps(
+            make_report("new", speedups={"k": {"python": 8.0}}),
+            make_report("old", speedups={"k": {"python": 1.65}}),
+            make_baseline({"k": {"python": 1.5}}),
+        )
+        assert suggestions == []
+
+    def test_no_suggestion_when_half_would_not_raise(self):
+        # Both runs beat a 3.0 floor by >25%, but half the worst (2.0)
+        # is below the existing floor — suggesting it would be a downgrade.
+        suggestions = suggest_floor_bumps(
+            make_report("new", speedups={"k": {"python": 4.5}}),
+            make_report("old", speedups={"k": {"python": 4.0}}),
+            make_baseline({"k": {"python": 3.0}}),
+        )
+        assert suggestions == []
+
+    def test_unmeasured_backend_skipped(self):
+        suggestions = suggest_floor_bumps(
+            make_report("new", speedups={"k": {"python": 8.0}}),
+            make_report("old", speedups={}),
+            make_baseline({"k": {"python": 1.5, "numpy": 1.5}}),
+        )
+        assert suggestions == []
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            suggest_floor_bumps(
+                make_report("new"), make_report("old"), make_baseline({}), margin=-0.1
+            )
+
+    def test_format_suggestions_empty_and_table(self):
+        assert format_suggestions([]) == ""
+        assert format_suggestions_markdown([]) == ""
+        suggestions = suggest_floor_bumps(
+            make_report("new", speedups={"k": {"python": 8.0}}),
+            make_report("old", speedups={"k": {"python": 6.0}}),
+            make_baseline({"k": {"python": 1.5}}),
+        )
+        text = format_suggestions(suggestions)
+        assert "advisory" in text
+        assert "3.00x" in text
+        markdown = format_suggestions_markdown(suggestions)
+        assert markdown.startswith("### bench floors ready for a bump")
+        assert "| `k` | python | 1.50x | 6.00x | 8.00x | **3.00x** |" in markdown

@@ -49,6 +49,7 @@ class TestRunSuite:
         assert tiny_report["experiments"] == []
         assert isinstance(tiny_report["kernels"], list)
         assert tiny_report["kernels"], "suite measured no kernels"
+        assert tiny_report["workers"] >= 1
 
     def test_every_kernel_has_scalar_and_batched_rows(self, tiny_report):
         names = {row["name"] for row in tiny_report["kernels"]}
@@ -59,6 +60,7 @@ class TestRunSuite:
             "sparse",
             "ewma",
             "sharded_mean_variance",
+            "parallel_mean_variance",
         } <= names
         for name in names:
             modes = {

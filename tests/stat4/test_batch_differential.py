@@ -214,6 +214,24 @@ def _frequency_scenario():
     return stat4
 
 
+@scenario("percentile")
+def _percentile_scenario():
+    """Tracked median, no alerts — the vectorized-stepper eligible path.
+
+    On the numpy backend this runs ``_percentile_kernel`` (counting kernel
+    + ``_tracker_walk``); on the python backend it stays in the exact
+    loop.  Both must land on the scalar tracker state bit for bit.
+    """
+    config = Stat4Config(counter_num=4, counter_size=256, binding_stages=1)
+    stat4 = Stat4(config)
+    runtime = Stat4Runtime(stat4)
+    spec = runtime.frequency_of(
+        0, ExtractSpec.field("ipv4.dst", mask=0x1FF), percent=50
+    )
+    runtime.bind(0, BindingMatch(ether_type=0x0800), spec)
+    return stat4
+
+
 @scenario("frequency_tracked")
 def _frequency_tracked_scenario():
     """Percentile walk + k·σ alerts — the order-dependent frequency path."""

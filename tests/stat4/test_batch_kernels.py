@@ -7,8 +7,11 @@ batch construction, and the integration hooks on trace/switch/library.
 """
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.ewma import EwmaDetector
+from repro.core.percentile import PercentileTracker
 from repro.core.stats import ScaledStats
 from repro.netsim.messages import DigestMessage
 from repro.netsim.network import Network
@@ -157,6 +160,96 @@ class TestFrequencyKernel:
         )
         assert scalar.state_of(0).values_dropped == 3
         assert batched.state_of(0).values_dropped == 3
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+class TestTrackerWalk:
+    """The vectorized percentile stepper replays Fig. 3 exactly.
+
+    ``_tracker_walk`` consumes a whole event stream (values, or -1 for a
+    value-free tick) in vectorized rounds; the oracle is the scalar
+    tracker driven one ``observe``/``tick`` at a time.  Small domains
+    force the 0 and domain-1 boundary clamps; extreme percentiles skew
+    the move weights; a 1-round cap forces the scalar-replay fallback.
+    """
+
+    @staticmethod
+    def replay_scalar(events, domain, percent):
+        tracker = PercentileTracker(domain, percent)
+        for event in events:
+            if event < 0:
+                tracker.tick()
+            else:
+                tracker.observe(event)
+        return tracker
+
+    @staticmethod
+    def walk_vectorized(events, domain, percent, walk_rounds=None):
+        engine = BatchEngine(freq_stat4(), backend="numpy")
+        if walk_rounds is not None:
+            engine._WALK_ROUNDS = walk_rounds  # shadow the class cap
+        tracker = PercentileTracker(domain, percent)
+        engine._tracker_walk(
+            tracker, engine._np.asarray(events, dtype=engine._np.int64)
+        )
+        return tracker
+
+    def assert_same(self, events, domain, percent, walk_rounds=None):
+        scalar = self.replay_scalar(events, domain, percent)
+        vectorized = self.walk_vectorized(events, domain, percent, walk_rounds)
+        assert vectorized.freqs == scalar.freqs
+        assert (
+            vectorized.low,
+            vectorized.high,
+            vectorized.total,
+            vectorized.moves,
+            vectorized._position,
+        ) == (
+            scalar.low,
+            scalar.high,
+            scalar.total,
+            scalar.moves,
+            scalar._position,
+        )
+
+    @settings(deadline=None, max_examples=120)
+    @given(
+        domain=st.integers(min_value=2, max_value=8),
+        percent=st.sampled_from([1, 10, 50, 90, 99]),
+        data=st.data(),
+    )
+    def test_walk_matches_scalar_replay(self, domain, percent, data):
+        events = data.draw(
+            st.lists(
+                st.integers(min_value=-1, max_value=domain - 1), max_size=120
+            )
+        )
+        self.assert_same(events, domain, percent)
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        percent=st.sampled_from([1, 50, 99]),
+        data=st.data(),
+    )
+    def test_round_cap_fallback_matches(self, percent, data):
+        # A cap of 1 round means almost every stream bails into the
+        # scalar-replay tail after the first move — the writeback at the
+        # handoff point must leave the tracker mid-walk consistent.
+        events = data.draw(
+            st.lists(st.integers(min_value=-1, max_value=5), max_size=80)
+        )
+        self.assert_same(events, 6, percent, walk_rounds=1)
+
+    def test_empty_and_tick_only_streams(self):
+        self.assert_same([], 4, 50)
+        self.assert_same([-1, -1, -1], 4, 50)  # ticks before any value: no-op
+
+    def test_alternating_extremes_pin_boundaries(self):
+        # Heavy mass at both ends drags the position into the clamps.
+        events = ([0] * 30 + [5] * 30 + [-1] * 10) * 4
+        self.assert_same(events, 6, 50)
+        self.assert_same(events, 6, 99)
+        self.assert_same(events, 6, 1)
 
 
 class TestEwmaBatch:

@@ -1,0 +1,170 @@
+"""Differential tests: multi-worker ingest is bit-identical to serial.
+
+The contract of :mod:`repro.stat4.parallel`: for any trace, any chunking,
+and any worker count, :class:`ParallelBatchEngine` leaves exactly the state
+the scalar ``Stat4.process`` loop leaves — registers, working state, digest
+order, alert counts.  The hypothesis suite drives the same adversarial
+trace generator as the serial differential tests, three-way: scalar oracle
+vs ``workers=1`` vs ``workers=4``.
+
+``min_chunk`` is lowered so the ~5k-packet traces actually cross the
+fan-out threshold; a separate test pins that the eligible runs really went
+through the worker pool (``frequency_parallel`` in the kernel counters)
+rather than silently delegating to the serial path.
+"""
+
+import pytest
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.stat4 import (
+    BatchEngine,
+    PacketBatch,
+    ParallelBatchEngine,
+    split_batch,
+)
+from tests.stat4.test_batch_differential import (
+    BACKENDS,
+    SCENARIOS,
+    assert_equal_state,
+    generate_trace,
+    process_scalar,
+)
+
+TRACE_PACKETS = 5_000
+CHUNK = 1_500  # trace-level chunk: several per trace, each above 2*min_chunk
+
+
+def process_parallel(
+    stat4,
+    contexts,
+    backend,
+    workers,
+    executor="thread",
+    chunk_size=CHUNK,
+    min_chunk=128,
+):
+    engine = ParallelBatchEngine(
+        stat4,
+        backend=backend,
+        workers=workers,
+        executor=executor,
+        min_chunk=min_chunk,
+    )
+    digests = []
+    for chunk in split_batch(PacketBatch.from_contexts(contexts), chunk_size):
+        digests.extend(engine.process(chunk).digests)
+    return digests
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("scenario_name", sorted(SCENARIOS))
+@settings(deadline=None, max_examples=2)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@example(seed=0)
+def test_workers_equal_scalar_and_each_other(scenario_name, backend, seed):
+    contexts = generate_trace(seed, packets=TRACE_PACKETS)
+    scalar = SCENARIOS[scenario_name]()
+    serial = SCENARIOS[scenario_name]()
+    fanned = SCENARIOS[scenario_name]()
+    scalar_digests = process_scalar(scalar, contexts)
+    serial_digests = process_parallel(serial, contexts, backend, workers=1)
+    fanned_digests = process_parallel(fanned, contexts, backend, workers=4)
+    assert_equal_state(scalar, serial, scalar_digests, serial_digests)
+    assert_equal_state(scalar, fanned, scalar_digests, fanned_digests)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_process_pool_executor_smoke(backend):
+    # The process pool ships chunks as picklable lists; one fixed-seed run
+    # per backend proves the round trip is exact without paying process
+    # startup inside the hypothesis loop.
+    contexts = generate_trace(11, packets=TRACE_PACKETS)
+    scalar = SCENARIOS["frequency"]()
+    fanned = SCENARIOS["frequency"]()
+    scalar_digests = process_scalar(scalar, contexts)
+    fanned_digests = process_parallel(
+        fanned, contexts, backend, workers=2, executor="process"
+    )
+    assert_equal_state(scalar, fanned, scalar_digests, fanned_digests)
+
+
+class TestFanOut:
+    def test_eligible_run_goes_through_pool(self):
+        contexts = generate_trace(5, packets=4_000)
+        stat4 = SCENARIOS["frequency"]()
+        engine = ParallelBatchEngine(
+            stat4, backend="python", workers=4, executor="thread", min_chunk=128
+        )
+        result = engine.process(PacketBatch.from_contexts(contexts))
+        assert result.kernels.get("frequency_parallel", 0) > 0
+        assert "frequency_fast" not in result.kernels
+
+    def test_order_dependent_runs_stay_serial(self):
+        # Alerts make the frequency run ineligible: everything must go
+        # through the serial exact loop even at workers=4.
+        contexts = generate_trace(5, packets=4_000)
+        stat4 = SCENARIOS["frequency_tracked"]()
+        engine = ParallelBatchEngine(
+            stat4, backend="python", workers=4, executor="thread", min_chunk=128
+        )
+        result = engine.process(PacketBatch.from_contexts(contexts))
+        assert "frequency_parallel" not in result.kernels
+
+    def test_small_batch_delegates_to_serial_engine(self):
+        contexts = generate_trace(5, packets=200)
+        stat4 = SCENARIOS["frequency"]()
+        engine = ParallelBatchEngine(
+            stat4, backend="python", workers=4, min_chunk=512
+        )
+        result = engine.process(PacketBatch.from_contexts(contexts))
+        assert "frequency_parallel" not in result.kernels
+
+    def test_serial_executor_never_fans_out(self):
+        contexts = generate_trace(5, packets=4_000)
+        stat4 = SCENARIOS["frequency"]()
+        engine = ParallelBatchEngine(
+            stat4, backend="python", workers=4, executor="serial", min_chunk=128
+        )
+        result = engine.process(PacketBatch.from_contexts(contexts))
+        assert "frequency_parallel" not in result.kernels
+
+
+class TestSplitBatch:
+    def test_chunks_are_contiguous_and_cover(self):
+        contexts = generate_trace(1, packets=700)
+        batch = PacketBatch.from_contexts(contexts)
+        chunks = split_batch(batch, 300)
+        assert [len(chunk) for chunk in chunks] == [300, 300, 100]
+        rebuilt = [ts for chunk in chunks for ts in chunk.timestamps]
+        assert rebuilt == batch.timestamps
+
+    def test_rejects_nonpositive_chunk_size(self):
+        batch = PacketBatch.from_contexts([])
+        with pytest.raises(ValueError):
+            split_batch(batch, 0)
+
+    def test_chunked_processing_equals_whole_batch(self):
+        contexts = generate_trace(2, packets=1_000)
+        whole = SCENARIOS["frequency"]()
+        chunked = SCENARIOS["frequency"]()
+        whole_digests = list(
+            BatchEngine(whole, backend="python")
+            .process(PacketBatch.from_contexts(contexts))
+            .digests
+        )
+        engine = BatchEngine(chunked, backend="python")
+        chunked_digests = []
+        for chunk in split_batch(PacketBatch.from_contexts(contexts), 137):
+            chunked_digests.extend(engine.process(chunk).digests)
+        assert_equal_state(whole, chunked, whole_digests, chunked_digests)
+
+
+class TestEngineValidation:
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            ParallelBatchEngine(SCENARIOS["frequency"](), workers=0)
+
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(ValueError):
+            ParallelBatchEngine(SCENARIOS["frequency"](), executor="fork_bomb")

@@ -82,6 +82,38 @@ class TestHashedCells:
         with pytest.raises(ValueRangeError):
             cells.increment(-1)
 
+    def test_probe_path_matches_increment_probes(self):
+        # The batched sparse kernel memoizes probe_path() per batch and
+        # replays it through increment(); the shortcut must visit exactly
+        # the slots increment() would have probed on its own.
+        cells = HashedCells(slots_per_stage=16, stages=3)
+        for key in (0, 1, 0xDEADBEEF, 12345):
+            path = cells.probe_path(key)
+            assert [stage for stage, _ in path] == [0, 1, 2]
+            assert all(0 <= index < 16 for _, index in path)
+            assert path == cells.probe_path(key)  # deterministic
+
+    def test_increment_with_precomputed_path_identical(self):
+        rng = random.Random(3)
+        plain = HashedCells(slots_per_stage=4, stages=2)
+        memoized = HashedCells(slots_per_stage=4, stages=2)
+        paths = {}
+        for _ in range(500):
+            key = rng.getrandbits(16)
+            if key not in paths:
+                paths[key] = memoized.probe_path(key)
+            assert plain.increment(key) == memoized.increment(key, paths[key])
+        assert sorted(plain.items()) == sorted(memoized.items())
+        assert plain.evictions == memoized.evictions
+        assert plain.evicted_mass == memoized.evicted_mass
+
+    def test_probe_path_rejects_negative_key(self):
+        cells = HashedCells(slots_per_stage=4)
+        with pytest.raises(ValueRangeError):
+            cells.probe_path(-1)
+        with pytest.raises(ValueRangeError):
+            cells.increment(-1, ((0, 0),))
+
     def test_memory_accounting(self):
         registers = RegisterFile()
         cells = HashedCells(slots_per_stage=64, stages=2, registers=registers)
