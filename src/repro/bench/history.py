@@ -73,6 +73,7 @@ def append_history(
         "python": report.get("python"),
         "numpy": report.get("numpy"),
         "speedups": report.get("speedups", {}),
+        "shipping": report.get("shipping"),
     }
     runs: List[Dict[str, Any]] = index["runs"]
     for position, run in enumerate(runs):
@@ -142,6 +143,16 @@ def format_trend(current: Dict[str, Any], previous: Dict[str, Any]) -> str:
                 f"{kernel:<22} {backend:<8} {before_text:>9} "
                 f"{now_text:>8} {delta:>8}"
             )
+    ship_now = current.get("shipping")
+    ship_before = previous.get("shipping")
+    if ship_now and ship_before:
+        lines.append(
+            "process-pool shipping (pickled bytes/batch): "
+            f"shm {ship_before.get('shm_bytes_per_batch'):,}"
+            f" -> {ship_now.get('shm_bytes_per_batch'):,}, "
+            f"list {ship_before.get('list_bytes_per_batch'):,}"
+            f" -> {ship_now.get('list_bytes_per_batch'):,}"
+        )
     merge_now = {row["shards"]: row for row in current.get("cluster", [])}
     merge_before = {row["shards"]: row for row in previous.get("cluster", [])}
     shared = sorted(set(merge_now) & set(merge_before))

@@ -15,7 +15,13 @@ Six kernels, one per hot loop:
   and the exact network-wide merge;
 - ``parallel_mean_variance`` — the same counting workload through
   :class:`~repro.stat4.parallel.ParallelBatchEngine` at ``--workers``
-  workers (chunked tallies merged exactly), against the scalar loop.
+  workers (chunked tallies merged exactly), against the scalar loop;
+  ``--pool`` selects the executor (thread or process) for this kernel;
+- ``shm_parallel_mean_variance`` — the zero-copy process-pool path:
+  columns packed into ``multiprocessing.shared_memory`` segments, workers
+  attaching by descriptor, against the same scalar loop.  A separate
+  ``shipping`` report section records the per-batch pickled payload of the
+  shared-memory path next to the legacy list-shipping path.
 
 A separate ``cluster`` report section sweeps the same workload across
 1→8 shards, splitting routed-ingest time from controller-side merge time
@@ -191,26 +197,37 @@ def _time_stat4_kernels(
     return results
 
 
-def _time_parallel_kernels(
-    packets: int, repeats: int, backends: List[str], workers: int
-) -> List[Dict[str, Any]]:
-    """The ``parallel_mean_variance`` kernel: multi-worker chunked ingest.
-
-    Same dense counting workload as ``mean_variance``, driven through
-    :class:`~repro.stat4.parallel.ParallelBatchEngine` with a thread pool
-    at ``workers`` workers, against the scalar per-packet loop.  The ratio
-    uses the repo's standard definition (batched pps / scalar pps), so the
-    committed floor gates the whole parallel path — chunking, dispatch,
-    and exact merge — never falling below it even at ``workers=1``, where
-    the engine delegates to the serial fast path.
-    """
-    from repro.stat4.parallel import ParallelBatchEngine
-
+def _parallel_workload():
+    """Config + spec builder shared by the parallel ingest kernels."""
     config = Stat4Config(counter_num=2, counter_size=256, binding_stages=1)
 
     def build_spec(rt):
         return rt.frequency_of(0, ExtractSpec.field("ipv4.dst", mask=0xFF))
 
+    return config, build_spec
+
+
+def _time_parallel_kernels(
+    packets: int,
+    repeats: int,
+    backends: List[str],
+    workers: int,
+    pool: str = "thread",
+) -> List[Dict[str, Any]]:
+    """The ``parallel_mean_variance`` kernel: multi-worker chunked ingest.
+
+    Same dense counting workload as ``mean_variance``, driven through
+    :class:`~repro.stat4.parallel.ParallelBatchEngine` with a ``pool``
+    executor (``repro bench --pool``) at ``workers`` workers, against the
+    scalar per-packet loop.  The ratio uses the repo's standard definition
+    (batched pps / scalar pps), so the committed floor gates the whole
+    parallel path — chunking, dispatch, and exact merge — never falling
+    below it even at ``workers=1``, where the engine delegates to the
+    serial fast path.
+    """
+    from repro.stat4.parallel import ParallelBatchEngine
+
+    config, build_spec = _parallel_workload()
     contexts = _make_contexts(packets, dst_values=1024, timestamp_gap=1e-4)
     results: List[Dict[str, Any]] = []
 
@@ -236,7 +253,7 @@ def _time_parallel_kernels(
         def run_parallel():
             stat4 = _bind(build_spec, config)
             ParallelBatchEngine(
-                stat4, backend=backend, workers=workers, executor="thread"
+                stat4, backend=backend, workers=workers, executor=pool
             ).process(batch)
 
         seconds = _best_of(repeats, run_parallel)
@@ -251,6 +268,105 @@ def _time_parallel_kernels(
             }
         )
     return results
+
+
+def _time_shm_parallel_kernels(
+    packets: int, repeats: int, backends: List[str], workers: int
+) -> List[Dict[str, Any]]:
+    """The ``shm_parallel_mean_variance`` kernel: zero-copy process fan-out.
+
+    Always uses the process pool with shared-memory column shipping, so the
+    committed floor gates the whole zero-copy path — segment packing,
+    descriptor pickling, worker attach, tally, merge — against the scalar
+    loop.  At ``workers=1`` the engine delegates to the serial fast path,
+    which keeps the one-worker CI leg meaningful (the floor then gates the
+    serial batched kernel, exactly like ``parallel_mean_variance``).
+    """
+    from repro.stat4.parallel import ParallelBatchEngine
+
+    config, build_spec = _parallel_workload()
+    contexts = _make_contexts(packets, dst_values=1024, timestamp_gap=1e-4)
+    results: List[Dict[str, Any]] = []
+
+    def run_scalar():
+        stat4 = _bind(build_spec, config)
+        for ctx in contexts:
+            stat4.process(ctx)
+
+    seconds = _best_of(repeats, run_scalar)
+    results.append(
+        {
+            "name": "shm_parallel_mean_variance",
+            "mode": "scalar",
+            "backend": None,
+            "packets": packets,
+            "seconds": seconds,
+            "pps": packets / seconds if seconds > 0 else 0.0,
+        }
+    )
+    batch = PacketBatch.from_contexts(contexts)
+    for backend in backends:
+
+        def run_shm():
+            stat4 = _bind(build_spec, config)
+            ParallelBatchEngine(
+                stat4,
+                backend=backend,
+                workers=workers,
+                executor="process",
+                share_columns=True,
+            ).process(batch)
+
+        seconds = _best_of(repeats, run_shm)
+        results.append(
+            {
+                "name": "shm_parallel_mean_variance",
+                "mode": "batched",
+                "backend": backend,
+                "packets": packets,
+                "seconds": seconds,
+                "pps": packets / seconds if seconds > 0 else 0.0,
+            }
+        )
+    return results
+
+
+def _measure_shipping(
+    packets: int, backend: str, workers: int
+) -> Dict[str, Any]:
+    """Per-batch pickled payload of the two process-pool shipping modes.
+
+    One instrumented pass each: shared-memory descriptors vs legacy list
+    chunks.  Recorded in the report (and bench history) so the zero-copy
+    claim — descriptors instead of data on the pickle wire — stays a
+    measured number rather than prose.
+    """
+    from repro.stat4.parallel import ParallelBatchEngine
+
+    config, build_spec = _parallel_workload()
+    contexts = _make_contexts(packets, dst_values=1024, timestamp_gap=1e-4)
+    batch = PacketBatch.from_contexts(contexts)
+    # At --workers 1 the engine delegates to the serial path and ships
+    # nothing; measure at two workers so the payload numbers stay real.
+    workers = max(workers, 2)
+    row: Dict[str, Any] = {
+        "packets": packets,
+        "backend": backend,
+        "workers": workers,
+    }
+    for label, share in (("shm", True), ("list", False)):
+        engine = ParallelBatchEngine(
+            _bind(build_spec, config),
+            backend=backend,
+            workers=workers,
+            executor="process",
+            share_columns=share,
+            measure_shipping=True,
+        )
+        engine.process(batch)
+        row[f"{label}_bytes_per_batch"] = engine.last_batch_shipped_bytes
+        row[f"{label}_tasks_per_batch"] = engine.shipped_tasks
+    return row
 
 
 #: Shard counts the merge-overhead scaling section sweeps.
@@ -463,6 +579,7 @@ def run_suite(
     packets: Optional[int] = None,
     repeats: Optional[int] = None,
     workers: int = 4,
+    pool: str = "thread",
 ) -> Dict[str, Any]:
     """Run the full suite; returns the report as a plain dict.
 
@@ -474,9 +591,15 @@ def run_suite(
             restricts to that one.
         skip_experiments: kernels only (used by unit tests).
         packets / repeats: override the profile (tests use tiny values).
-        workers: worker count for the ``parallel_mean_variance`` kernel
+        workers: worker count for the parallel ingest kernels
             (``repro bench --workers``); recorded in the report.
+        pool: executor for the ``parallel_mean_variance`` kernel
+            (``repro bench --pool``, ``"thread"`` or ``"process"``);
+            ``shm_parallel_mean_variance`` always runs on the process
+            pool, so a thread-pool run still measures the zero-copy path.
     """
+    if pool not in ("thread", "process"):
+        raise ValueError(f"unknown pool {pool!r}; pick 'thread' or 'process'")
     profile_packets, profile_repeats = _QUICK_PROFILE if quick else _FULL_PROFILE
     n = packets if packets is not None else profile_packets
     reps = repeats if repeats is not None else profile_repeats
@@ -487,7 +610,8 @@ def run_suite(
     kernels = _time_stat4_kernels(n, reps, backends)
     kernels.extend(_time_ewma(n, reps, backends))
     kernels.extend(_time_cluster_kernels(n, reps, backends))
-    kernels.extend(_time_parallel_kernels(n, reps, backends, workers))
+    kernels.extend(_time_parallel_kernels(n, reps, backends, workers, pool))
+    kernels.extend(_time_shm_parallel_kernels(n, reps, backends, workers))
     report: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "revision": _revision(),
@@ -495,9 +619,11 @@ def run_suite(
         "numpy": _numpy_version(),
         "quick": quick,
         "workers": workers,
+        "pool": pool,
         "kernels": kernels,
         "experiments": [] if skip_experiments else _time_experiments(quick),
         "cluster": _time_cluster_scaling(n, reps, backends[0]),
+        "shipping": _measure_shipping(n, backends[0], workers),
         "speedups": _speedups(kernels),
     }
     return report
@@ -544,6 +670,19 @@ def format_report(report: Dict[str, Any]) -> str:
         lines.append(
             f"{row['name']:<22} {row['mode']:<8} {backend:<8} "
             f"{row['pps']:>12,.0f} {ratio:>8}"
+        )
+    shipping = report.get("shipping")
+    if shipping:
+        lines.append("")
+        lines.append(
+            "process-pool shipping (pickled payload per batch, "
+            f"{shipping['packets']:,} packets, {shipping['workers']} workers):"
+        )
+        lines.append(
+            f"  shm descriptors: {shipping['shm_bytes_per_batch']:,} B "
+            f"({shipping['shm_tasks_per_batch']} tasks)   "
+            f"list chunks: {shipping['list_bytes_per_batch']:,} B "
+            f"({shipping['list_tasks_per_batch']} tasks)"
         )
     if report.get("cluster"):
         lines.append("")

@@ -176,7 +176,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=4,
-        help="worker count for the parallel ingest kernel (default 4)",
+        help="worker count for the parallel ingest kernels (default 4)",
+    )
+    bench.add_argument(
+        "--pool",
+        choices=["thread", "process"],
+        default="thread",
+        help=(
+            "executor for the parallel ingest kernel (the shared-memory "
+            "kernel always uses the process pool)"
+        ),
     )
 
     generate = sub.add_parser(
@@ -437,7 +446,10 @@ def _cmd_bench(args) -> int:
     side = sys.stderr if args.json else sys.stdout
 
     report = run_suite(
-        quick=args.quick, backend=args.backend, workers=args.workers
+        quick=args.quick,
+        backend=args.backend,
+        workers=args.workers,
+        pool=args.pool,
     )
     path = write_report(report, output=args.output)
     if args.json:

@@ -71,10 +71,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+import array as _array
+
 from repro.p4.switch import Digest, PacketContext, StandardMetadata
 from repro.stat4.binding import TRACK_ACTION, binding_key_of
 from repro.stat4.distributions import DistributionKind, TrackSpec
 from repro.stat4.library import Stat4, _to_us
+from repro.traffic.columns import ColumnStore, slice_backing
 
 try:  # pragma: no cover - exercised via both-backend test parametrization
     import numpy as _np
@@ -147,6 +150,8 @@ class PacketBatch:
         "parse_errors",
         "_raw_columns",
         "_value_columns",
+        "_store",
+        "_ts_array",
     )
 
     def __init__(
@@ -166,6 +171,8 @@ class PacketBatch:
         self.parse_errors = 0
         self._raw_columns: Dict[str, Column] = dict(columns or {})
         self._value_columns: Dict[Tuple[Any, int, int], Column] = {}
+        self._store = ColumnStore()
+        self._ts_array: Optional[Any] = None
 
     def __len__(self) -> int:
         return len(self.timestamps)
@@ -266,6 +273,44 @@ class PacketBatch:
         )
         return subset
 
+    def slice_view(self, start: int, stop: int) -> "PacketBatch":
+        """A contiguous sub-batch over rows ``[start, stop)`` sharing storage.
+
+        Where :meth:`select` copies element by element for arbitrary row
+        sets, a contiguous window uses C-level list slicing for the plain
+        Python fields and carries every already-encoded column of the
+        backing :class:`~repro.traffic.columns.ColumnStore` (and the cached
+        timestamp array) as a true zero-copy view — numpy slices or
+        ``memoryview`` windows.  ``split_batch`` builds its worker chunks
+        through this, so chunking a batch for fan-out does no per-element
+        Python work and no column data movement.
+        """
+        sub = PacketBatch.__new__(PacketBatch)
+        sub.timestamps = self.timestamps[start:stop]
+        sub.keys = self.keys[start:stop]
+        sub.contexts = (
+            self.contexts[start:stop] if self.contexts is not None else None
+        )
+        sub.frame_bytes = (
+            self.frame_bytes[start:stop] if self.frame_bytes is not None else None
+        )
+        sub.parse_errors = 0
+        sub._raw_columns = {
+            source: column[start:stop]
+            for source, column in self._raw_columns.items()
+        }
+        sub._value_columns = {
+            key: column[start:stop]
+            for key, column in self._value_columns.items()
+        }
+        sub._store = self._store.slice(start, stop)
+        sub._ts_array = (
+            slice_backing(self._ts_array, start, stop)
+            if self._ts_array is not None
+            else None
+        )
+        return sub
+
     # -- column access --------------------------------------------------------
 
     def raw_column(self, source: str) -> Column:
@@ -345,6 +390,32 @@ class PacketBatch:
         self._value_columns[cache_key] = out
         return out
 
+    def values_array_for(self, spec: TrackSpec) -> Any:
+        """Encoded value column for one spec: contiguous signed 64-bit.
+
+        ``None`` entries are stored as the columns sentinel ``-1`` (field
+        values are masked unsigned slices, so the sentinel is unambiguous).
+        The array lives in the batch's :class:`ColumnStore`, cached under
+        the same ``(extract, accept_lo, accept_hi)`` key as
+        :meth:`values_for`, and is what the parallel engine slices into
+        zero-copy worker chunks or packs into a shared-memory segment.
+        """
+        cache_key = (spec.extract, spec.accept_lo, spec.accept_hi)
+        if cache_key in self._store:
+            return self._store.get(cache_key)
+        return self._store.put(cache_key, self.values_for(spec))
+
+    def timestamps_array(self) -> Any:
+        """Contiguous float64 timestamp column (cached)."""
+        arr = self._ts_array
+        if arr is None:
+            if _np is not None:
+                arr = _np.asarray(self.timestamps, dtype=_np.float64)
+            else:
+                arr = _array.array("d", self.timestamps)
+            self._ts_array = arr
+        return arr
+
 
 @dataclass
 class BatchResult:
@@ -357,7 +428,8 @@ class BatchResult:
         kernels: events handled per kernel, keyed by kernel name
             (``frequency_fast`` / ``percentile_fast`` / ``sparse_fast`` /
             ``time_series`` / ``exact_loop``; the parallel engine adds
-            ``frequency_parallel``).
+            ``frequency_parallel`` / ``percentile_parallel`` /
+            ``alert_parallel`` for its fanned-out modes).
         backend: the backend that ran the batch.
     """
 
@@ -920,9 +992,12 @@ class BatchEngine:
         spec = state.spec
         cells = stat4.sparse_cells[spec.dist]
         stats = state.stats
-        probe_path = cells.probe_path
         increment = cells.increment
-        probes: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        # Bulk-memoize the multiply-shift probe paths: one hash pipeline
+        # per unique key for the whole batch.
+        probes = cells.probe_paths(
+            {values[pkt] for pkt, _s, _sp in segment if values[pkt] is not None}
+        )
         alerts = spec.k_sigma > 0
         touched = False
         result.kernels["sparse_fast"] = (
@@ -932,10 +1007,7 @@ class BatchEngine:
             value = values[pkt]
             if value is None:
                 continue
-            path = probes.get(value)
-            if path is None:
-                path = probe_path(value)
-                probes[value] = path
+            path = probes[value]
             old, new, evicted = increment(value, path)
             if evicted:
                 stats.remove_value(evicted)

@@ -1,6 +1,6 @@
 # p4-ok-file — host-side parallel execution layer; the per-packet P4
 # semantics it reproduces live (and are linted) in repro.stat4.library.
-"""Multi-worker Stat4 ingest: chunked kernel dispatch with exact merging.
+"""Multi-worker Stat4 ingest: zero-copy chunk dispatch with exact merging.
 
 :class:`~repro.stat4.batch.BatchEngine` already turns per-packet updates
 into per-batch kernels; this module adds the last level of the hierarchy —
@@ -10,37 +10,95 @@ concurrently, **without giving up bit-identity** with the scalar loop:
 - a trace is split into time-ordered chunks (:func:`split_batch`) that are
   processed strictly in order, so all cross-batch state (interval cursors,
   percentile walks, eviction order) evolves exactly as in serial replay;
-- *within* one batch, the only work that is fanned out to workers is work
-  whose merge is provably exact: tallying occurrences for dense frequency
-  slots with no tracker and no k·σ check.  Each worker counts one
-  contiguous chunk of a run's values; the per-chunk tallies are summed per
-  value and folded into cells and moments through the engine's own
-  :meth:`~repro.stat4.batch.BatchEngine._apply_counts` — the telescoped
-  ``observe_frequencies`` identity makes the result independent of how the
-  occurrences were grouped, and per-chunk drop counters add up exactly;
-- everything order-dependent (percentile stepping, alerts, time series,
-  sparse evictions) runs on the main thread through the serial engine's
-  kernels, sharing the batch's single digest sink — so digests keep scalar
-  order and alert counts are race-free by construction.
+- *within* one batch, the work fanned out to workers is chunked value
+  **tallying** for dense frequency runs; everything order-dependent is
+  replayed on the main thread from the per-chunk sub-tallies (or runs the
+  serial kernels outright).
 
-The pool is a ``concurrent.futures`` executor: threads by default (the
-tally loop is allocation-light and the numpy backend releases the GIL in
-``bincount``), or a process pool (``executor="process"``) whose task
-inputs are plain picklable lists.  Executors are cached per
-``(kind, workers)`` and shut down at interpreter exit
-(:func:`shutdown_pools`).
+Zero-copy shipping
+------------------
 
-`tests/stat4/test_parallel_differential.py` proves ``workers=4`` ingest
-bit-identical to ``workers=1`` and to the scalar oracle — registers,
-digest order, alert counts — for every ``DistributionKind`` on both
-backends.
+Worker chunks are views, not copies.  Thread workers receive zero-copy
+windows of the batch's encoded value column
+(:meth:`~repro.stat4.batch.PacketBatch.values_array_for`, backed by the
+batch's :class:`~repro.traffic.columns.ColumnStore`).  Process workers
+attach a ``multiprocessing.shared_memory`` segment by name and read the
+rows in place (:func:`~repro.traffic.columns.attach_column`): the pickled
+per-task payload is a ~100-byte :class:`ColumnDescriptor` instead of the
+chunk's data, which is what lets a process pool win on multi-GB traces.
+Segments are registered in the columns module; the engine releases them as
+soon as the batch is applied, and :func:`shutdown_pools` (atexit, plus a
+chained ``SIGTERM`` handler) sweeps anything a dying run leaves behind so
+repeated bench runs cannot exhaust ``/dev/shm``.
+
+Fan-out eligibility and the exactness argument
+----------------------------------------------
+
+:meth:`ParallelBatchEngine._fan_out_mode` classifies each run of equal
+specs.  The invariant behind all three fanned-out modes is the same: for a
+dense frequency slot, after any prefix of a run the moments (N, Xsum,
+Xsumsq) and the cell registers are **order-independent functions of the
+per-value occurrence counts** — each occurrence's ``observe_frequency``
+depends only on its own cell's prior count, the telescoped
+``observe_frequencies`` identity folds any grouping of occurrences to the
+same sums, and cell writes wrap through ``value & mask``, which composes
+modularly.  So per-chunk tallies merged by per-value addition land on
+exactly the serial state.  What differs per mode is what must be replayed
+serially on top:
+
+- ``"tally"`` (no tracker, no k·σ): nothing.  Merge the tallies, fold once.
+- ``"tracked"`` (``spec.percent`` set, no k·σ, no percentile alert): the
+  percentile tracker walks one step per packet, which is order-dependent —
+  but the tracker never feeds the cells or moments, and with no
+  ``percentile_alert`` it emits nothing mid-run.  Workers tally; the main
+  thread folds the merged counts, then replays the run's exact
+  observe/tick event sequence through the tracker (the vectorized
+  ``_tracker_walk`` on numpy, the scalar tracker otherwise) and syncs
+  ``reg_pos``/``reg_low``/``reg_high`` once, under the same write gate as
+  the serial ``_percentile_kernel`` (an observation landed, or the tracker
+  already had a position and a value-free packet ticked it).  Digest
+  stream: empty in this mode, trivially identical.
+- ``"alerting"`` (no tracker, ``k_sigma > 0``): the k·σ judgement reads
+  the live moments *at each packet*, so alert decisions replay per packet
+  on the main thread — against a local dict of wrapped cell counts (one
+  register read per unique value, one write at the end) and the live
+  ``ScaledStats``, calling the library's own ``_maybe_alert`` so gate
+  order, cooldown stamping, and digest fields are byte-for-byte the
+  scalar path's.  The worker tallies are not wasted: a whole chunk is
+  **folded without per-packet replay when no packet in it can possibly
+  alert**, which is provable from the sub-tally alone in two cases:
+
+  * ``stats.count + occurrences < spec.min_samples`` — every
+    ``observe_frequency`` grows N by at most 1, so N stays below the
+    ``min_samples`` gate for every packet of the chunk;
+  * the cooldown window covers the chunk — ``last_alert`` is set,
+    ``cooldown > 0``, and ``chunk_max_ts − last_alert < cooldown``:
+    every packet's ``now ≤ chunk_max_ts``, and since no alert fires in a
+    folded chunk, ``last_alert`` cannot move mid-chunk.
+
+  Folded chunks cost O(distinct values); un-foldable chunks replay per
+  packet but still skip the per-packet register reads/writes and
+  ``_sync_stats`` of the scalar loop.  Alert counts and digest order are
+  bit-identical by construction: every ``_maybe_alert`` call sees exactly
+  the scalar path's ``(stats, sample, now)`` triple, and digests are
+  tagged with their ``(packet, stage)`` and re-sorted by the shared sink.
+
+Combined tracked+alerting runs and any run with a ``percentile_alert``
+stay serial: ``_sync_percentile`` reads ``reg_pos`` per packet and
+interleaves percentile-move digests with k·σ digests order-dependently,
+so no per-chunk summary can reconstruct the stream.
+
+``tests/stat4/test_parallel_differential.py`` proves scalar vs threads vs
+shared-memory processes bit-identical — registers, digest order, alert
+counts — for every ``DistributionKind`` on both backends.
 """
 
 from __future__ import annotations
 
 import atexit
+import pickle
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.stat4.batch import (
     BatchEngine,
@@ -52,6 +110,19 @@ from repro.stat4.batch import (
 )
 from repro.stat4.distributions import DistributionKind, TrackSpec
 from repro.stat4.library import Stat4
+from repro.traffic.columns import (
+    ColumnDescriptor,
+    SharedColumnSegment,
+    attach_column,
+    encode_column,
+    release_all_segments,
+    slice_backing,
+)
+
+try:  # pragma: no cover - exercised via both-backend CI legs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 __all__ = [
     "ParallelBatchEngine",
@@ -82,10 +153,18 @@ def _pool(kind: str, workers: int) -> Executor:
 
 
 def shutdown_pools() -> None:
-    """Shut down every cached worker pool (also runs at interpreter exit)."""
+    """Shut down every cached worker pool and sweep leaked shared segments.
+
+    Runs at interpreter exit.  The shared-memory sweep
+    (:func:`repro.traffic.columns.release_all_segments`) unlinks any
+    segment a dying batch left registered, so repeated bench runs cannot
+    exhaust ``/dev/shm``; the columns module additionally chains the same
+    sweep onto ``SIGTERM`` for kills that bypass atexit.
+    """
     for pool in _EXECUTORS.values():
         pool.shutdown(wait=True)
     _EXECUTORS.clear()
+    release_all_segments()
 
 
 atexit.register(shutdown_pools)
@@ -97,14 +176,19 @@ def split_batch(batch: PacketBatch, chunk_size: int) -> List[PacketBatch]:
     Processing the chunks in order through any engine leaves the same
     state as processing the whole batch at once (and as the scalar loop):
     every kernel finishes its chunk before the next starts, and
-    :meth:`PacketBatch.select` carries every backing column over.  This is
-    the trace-level chunking unit of the parallel ingest layer.
+    :meth:`PacketBatch.slice_view` carries every backing column over as a
+    view — C-level list slices for the Python fields, zero-copy windows
+    for the encoded :class:`~repro.traffic.columns.ColumnStore` columns.
+    An empty batch splits into no chunks at all (``[]``), not one empty
+    chunk.
     """
     if chunk_size <= 0:
         raise ValueError(f"chunk_size must be positive, got {chunk_size}")
     n = len(batch)
+    if n == 0:
+        return []
     return [
-        batch.select(range(start, min(start + chunk_size, n)))
+        batch.slice_view(start, min(start + chunk_size, n))
         for start in range(0, n, chunk_size)
     ]
 
@@ -112,25 +196,81 @@ def split_batch(batch: PacketBatch, chunk_size: int) -> List[PacketBatch]:
 def _tally_chunk(
     values: Sequence[Optional[int]], size: int
 ) -> Tuple[Dict[int, int], int]:
-    """Worker task: count one chunk of a run's values.
+    """Worker task core: count one chunk of a run's values.
 
     Returns ``(tally, dropped)`` — in-domain occurrence counts per value
     and the number of out-of-domain values (the scalar path's
-    ``values_dropped``).  ``None`` entries (matched but value-free
-    packets) are skipped, exactly as the serial counting kernel skips
-    them.  Module-level and built from plain lists/ints so a process pool
-    can pickle it.
+    ``values_dropped``).  Value-free packets are skipped, exactly as the
+    serial counting kernel skips them: ``None`` in plain list chunks, the
+    columns sentinel ``-1`` in encoded array/memoryview chunks.  On an
+    int64 ndarray chunk the count runs through ``numpy.bincount`` (which
+    releases the GIL, so thread workers genuinely run concurrently).
     """
+    if _np is not None and isinstance(values, _np.ndarray):
+        present = values[values >= 0]
+        dropped = int((present >= size).sum())
+        in_domain = present[present < size]
+        if not len(in_domain):
+            return {}, dropped
+        counts = _np.bincount(in_domain)
+        nonzero = _np.nonzero(counts)[0]
+        return {int(v): int(counts[v]) for v in nonzero}, dropped
     tally: Dict[int, int] = {}
     dropped = 0
     for value in values:
-        if value is None:
+        if value is None or value < 0:
             continue
         if value >= size:
             dropped += 1
         else:
             tally[value] = tally.get(value, 0) + 1
     return tally, dropped
+
+
+def _chunk_max(timestamps: Optional[Sequence[float]]) -> Optional[float]:
+    """Max timestamp of a chunk (None when absent/empty) — cooldown bound."""
+    if timestamps is None or len(timestamps) == 0:
+        return None
+    if _np is not None and isinstance(timestamps, _np.ndarray):
+        return float(timestamps.max())
+    return max(timestamps)
+
+
+def _tally_task(
+    values: Sequence[Optional[int]],
+    size: int,
+    timestamps: Optional[Sequence[float]] = None,
+) -> Tuple[Dict[int, int], int, Optional[float]]:
+    """Worker task over in-memory chunks (thread views or pickled lists)."""
+    tally, dropped = _tally_chunk(values, size)
+    return tally, dropped, _chunk_max(timestamps)
+
+
+def _tally_task_shm(
+    values_desc: ColumnDescriptor,
+    start: int,
+    stop: int,
+    size: int,
+    ts_desc: Optional[ColumnDescriptor] = None,
+) -> Tuple[Dict[int, int], int, Optional[float]]:
+    """Worker task over a shared-memory column: attach, read in place.
+
+    The pickled inputs are descriptors plus chunk bounds (~100 bytes);
+    the chunk's rows never cross the process boundary.  Views are dropped
+    before the segment handle closes so the parent's unlink can reclaim
+    the memory promptly.
+    """
+    with attach_column(values_desc) as column:
+        window = column.values[start:stop]
+        tally, dropped = _tally_chunk(window, size)
+        del window
+    max_ts: Optional[float] = None
+    if ts_desc is not None:
+        with attach_column(ts_desc) as column:
+            window = column.values[start:stop]
+            max_ts = _chunk_max(window)
+            del window
+    return tally, dropped, max_ts
 
 
 def _merge_tallies(
@@ -161,12 +301,22 @@ class ParallelBatchEngine(BatchEngine):
         workers: worker count; ``1`` (the default) delegates every batch
             to the serial engine, so ``workers=1`` and ``workers=N`` are
             interchangeable bit for bit.
-        executor: ``"auto"``/``"thread"`` (thread pool), ``"process"``
-            (process pool over picklable chunk lists), or ``"serial"``
-            (never fan out — debugging aid).
+        executor: ``"auto"``/``"thread"`` (thread pool over zero-copy
+            column views), ``"process"`` (process pool; chunks travel as
+            shared-memory descriptors, or picklable lists when
+            ``share_columns=False``), or ``"serial"`` (never fan out —
+            debugging aid).
         min_chunk: smallest per-worker chunk worth dispatching; batches or
             runs below ``2 * min_chunk`` stay serial (pool overhead would
             dominate).
+        share_columns: back process-pool chunks with
+            ``multiprocessing.shared_memory`` segments (the zero-copy
+            path).  ``False`` re-ships plain value lists per task — the
+            pre-zero-copy behaviour, kept as an A/B knob and fallback.
+        measure_shipping: account the pickled bytes of every process-pool
+            task payload in ``shipped_bytes`` / ``shipped_tasks`` /
+            ``last_batch_shipped_bytes`` (bench instrumentation; adds a
+            ``pickle.dumps`` per task, so off by default).
     """
 
     def __init__(
@@ -176,6 +326,8 @@ class ParallelBatchEngine(BatchEngine):
         workers: int = 1,
         executor: str = "auto",
         min_chunk: int = 512,
+        share_columns: bool = True,
+        measure_shipping: bool = False,
     ):
         super().__init__(stat4, backend=backend)
         if workers < 1:
@@ -187,44 +339,180 @@ class ParallelBatchEngine(BatchEngine):
         self.workers = workers
         self.executor = executor
         self.min_chunk = min_chunk
+        self.share_columns = share_columns
+        self.measure_shipping = measure_shipping
+        self.shipped_bytes = 0
+        self.shipped_tasks = 0
+        self.last_batch_shipped_bytes = 0
 
     # -- fan-out policy -------------------------------------------------------
 
     @staticmethod
-    def _fan_out_eligible(spec: TrackSpec) -> bool:
-        """Whether a run's kernel work merges exactly across chunks.
+    def _fan_out_mode(spec: TrackSpec) -> Optional[str]:
+        """Classify how a run's work distributes (see the module docstring).
 
-        Dense frequency, no percentile tracker, no k·σ check — the
-        counting kernel whose merge is plain frequency-cell addition.
         Spec-only on purpose: deciding from the spec (a tracker exists iff
         ``spec.percent`` is set) means no ``_state_for`` call during the
         submit phase, so slot repurposing still happens in apply order.
-        """
-        return (
-            spec.kind is DistributionKind.FREQUENCY
-            and spec.percent is None
-            and spec.k_sigma <= 0
-        )
 
-    def _chunk_values(
+        Returns:
+            ``"tally"`` — dense frequency, no tracker, no k·σ: merge-only.
+            ``"tracked"`` — tracker, no k·σ, no percentile alert: merge
+            plus a serial tracker replay.
+            ``"alerting"`` — k·σ, no tracker: merge plus a serial alert
+            replay with per-chunk gate folding.
+            ``None`` — order-dependent beyond repair (combined
+            tracked+alerting, percentile alerts, non-dense kinds): run
+            the serial kernels.
+        """
+        if spec.kind is not DistributionKind.FREQUENCY:
+            return None
+        if spec.percent is None:
+            return "tally" if spec.k_sigma <= 0 else "alerting"
+        if spec.k_sigma <= 0 and not spec.percentile_alert:
+            return "tracked"
+        return None
+
+    @staticmethod
+    def _fan_out_eligible(spec: TrackSpec) -> bool:
+        """Whether any fan-out mode applies (back-compat predicate)."""
+        return ParallelBatchEngine._fan_out_mode(spec) is not None
+
+    # -- chunk preparation ----------------------------------------------------
+
+    def _run_full_coverage(
         self, batch: PacketBatch, spec: TrackSpec, segment: List[_Event]
-    ) -> List[Column]:
-        """The run's value stream, cut into one contiguous chunk per worker."""
-        values = batch.values_for(spec)
+    ) -> bool:
+        """Single-stage run covering every packet in order — the common
+        every-packet-matches case, where the batch columns ARE the run's
+        event streams and can be shipped without gathering."""
         m = len(segment)
-        if (
-            m == len(values)
+        return (
+            m == len(batch)
             and len(self.stat4.binding_tables) == 1
             and segment[0][0] == 0
             and segment[-1][0] == m - 1
-        ):
-            # Single-stage run covering every packet in order (the common
-            # every-packet-matches case): the column IS the event stream.
-            column = values
-        else:
-            column = [values[pkt] for pkt, _stage, _spec in segment]
-        chunk = -(-m // self.workers)  # ceil: at most `workers` chunks
-        return [column[i : i + chunk] for i in range(0, m, chunk)]
+        )
+
+    def _run_columns(
+        self,
+        batch: PacketBatch,
+        spec: TrackSpec,
+        segment: List[_Event],
+        need_ts: bool,
+        as_arrays: bool,
+    ) -> Tuple[Any, Optional[Any]]:
+        """The run's event-ordered value (and timestamp) streams.
+
+        ``as_arrays=True`` returns contiguous encoded columns (``None``
+        → ``-1``) ready for zero-copy slicing or shared-memory packing;
+        ``False`` returns plain lists (the picklable legacy shape).
+        """
+        if self._run_full_coverage(batch, spec, segment):
+            if as_arrays:
+                return (
+                    batch.values_array_for(spec),
+                    batch.timestamps_array() if need_ts else None,
+                )
+            return batch.values_for(spec), batch.timestamps if need_ts else None
+        values = batch.values_for(spec)
+        timestamps = batch.timestamps
+        column = [values[pkt] for pkt, _stage, _spec in segment]
+        ts = (
+            [timestamps[pkt] for pkt, _stage, _spec in segment]
+            if need_ts
+            else None
+        )
+        if as_arrays:
+            encoded = encode_column(column)
+            if ts is not None:
+                if _np is not None:
+                    ts = _np.asarray(ts, dtype=_np.float64)
+                else:
+                    import array as _array
+
+                    ts = _array.array("d", ts)
+            return encoded, ts
+        return column, ts
+
+    def _chunk_bounds(self, m: int) -> List[Tuple[int, int]]:
+        """Contiguous ``[start, stop)`` windows, at most one per worker."""
+        chunk = -(-m // self.workers)  # ceil
+        return [(i, min(i + chunk, m)) for i in range(0, m, chunk)]
+
+    def _account_shipping(self, payload: Any) -> None:
+        if not self.measure_shipping:
+            return
+        nbytes = len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        self.shipped_bytes += nbytes
+        self.last_batch_shipped_bytes += nbytes
+        self.shipped_tasks += 1
+
+    def _submit_run(
+        self,
+        pool: Executor,
+        pool_kind: str,
+        batch: PacketBatch,
+        spec: TrackSpec,
+        segment: List[_Event],
+        size: int,
+        need_ts: bool,
+    ) -> Tuple[List[Tuple[int, int]], List[Any], Optional[SharedColumnSegment]]:
+        """Dispatch one run's chunk tallies; returns (bounds, futures, shm).
+
+        Thread pools get zero-copy views of the encoded columns.  Process
+        pools get shared-memory descriptors (``share_columns=True``) or
+        pickled list chunks (the legacy fallback, also taken when segment
+        creation fails — e.g. no ``/dev/shm``).
+        """
+        bounds = self._chunk_bounds(len(segment))
+        futures: List[Any] = []
+        if pool_kind != "process":
+            column, ts = self._run_columns(
+                batch, spec, segment, need_ts, as_arrays=True
+            )
+            for start, stop in bounds:
+                futures.append(
+                    pool.submit(
+                        _tally_task,
+                        slice_backing(column, start, stop),
+                        size,
+                        slice_backing(ts, start, stop) if ts is not None else None,
+                    )
+                )
+            return bounds, futures, None
+        segment_shm: Optional[SharedColumnSegment] = None
+        if self.share_columns:
+            try:
+                column, ts = self._run_columns(
+                    batch, spec, segment, need_ts, as_arrays=True
+                )
+                packed = [("values", "q", column)]
+                if ts is not None:
+                    packed.append(("timestamps", "d", ts))
+                segment_shm = SharedColumnSegment.pack(packed)
+            except Exception:
+                segment_shm = None  # no usable /dev/shm: ship lists below
+        if segment_shm is not None:
+            values_desc = segment_shm.descriptors["values"]
+            ts_desc = segment_shm.descriptors.get("timestamps")
+            for start, stop in bounds:
+                payload = (values_desc, start, stop, size, ts_desc)
+                self._account_shipping(payload)
+                futures.append(pool.submit(_tally_task_shm, *payload))
+            return bounds, futures, segment_shm
+        column, ts = self._run_columns(
+            batch, spec, segment, need_ts, as_arrays=False
+        )
+        for start, stop in bounds:
+            payload = (
+                column[start:stop],
+                size,
+                ts[start:stop] if ts is not None else None,
+            )
+            self._account_shipping(payload)
+            futures.append(pool.submit(_tally_task, *payload))
+        return bounds, futures, None
 
     # -- entry point ----------------------------------------------------------
 
@@ -234,9 +522,13 @@ class ParallelBatchEngine(BatchEngine):
         Two phases: *submit* walks the per-distribution runs in scalar
         order and enqueues chunk tallies for every eligible run (touching
         no engine state); *apply* then replays the same run order on the
-        main thread, merging worker tallies where they exist and running
-        the serial kernels everywhere else.  All state mutation happens in
-        the apply phase, in scalar order, on one thread.
+        main thread, merging worker tallies where they exist, replaying
+        tracker walks and alert decisions serially for the widened modes,
+        and running the serial kernels everywhere else.  All state
+        mutation happens in the apply phase, in scalar order, on one
+        thread.  Shared-memory segments created for this batch are
+        released before returning (crash sweeps are handled by
+        :func:`shutdown_pools` and the columns module's signal hook).
         """
         if (
             self.workers <= 1
@@ -250,34 +542,230 @@ class ParallelBatchEngine(BatchEngine):
         stat4.packets_seen += n
         events = self._match(batch)
         sink = _DigestSink()
-        pool = _pool(
-            "process" if self.executor == "process" else "thread", self.workers
-        )
+        pool_kind = "process" if self.executor == "process" else "thread"
+        pool = _pool(pool_kind, self.workers)
         size = stat4.config.counter_size
+        self.last_batch_shipped_bytes = 0
+        segments: List[SharedColumnSegment] = []
         plan = []
-        for dist in sorted(events):
-            for spec, segment in self._split_runs(events[dist]):
-                futures = None
-                if (
-                    self._fan_out_eligible(spec)
-                    and len(segment) >= 2 * self.min_chunk
-                ):
-                    futures = [
-                        pool.submit(_tally_chunk, chunk, size)
-                        for chunk in self._chunk_values(batch, spec, segment)
-                    ]
-                plan.append((spec, segment, futures))
-        for spec, segment, futures in plan:
-            if futures is None:
-                self._process_run(spec, segment, batch, sink, result)
-                continue
-            state = stat4._state_for(spec)
-            counts, dropped = _merge_tallies(f.result() for f in futures)
-            state.values_dropped += dropped
-            result.kernels["frequency_parallel"] = (
-                result.kernels.get("frequency_parallel", 0) + len(segment)
-            )
-            if counts:
-                self._apply_counts(state, counts)
-        result.digests.extend(sink.in_scalar_order())
+        try:
+            for dist in sorted(events):
+                for spec, segment in self._split_runs(events[dist]):
+                    mode = self._fan_out_mode(spec)
+                    if mode is None or len(segment) < 2 * self.min_chunk:
+                        plan.append((spec, segment, None, None, None))
+                        continue
+                    bounds, futures, shm = self._submit_run(
+                        pool,
+                        pool_kind,
+                        batch,
+                        spec,
+                        segment,
+                        size,
+                        need_ts=(mode == "alerting"),
+                    )
+                    if shm is not None:
+                        segments.append(shm)
+                    plan.append((spec, segment, mode, bounds, futures))
+            for spec, segment, mode, bounds, futures in plan:
+                if mode is None:
+                    self._process_run(spec, segment, batch, sink, result)
+                elif mode == "tally":
+                    self._apply_tally(spec, segment, futures, result)
+                elif mode == "tracked":
+                    self._apply_tracked(spec, segment, batch, futures, result)
+                else:
+                    self._apply_alerting(
+                        spec, segment, batch, bounds, futures, sink, result
+                    )
+            result.digests.extend(sink.in_scalar_order())
+        finally:
+            for shm in segments:
+                shm.release()
         return result
+
+    # -- apply phase ----------------------------------------------------------
+
+    def _apply_tally(
+        self,
+        spec: TrackSpec,
+        segment: List[_Event],
+        futures: List[Any],
+        result: BatchResult,
+    ) -> None:
+        """Merge-only mode: fold the summed tallies into cells and moments."""
+        state = self.stat4._state_for(spec)
+        counts, dropped = _merge_tallies(
+            (tally, chunk_dropped)
+            for tally, chunk_dropped, _max_ts in (f.result() for f in futures)
+        )
+        state.values_dropped += dropped
+        result.kernels["frequency_parallel"] = (
+            result.kernels.get("frequency_parallel", 0) + len(segment)
+        )
+        if counts:
+            self._apply_counts(state, counts)
+
+    def _apply_tracked(
+        self,
+        spec: TrackSpec,
+        segment: List[_Event],
+        batch: PacketBatch,
+        futures: List[Any],
+        result: BatchResult,
+    ) -> None:
+        """Tracked mode: merged fold plus a serial tracker replay.
+
+        Exactness: the tracker's state never feeds the cells or moments,
+        so folding the merged tallies first cannot perturb it; the replay
+        then walks the run's exact observe/tick sequence (dropped values
+        excluded entirely, value-free packets ticking only once the
+        tracker has a position — precisely the scalar ``_update_frequency``
+        flow), and the position registers are synced once under the serial
+        ``_percentile_kernel``'s write gate.  No digests exist in this
+        mode (no k·σ, no percentile alert), so the digest stream is
+        trivially identical.
+        """
+        stat4 = self.stat4
+        state = stat4._state_for(spec)
+        size = stat4.config.counter_size
+        counts, dropped = _merge_tallies(
+            (tally, chunk_dropped)
+            for tally, chunk_dropped, _max_ts in (f.result() for f in futures)
+        )
+        state.values_dropped += dropped
+        result.kernels["percentile_parallel"] = (
+            result.kernels.get("percentile_parallel", 0) + len(segment)
+        )
+        tracker = state.tracker
+        values = batch.values_for(spec)
+        events: List[int] = []
+        observed = 0
+        for pkt, _stage, _spec in segment:
+            value = values[pkt]
+            if value is None:
+                events.append(-1)  # value-free packet: a tracker tick
+            elif value < size:
+                events.append(value)
+                observed += 1
+            # else: dropped — the scalar path returns before the tracker.
+        had_value = tracker.has_value
+        if counts:
+            self._apply_counts(state, counts)
+        if events:
+            if self._np is not None and tracker.steps_per_update == 1:
+                self._tracker_walk(
+                    tracker, self._np.asarray(events, dtype=self._np.int64)
+                )
+            else:
+                for value in events:
+                    if value < 0:
+                        if tracker.has_value:
+                            tracker.tick()
+                    else:
+                        tracker.observe(value)
+        if observed or (had_value and len(events) > observed):
+            dist = state.spec.dist
+            stat4.reg_pos.write(dist, tracker.value)
+            stat4.reg_low.write(dist, tracker.low)
+            stat4.reg_high.write(dist, tracker.high)
+
+    def _apply_alerting(
+        self,
+        spec: TrackSpec,
+        segment: List[_Event],
+        batch: PacketBatch,
+        bounds: List[Tuple[int, int]],
+        futures: List[Any],
+        sink: _DigestSink,
+        result: BatchResult,
+    ) -> None:
+        """Alerting mode: per-chunk gate folding plus a serial alert replay.
+
+        Exactness: alerts are judged by the library's own ``_maybe_alert``
+        against the live ``ScaledStats`` — exactly the scalar call, with
+        the same ``(sample, index, now)`` — while cell counts run through
+        a local dict seeded from one register read per unique value
+        (wrapped with the register width mask on every increment, so
+        ``old``/``sample`` match the scalar read-modify-write sequence
+        bit for bit).  A chunk folds to the telescoped bulk update only
+        when its sub-tally proves no packet in it can alert (``min_samples``
+        headroom or a covering cooldown window — see the module
+        docstring); inside a folded chunk no alert fires, so ``last_alert``
+        is constant and the cooldown bound stays valid for every packet.
+        Cells are written once per unique value at the end and the derived
+        measures synced once — the same coalescing as ``_apply_counts``,
+        which never changes final register contents.
+        """
+        stat4 = self.stat4
+        state = stat4._state_for(spec)
+        stats = state.stats
+        counters = stat4.counters
+        width_mask = (1 << counters.width) - 1
+        base = stat4.config.cell_index(spec.dist, 0)
+        size = stat4.config.counter_size
+        values = batch.values_for(spec)
+        timestamps = batch.timestamps
+        cooldown = max(stat4.config.alert_cooldown, spec.cooldown)
+        result.kernels["alert_parallel"] = (
+            result.kernels.get("alert_parallel", 0) + len(segment)
+        )
+        local: Dict[int, int] = {}
+        touched = False
+        for (start, stop), future in zip(bounds, futures):
+            tally, dropped, max_ts = future.result()
+            if not tally:
+                # Only value-free and out-of-domain packets: the scalar
+                # path returns before its alert check on every one.
+                state.values_dropped += dropped
+                continue
+            occurrences = sum(tally.values())
+            gated = stats.count + occurrences < spec.min_samples
+            if (
+                not gated
+                and state.last_alert is not None
+                and cooldown > 0
+                and max_ts is not None
+            ):
+                gated = (max_ts - state.last_alert) < cooldown
+            if gated:
+                state.values_dropped += dropped
+                for value, repeat in sorted(tally.items()):
+                    old = local.get(value)
+                    if old is None:
+                        old = counters.read(base + value)
+                    if old + repeat > width_mask:
+                        # Near-wrap cell: replay per occurrence so the
+                        # wrapped counts feed the moments exactly.
+                        current = old
+                        for _ in range(repeat):
+                            stats.observe_frequency(current)
+                            current = (current + 1) & width_mask
+                        local[value] = current
+                    else:
+                        stats.observe_frequencies(old, repeat)
+                        local[value] = old + repeat
+                touched = True
+                continue
+            for pkt, stage, _spec in segment[start:stop]:
+                value = values[pkt]
+                if value is None:
+                    continue
+                if value >= size:
+                    state.values_dropped += 1
+                    continue
+                old = local.get(value)
+                if old is None:
+                    old = counters.read(base + value)
+                sample = stats.observe_frequency(old)
+                local[value] = sample & width_mask
+                touched = True
+                now = timestamps[pkt]
+                sink.set(pkt, stage, now)
+                stat4._maybe_alert(
+                    state, sink, sample=sample, index=value, now=now
+                )
+        for value, count in local.items():
+            counters.write(base + value, count)
+        if touched:
+            stat4._sync_stats(state)

@@ -107,6 +107,15 @@ class HashedCells:
             (stage, self._slot(key, stage)) for stage in range(self.stages)
         )
 
+    def probe_paths(self, keys) -> dict:
+        """Bulk :meth:`probe_path`: ``{key: path}`` for an iterable of keys.
+
+        The batched sparse kernel hands the whole batch's unique values in
+        at once, so the per-key hash pipeline runs exactly once per batch
+        regardless of how many packets repeat a key.
+        """
+        return {key: self.probe_path(key) for key in keys}
+
     # -- updates -------------------------------------------------------------
 
     def increment(

@@ -7,6 +7,17 @@ from repro.traffic.builders import (
     tcp_to,
     udp_to,
 )
+from repro.traffic.columns import (
+    AttachedColumn,
+    ColumnDescriptor,
+    ColumnStore,
+    SharedColumnSegment,
+    attach_column,
+    decode_column,
+    encode_column,
+    live_segment_count,
+    release_all_segments,
+)
 from repro.traffic.profiles import (
     Chooser,
     TrafficPhase,
@@ -24,6 +35,15 @@ __all__ = [
     "TraceRecord",
     "TraceReplayer",
     "TraceTap",
+    "AttachedColumn",
+    "ColumnDescriptor",
+    "ColumnStore",
+    "SharedColumnSegment",
+    "attach_column",
+    "decode_column",
+    "encode_column",
+    "live_segment_count",
+    "release_all_segments",
     "PacketBuilder",
     "udp_to",
     "tcp_to",

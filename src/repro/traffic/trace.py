@@ -71,6 +71,24 @@ class PacketTrace:
         for start in range(0, len(self.records), size):
             yield self.records[start : start + size]
 
+    def iter_packet_batches(
+        self, parser: Any, size: int, ingress_port: int = 0
+    ) -> Iterator[Any]:
+        """Yield parsed :class:`~repro.stat4.batch.PacketBatch` chunks.
+
+        The zero-copy pipeline entry point: each chunk of records is
+        parsed once into a columnar batch (value columns and their
+        :class:`~repro.traffic.columns.ColumnStore` encodings are built
+        lazily, then sliced as views by the parallel engine), ready for
+        ``BatchEngine.process`` / ``ParallelBatchEngine.process``.
+        """
+        from repro.stat4.batch import PacketBatch
+
+        for chunk in self.iter_batches(size):
+            yield PacketBatch.from_trace(
+                chunk, parser, ingress_port=ingress_port
+            )
+
     @property
     def duration(self) -> float:
         """Time span between first and last frame."""

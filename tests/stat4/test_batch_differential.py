@@ -232,6 +232,30 @@ def _percentile_scenario():
     return stat4
 
 
+@scenario("frequency_alerting")
+def _frequency_alerting_scenario():
+    """Dense counting with k·σ alerts and a cooldown, no tracker.
+
+    The parallel engine's widened ``"alerting"`` fan-out mode: workers
+    tally, the main thread replays the alert decisions — the cooldown
+    makes whole chunks provably alert-free (the gate-folded fast path)
+    while the rest replays per packet.  Scalar, serial-batched, and
+    fanned-out runs must agree on every digest and ``last_alert`` stamp.
+    """
+    config = Stat4Config(counter_num=4, counter_size=256, binding_stages=1)
+    stat4 = Stat4(config)
+    runtime = Stat4Runtime(stat4)
+    spec = runtime.frequency_of(
+        0,
+        ExtractSpec.field("ipv4.dst", mask=0x1FF),
+        k_sigma=2,
+        min_samples=3,
+        cooldown=0.05,
+    )
+    runtime.bind(0, BindingMatch(ether_type=0x0800), spec)
+    return stat4
+
+
 @scenario("frequency_tracked")
 def _frequency_tracked_scenario():
     """Percentile walk + k·σ alerts — the order-dependent frequency path."""

@@ -75,6 +75,32 @@ def test_workers_equal_scalar_and_each_other(scenario_name, backend, seed):
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("scenario_name", sorted(SCENARIOS))
+@settings(deadline=None, max_examples=2)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@example(seed=3)
+def test_shm_process_pool_equals_scalar_and_threads(
+    scenario_name, backend, seed
+):
+    # The zero-copy three-way: the scalar oracle, the thread pool (shared
+    # address space), and the process pool (columns shipped through
+    # shared-memory segments, ~100-byte descriptors on the pickle wire)
+    # must agree bit-for-bit — including the newly eligible tracked and
+    # alerting frequency runs.
+    contexts = generate_trace(seed, packets=TRACE_PACKETS)
+    scalar = SCENARIOS[scenario_name]()
+    threaded = SCENARIOS[scenario_name]()
+    shm = SCENARIOS[scenario_name]()
+    scalar_digests = process_scalar(scalar, contexts)
+    threaded_digests = process_parallel(threaded, contexts, backend, workers=4)
+    shm_digests = process_parallel(
+        shm, contexts, backend, workers=2, executor="process"
+    )
+    assert_equal_state(scalar, threaded, scalar_digests, threaded_digests)
+    assert_equal_state(scalar, shm, scalar_digests, shm_digests)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
 def test_process_pool_executor_smoke(backend):
     # The process pool ships chunks as picklable lists; one fixed-seed run
     # per backend proves the round trip is exact without paying process
@@ -100,9 +126,32 @@ class TestFanOut:
         assert result.kernels.get("frequency_parallel", 0) > 0
         assert "frequency_fast" not in result.kernels
 
+    def test_tracked_run_fans_out(self):
+        # Percentile tracking without alerts: the tally fans out, the
+        # tracker walk replays serially on the main thread.
+        contexts = generate_trace(5, packets=4_000)
+        stat4 = SCENARIOS["percentile"]()
+        engine = ParallelBatchEngine(
+            stat4, backend="python", workers=4, executor="thread", min_chunk=128
+        )
+        result = engine.process(PacketBatch.from_contexts(contexts))
+        assert result.kernels.get("percentile_parallel", 0) > 0
+
+    def test_alerting_run_fans_out(self):
+        # k·σ alerting without a tracker: the tally fans out, the alert
+        # decisions replay serially from the per-chunk sub-tallies.
+        contexts = generate_trace(5, packets=4_000)
+        stat4 = SCENARIOS["frequency_alerting"]()
+        engine = ParallelBatchEngine(
+            stat4, backend="python", workers=4, executor="thread", min_chunk=128
+        )
+        result = engine.process(PacketBatch.from_contexts(contexts))
+        assert result.kernels.get("alert_parallel", 0) > 0
+
     def test_order_dependent_runs_stay_serial(self):
-        # Alerts make the frequency run ineligible: everything must go
-        # through the serial exact loop even at workers=4.
+        # A tracker *and* alerts interleave digests order-dependently:
+        # everything must go through the serial exact loop even at
+        # workers=4.
         contexts = generate_trace(5, packets=4_000)
         stat4 = SCENARIOS["frequency_tracked"]()
         engine = ParallelBatchEngine(
@@ -110,6 +159,26 @@ class TestFanOut:
         )
         result = engine.process(PacketBatch.from_contexts(contexts))
         assert "frequency_parallel" not in result.kernels
+        assert "percentile_parallel" not in result.kernels
+        assert "alert_parallel" not in result.kernels
+
+    def test_shm_shipping_stays_under_a_kilobyte_per_batch(self):
+        # The acceptance bound for the zero-copy path: a process-pool
+        # batch ships only column descriptors, not the column data.
+        contexts = generate_trace(7, packets=4_000)
+        stat4 = SCENARIOS["frequency"]()
+        engine = ParallelBatchEngine(
+            stat4,
+            backend="python",
+            workers=2,
+            executor="process",
+            min_chunk=128,
+            measure_shipping=True,
+        )
+        result = engine.process(PacketBatch.from_contexts(contexts))
+        assert result.kernels.get("frequency_parallel", 0) > 0
+        assert engine.shipped_tasks > 0
+        assert 0 < engine.last_batch_shipped_bytes < 1024
 
     def test_small_batch_delegates_to_serial_engine(self):
         contexts = generate_trace(5, packets=200)
@@ -138,6 +207,12 @@ class TestSplitBatch:
         assert [len(chunk) for chunk in chunks] == [300, 300, 100]
         rebuilt = [ts for chunk in chunks for ts in chunk.timestamps]
         assert rebuilt == batch.timestamps
+
+    def test_empty_batch_yields_no_chunks(self):
+        # Regression: an empty batch used to come back as one empty
+        # chunk, costing a no-op engine pass per empty trace window.
+        batch = PacketBatch.from_contexts([])
+        assert split_batch(batch, 300) == []
 
     def test_rejects_nonpositive_chunk_size(self):
         batch = PacketBatch.from_contexts([])
