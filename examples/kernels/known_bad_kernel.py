@@ -1,0 +1,90 @@
+# p4-ok-file — negative-control fixture for the ST5xx concurrency pass;
+# deliberately broken, never imported by the runtime.
+"""Known-bad kernel: the concurrency analyzer's negative control.
+
+Mirrors ``examples/configs/known_bad.json`` for the ST4xx analyzer: a
+file that MUST keep failing ``repro lint --strict --concurrency``.  If
+the concurrency pass ever stops flagging these constructs, the gate
+itself has regressed (``tests/analysis/test_concurrency.py`` pins the
+exact profile).
+
+Three deliberate violations:
+
+- ``bad_window_kernel`` declares ``# parallel-mode: tally`` but mutates
+  an interval cursor — order-dependent, so the claim is unprovable
+  (ST502);
+- ``bad_worker_task`` is submitted to a pool and mutates a module-level
+  registry without holding the module lock (ST503);
+- ``bad_segment_factory`` creates a shared-memory segment directly
+  instead of going through ``SharedColumnSegment.pack``, bypassing the
+  crash-sweep registry (ST505).
+
+``good_tally_kernel`` is the in-file positive control: a pure
+commutative-monoid kernel whose ``tally`` claim the dataflow proves
+(ST501), showing the pass rejects the bad kernels for their effects, not
+for living in this file.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import shared_memory
+
+_RESULTS = {}
+_RESULTS_LOCK = threading.Lock()
+
+
+# parallel-mode: tally
+def good_tally_kernel(state, ctx, value):
+    """Monoid-only updates: the declared tally mode is provable."""
+    old = state.counters.read(value)
+    state.stats.observe_frequency(old)
+    state.counters.write(value, old + 1)
+
+
+# parallel-mode: tally
+def bad_window_kernel(state, ctx, value):
+    """Claims merge-exact but walks an interval cursor: ST502.
+
+    ``current_count``/``window_index`` make each update depend on the
+    cursor the previous one left, so no per-chunk summary reconstructs
+    the final state — the dataflow derives order-dependent (serial) and
+    the ``tally`` claim must be rejected.
+    """
+    state.current_count += 1
+    if state.current_count >= 8:
+        state.stats.replace_value(state.window_index, state.current_count)
+        state.window_index += 1
+        state.current_count = 0
+    state.stats.add_value(value)
+
+
+def bad_worker_task(chunk):
+    """Unguarded mutation of shared module state from worker context: ST503."""
+    total = sum(chunk)
+    _RESULTS[id(chunk)] = total  # not holding _RESULTS_LOCK
+    return total
+
+
+def good_worker_task(chunk):
+    """The guarded twin: same mutation, under the module lock — clean."""
+    total = sum(chunk)
+    with _RESULTS_LOCK:
+        _RESULTS[id(chunk)] = total
+    return total
+
+
+def bad_segment_factory(payload):
+    """Creates a segment outside SharedColumnSegment.pack: ST505.
+
+    Nothing registers this segment, so a crash between creation and
+    unlink leaks it in /dev/shm — exactly what the registry exists to
+    prevent.
+    """
+    return shared_memory.SharedMemory(create=True, size=max(len(payload), 1))
+
+
+def fan_out(chunks):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(bad_worker_task, chunk) for chunk in chunks]
+        futures += [pool.submit(good_worker_task, chunk) for chunk in chunks]
+        return [f.result() for f in futures]

@@ -17,9 +17,14 @@ isolated helpers (:mod:`repro.resources.lint`,
   to per-register overflow horizons and the minimal safe unit shift;
 - a P4-source pass (:mod:`repro.analysis.p4source`): declared-vs-required
   register widths and inexpressible operators in emitted P4-16;
-- binding-table consistency rules (:mod:`repro.analysis.bindings`); and
+- binding-table consistency rules (:mod:`repro.analysis.bindings`);
 - deployment-file analysis (:mod:`repro.analysis.deployment`) tying the
-  passes together over a JSON deployment description.
+  passes together over a JSON deployment description; and
+- a concurrency-exactness pass (:mod:`repro.analysis.concurrency`,
+  ``ST5xx``, opt-in via ``repro lint --concurrency``): kernel-shape
+  classification (merge-exact / replay-exact / order-dependent) deriving
+  the parallel fan-out eligibility table, plus a shared-state race lint
+  over the parallel/shm layer.
 
 :func:`analyze_target` dispatches on what it is given (deployment config,
 P4 source, Python file, directory, or dotted module name); the ``repro
@@ -32,6 +37,23 @@ import os
 from typing import List, Optional, Tuple
 
 from repro.analysis.bindings import check_bindings, check_ewma
+from repro.analysis.concurrency import (
+    Classification,
+    Effect,
+    KernelShape,
+    audit_spec_fields,
+    check_eligibility,
+    check_kernel_file,
+    check_shared_state_file,
+    check_shared_state_source,
+    classification_report,
+    classify,
+    derive_eligibility_table,
+    enumerate_shapes,
+    kernel_effects,
+    kernel_table_diagnostics,
+    shape_key_of_spec,
+)
 from repro.analysis.dataflow import (
     OverflowBound,
     analyze_overflow,
@@ -87,24 +109,54 @@ __all__ = [
     "format_text",
     "format_json",
     "sort_diagnostics",
+    "Classification",
+    "Effect",
+    "KernelShape",
+    "audit_spec_fields",
+    "check_eligibility",
+    "check_kernel_file",
+    "check_shared_state_file",
+    "check_shared_state_source",
+    "classification_report",
+    "classify",
+    "derive_eligibility_table",
+    "enumerate_shapes",
+    "kernel_effects",
+    "kernel_table_diagnostics",
+    "shape_key_of_spec",
 ]
 
 
+def _concurrency_file_checks(path: str) -> List[Diagnostic]:
+    """The per-file half of ``--concurrency``: kernel pragmas + race lint.
+
+    Runs on every ``.py`` file, including ``# p4-ok-file``-pragma'd ones —
+    that pragma opts a *host-side* module out of the P4-expressibility
+    walk, and the parallel layer's modules are exactly the host-side ones
+    this pass exists to check.
+    """
+    return check_kernel_file(path) + check_shared_state_file(path)
+
+
 def analyze_target(
-    target: str, max_value: Optional[int] = None
+    target: str, max_value: Optional[int] = None, concurrency: bool = False
 ) -> Tuple[List[Diagnostic], bool]:
     """Analyze one CLI target; returns ``(diagnostics, resolved)``.
 
     ``resolved`` is False when the target could not be interpreted at all
     (missing file, unimportable module) — the CLI turns that into exit
     code 2 rather than a clean report.
+
+    ``concurrency=True`` adds the ST5xx pass: per-binding kernel-shape
+    records for deployment configs, and the ``# parallel-mode:`` kernel
+    check plus the shared-state race lint for Python files/directories.
     """
     if target.endswith(".json"):
         if not os.path.exists(target):
             return [], False
         spec, diags = load_deployment(target)
         if spec is not None:
-            diags = diags + analyze_deployment(spec)
+            diags = diags + analyze_deployment(spec, concurrency=concurrency)
         return diags, True
     if target.endswith(".p4"):
         if not os.path.exists(target):
@@ -115,9 +167,20 @@ def analyze_target(
     if target.endswith(".py"):
         if not os.path.exists(target):
             return [], False
-        return scan_file(target), True
+        diags = scan_file(target)
+        if concurrency:
+            diags = diags + _concurrency_file_checks(target)
+        return diags, True
     if os.path.isdir(target):
-        return scan_package_dir(target), True
+        diags = scan_package_dir(target)
+        if concurrency:
+            for dirpath, _dirnames, filenames in sorted(os.walk(target)):
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        diags = diags + _concurrency_file_checks(
+                            os.path.join(dirpath, filename)
+                        )
+        return diags, True
     try:
         return scan_module(target), True
     except (ImportError, ValueError, OSError):

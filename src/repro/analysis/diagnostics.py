@@ -11,7 +11,9 @@ Code blocks:
 - ``ST40x`` — P4 expressibility (the Sec. 2 division-free arithmetic);
 - ``ST41x`` — register widths and overflow horizons (Sec. 2 units trick);
 - ``ST42x`` — binding-table / deployment consistency (Sec. 3 tables);
-- ``ST43x`` — malformed deployment descriptions.
+- ``ST43x`` — malformed deployment descriptions;
+- ``ST50x`` — concurrency exactness of the parallel ingest layer
+  (:mod:`repro.analysis.concurrency`).
 """
 
 from __future__ import annotations
@@ -110,6 +112,27 @@ RULES: Dict[str, Rule] = {
         # -- deployment descriptions (ST43x) --------------------------------
         _rule("ST430", Severity.ERROR, "invalid deployment description",
               "Sec. 3: the config macros themselves must be well-formed"),
+        # -- concurrency exactness (ST50x) ----------------------------------
+        _rule("ST500", Severity.ERROR, "fan-out eligibility drift",
+              "parallel exactness: declared fan-out table must match the "
+              "dataflow-derived one"),
+        _rule("ST501", Severity.INFO, "kernel shape classified",
+              "parallel exactness: merge/replay/serial verdict per kernel "
+              "shape, on record"),
+        _rule("ST502", Severity.ERROR, "kernel declares unproven fan-out",
+              "parallel exactness: a '# parallel-mode:' claim exceeds what "
+              "the dataflow proves"),
+        _rule("ST503", Severity.ERROR, "unguarded shared-state mutation",
+              "parallel exactness: worker-reachable module state must hold "
+              "its lock"),
+        _rule("ST504", Severity.ERROR, "spec field outside shape projection",
+              "parallel exactness: every TrackSpec field is shape-relevant "
+              "or audited irrelevant"),
+        _rule("ST505", Severity.ERROR, "shared segment bypasses registry",
+              "parallel exactness: segment creation must register for the "
+              "crash sweep"),
+        _rule("ST506", Severity.INFO, "suppressed race finding",
+              "documented exceptions carry a '# race-ok' pragma"),
     )
 }
 

@@ -8,7 +8,7 @@ CI diffs stay readable.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.diagnostics import Diagnostic, Severity
 
@@ -52,9 +52,15 @@ def format_text(
 
 
 def format_json(
-    targets: Sequence[Tuple[str, Sequence[Diagnostic]]]
+    targets: Sequence[Tuple[str, Sequence[Diagnostic]]],
+    extra: Optional[Mapping[str, object]] = None,
 ) -> str:
-    """Stable JSON report (the golden-tested form)."""
+    """Stable JSON report (the golden-tested form).
+
+    ``extra`` merges additional top-level keys into the payload — the
+    ``--concurrency`` run attaches the derived/declared eligibility
+    tables this way, without disturbing the golden keys.
+    """
     combined: List[Diagnostic] = []
     rendered = []
     for target, diagnostics in targets:
@@ -68,9 +74,11 @@ def format_json(
                 "summary": severity_counts(diagnostics),
             }
         )
-    payload: Mapping[str, object] = {
+    payload: Dict[str, object] = {
         "version": 1,
         "targets": rendered,
         "summary": severity_counts(combined),
     }
+    if extra:
+        payload.update(extra)
     return json.dumps(payload, indent=2, sort_keys=False)

@@ -97,7 +97,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="static analysis: expressibility, widths, binding tables (ST4xx)",
+        help=(
+            "static analysis: expressibility, widths, binding tables "
+            "(ST4xx), concurrency exactness (--concurrency, ST5xx)"
+        ),
     )
     lint.add_argument(
         "targets",
@@ -123,6 +126,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--rules", action="store_true", help="print the rule index and exit"
+    )
+    lint.add_argument(
+        "--concurrency",
+        action="store_true",
+        help=(
+            "add the ST5xx concurrency-exactness pass: kernel-shape "
+            "classification, fan-out eligibility drift, shared-state races"
+        ),
     )
 
     bench = sub.add_parser(
@@ -397,14 +408,33 @@ def _cmd_lint(args) -> int:
     reports = []
     unresolved = []
     for target in args.targets:
-        diagnostics, resolved = analyze_target(target, max_value=args.max_value)
+        diagnostics, resolved = analyze_target(
+            target, max_value=args.max_value, concurrency=args.concurrency
+        )
         if not resolved:
             unresolved.append(target)
             continue
         reports.append((target, diagnostics))
 
+    extra = None
+    if args.concurrency:
+        # The global kernel-table gate runs once per invocation, not per
+        # target: classify every shape, diff declared vs derived (ST500),
+        # and audit the TrackSpec fields (ST504).
+        from repro.analysis import kernel_table_diagnostics
+        from repro.analysis.concurrency import derive_eligibility_table
+        from repro.stat4.parallel import DECLARED_ELIGIBILITY
+
+        reports.append(("<kernel-table>", kernel_table_diagnostics()))
+        extra = {
+            "concurrency": {
+                "eligibility": derive_eligibility_table(),
+                "declared": dict(DECLARED_ELIGIBILITY),
+            }
+        }
+
     if args.json:
-        print(format_json(reports))
+        print(format_json(reports, extra=extra))
     else:
         print(format_text(reports))
     for target in unresolved:

@@ -1,21 +1,17 @@
-"""Static analysis: resource footprints and P4-expressibility linting."""
+"""Static analysis: resource footprints and P4-expressibility linting.
 
-from repro.resources.lint import (
-    LintViolation,
-    assert_p4_expressible,
-    lint_module,
-    lint_source,
-)
+The lint/overflow halves of this package are deprecated compatibility
+shims over :mod:`repro.analysis` (they warn on import and will be removed
+in a later revision); their names are re-exported lazily here so that
+``import repro.resources`` for the still-canonical resource model does
+not trigger the deprecation warnings.
+"""
+
 from repro.resources.model import (
     ResourceReport,
     TableCost,
     analyze_program,
     table_entry_bytes,
-)
-from repro.resources.overflow import (
-    OverflowBound,
-    analyze_overflow,
-    safe_unit_shift,
 )
 
 __all__ = [
@@ -31,3 +27,25 @@ __all__ = [
     "analyze_overflow",
     "safe_unit_shift",
 ]
+
+_LINT_NAMES = {
+    "LintViolation",
+    "assert_p4_expressible",
+    "lint_module",
+    "lint_source",
+}
+_OVERFLOW_NAMES = {"OverflowBound", "analyze_overflow", "safe_unit_shift"}
+
+
+def __getattr__(name: str):
+    # PEP 562: defer the deprecated shims until something actually asks
+    # for one of their names (the shim module itself then warns).
+    if name in _LINT_NAMES:
+        from repro.resources import lint
+
+        return getattr(lint, name)
+    if name in _OVERFLOW_NAMES:
+        from repro.resources import overflow
+
+        return getattr(overflow, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -17,12 +17,21 @@ analyzer's error-severity diagnostics re-shaped.  Lines suppressed with a
 from __future__ import annotations
 
 import inspect
+import warnings
 from dataclasses import dataclass
 from types import ModuleType
 from typing import List, Union
 
 from repro.analysis.diagnostics import Severity
 from repro.analysis.expressibility import scan_source
+
+warnings.warn(
+    "repro.resources.lint is a compatibility shim scheduled for removal; "
+    "use repro.analysis (scan_source/scan_module and the ST4xx "
+    "diagnostics) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["LintViolation", "lint_source", "lint_module", "assert_p4_expressible"]
 

@@ -10,10 +10,19 @@ surface for callers that want the raw numbers.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.analysis.dataflow import (
     OverflowBound,
     analyze_overflow,
     safe_unit_shift,
+)
+
+warnings.warn(
+    "repro.resources.overflow is a compatibility shim scheduled for "
+    "removal; use repro.analysis.dataflow instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = ["OverflowBound", "analyze_overflow", "safe_unit_shift"]

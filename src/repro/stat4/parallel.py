@@ -88,6 +88,14 @@ stay serial: ``_sync_percentile`` reads ``reg_pos`` per packet and
 interleaves percentile-move digests with k·σ digests order-dependently,
 so no per-chunk summary can reconstruct the stream.
 
+Since the concurrency analyzer landed, this argument is *checked*, not
+just written down: :data:`DECLARED_ELIGIBILITY` below is the table the
+argument claims, but :meth:`ParallelBatchEngine._fan_out_mode` consumes
+the table :func:`repro.analysis.concurrency.derive_eligibility_table`
+derives from the kernel ASTs.  The first fan-out decision cross-checks
+the two and refuses to run on drift (the ST500 rule; ``repro lint
+--concurrency`` reports the disagreement in full).
+
 ``tests/stat4/test_parallel_differential.py`` proves scalar vs threads vs
 shared-memory processes bit-identical — registers, digest order, alert
 counts — for every ``DistributionKind`` on both backends.
@@ -108,7 +116,7 @@ from repro.stat4.batch import (
     _DigestSink,
     _Event,
 )
-from repro.stat4.distributions import DistributionKind, TrackSpec
+from repro.stat4.distributions import TrackSpec
 from repro.stat4.library import Stat4
 from repro.traffic.columns import (
     ColumnDescriptor,
@@ -125,12 +133,63 @@ except ImportError:  # pragma: no cover
     _np = None
 
 __all__ = [
+    "DECLARED_ELIGIBILITY",
     "ParallelBatchEngine",
     "split_batch",
     "shutdown_pools",
 ]
 
 _EXECUTOR_KINDS = ("auto", "thread", "process", "serial")
+
+#: The fan-out table the exactness argument above claims, keyed by kernel
+#: shape (:func:`repro.analysis.concurrency.shape_key_of_spec`); values
+#: are the fan-out mode or ``None`` for serial.  The engine does NOT
+#: consume this table directly — ``_fan_out_mode`` consumes the table the
+#: concurrency analyzer derives from the kernel ASTs, and the first
+#: fan-out decision raises if the two disagree (rule ST500).  This
+#: declaration exists so a kernel change that silently shifts a verdict
+#: is an ERROR, not a silent behavior change.
+DECLARED_ELIGIBILITY: Dict[str, Optional[str]] = {
+    "frequency": "tally",
+    "frequency+alerting": "alerting",
+    "frequency+tracked": "tracked",
+    "frequency+tracked+alerting": None,
+    "frequency+tracked+percentile_alert": None,
+    "frequency+tracked+alerting+percentile_alert": None,
+    "time_series": None,
+    "time_series+alerting": None,
+    "sparse_frequency": None,
+    "sparse_frequency+alerting": None,
+}
+
+#: Lazily resolved ``(derived_table, shape_key_of_spec)`` pair; populated
+#: (and cross-checked against the declaration) on the first fan-out
+#: decision so importing this module never pulls in the analyzer.
+_ELIGIBILITY: Optional[Tuple[Dict[str, Optional[str]], Any]] = None
+
+
+def _eligibility() -> Tuple[Dict[str, Optional[str]], Any]:
+    global _ELIGIBILITY
+    if _ELIGIBILITY is None:
+        from repro.analysis.concurrency import (
+            derive_eligibility_table,
+            shape_key_of_spec,
+        )
+
+        derived = derive_eligibility_table()
+        if derived != DECLARED_ELIGIBILITY:
+            drift = sorted(
+                key
+                for key in set(derived) | set(DECLARED_ELIGIBILITY)
+                if derived.get(key) != DECLARED_ELIGIBILITY.get(key)
+            )
+            raise RuntimeError(
+                "parallel fan-out eligibility drift: the dataflow-derived "
+                f"table disagrees with DECLARED_ELIGIBILITY on {drift}; "
+                "run `repro lint --concurrency` for the ST500 report"
+            )
+        _ELIGIBILITY = (derived, shape_key_of_spec)
+    return _ELIGIBILITY
 
 #: Live executors, keyed by (kind, workers).  Worker pools are expensive to
 #: start (especially process pools); one bench run reuses them across
@@ -351,27 +410,27 @@ class ParallelBatchEngine(BatchEngine):
     def _fan_out_mode(spec: TrackSpec) -> Optional[str]:
         """Classify how a run's work distributes (see the module docstring).
 
+        Consumes the analyzer-derived eligibility table: the spec is
+        projected onto its kernel shape (every shape field read
+        symmetrically — ``kind``, tracker presence, ``k_sigma``,
+        ``percentile_alert``) and looked up in the table the dataflow
+        pass derived from the kernel ASTs, cross-checked once against
+        :data:`DECLARED_ELIGIBILITY`.
+
         Spec-only on purpose: deciding from the spec (a tracker exists iff
         ``spec.percent`` is set) means no ``_state_for`` call during the
         submit phase, so slot repurposing still happens in apply order.
 
         Returns:
-            ``"tally"`` — dense frequency, no tracker, no k·σ: merge-only.
-            ``"tracked"`` — tracker, no k·σ, no percentile alert: merge
+            ``"tally"`` — merge-exact: merge-only.
+            ``"tracked"`` — replay-exact via the tracker stream: merge
             plus a serial tracker replay.
-            ``"alerting"`` — k·σ, no tracker: merge plus a serial alert
-            replay with per-chunk gate folding.
-            ``None`` — order-dependent beyond repair (combined
-            tracked+alerting, percentile alerts, non-dense kinds): run
-            the serial kernels.
+            ``"alerting"`` — replay-exact via the alert stream: merge
+            plus a serial alert replay with per-chunk gate folding.
+            ``None`` — order-dependent: run the serial kernels.
         """
-        if spec.kind is not DistributionKind.FREQUENCY:
-            return None
-        if spec.percent is None:
-            return "tally" if spec.k_sigma <= 0 else "alerting"
-        if spec.k_sigma <= 0 and not spec.percentile_alert:
-            return "tracked"
-        return None
+        table, shape_key_of_spec = _eligibility()
+        return table.get(shape_key_of_spec(spec))
 
     @staticmethod
     def _fan_out_eligible(spec: TrackSpec) -> bool:

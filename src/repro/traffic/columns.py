@@ -325,7 +325,7 @@ class AttachedColumn:
         self.close()
 
 
-def attach_column(descriptor: ColumnDescriptor) -> AttachedColumn:
+def attach_column(descriptor: ColumnDescriptor) -> AttachedColumn:  # worker-context
     """Map a shared column by descriptor (worker side of the fan-out)."""
 
     return AttachedColumn(descriptor)
@@ -353,11 +353,11 @@ def _attach_untracked(shared_memory: Any, name: str) -> Any:
     from multiprocessing import resource_tracker
 
     original = resource_tracker.register
-    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore  # race-ok: pool workers are single-threaded
     try:
         return shared_memory.SharedMemory(name=name)
     finally:
-        resource_tracker.register = original
+        resource_tracker.register = original  # race-ok: restores the swap above
 
 
 # --- segment registry + crash-safe cleanup ---------------------------------
