@@ -12,10 +12,16 @@ against committed floors in ``benchmarks/baseline.json`` — see
 
 from repro.bench.compare import (
     ComparisonRow,
+    ScenarioComparisonRow,
     compare_reports,
+    compare_scenario_reports,
     format_delta_markdown,
     format_delta_table,
+    format_scenario_delta_markdown,
+    format_scenario_delta_table,
     load_baseline,
+    load_scenario_baseline,
+    warning_annotations,
 )
 from repro.bench.history import (
     DEFAULT_HISTORY_DIR,
@@ -30,22 +36,32 @@ from repro.bench.history import (
     suggest_floor_bumps,
 )
 from repro.bench.suite import (
+    SCENARIO_SCHEMA,
     SCHEMA_VERSION,
     format_report,
+    format_scenario_table,
     run_suite,
     write_report,
 )
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SCENARIO_SCHEMA",
     "run_suite",
     "write_report",
     "format_report",
+    "format_scenario_table",
     "compare_reports",
     "format_delta_table",
     "format_delta_markdown",
     "load_baseline",
     "ComparisonRow",
+    "ScenarioComparisonRow",
+    "compare_scenario_reports",
+    "format_scenario_delta_table",
+    "format_scenario_delta_markdown",
+    "load_scenario_baseline",
+    "warning_annotations",
     "HISTORY_SCHEMA",
     "DEFAULT_HISTORY_DIR",
     "append_history",

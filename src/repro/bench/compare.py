@@ -22,14 +22,32 @@ from typing import Any, Dict, List, Optional
 
 __all__ = [
     "BASELINE_SCHEMA",
+    "SCENARIO_BASELINE_SCHEMA",
     "ComparisonRow",
+    "ScenarioComparisonRow",
     "load_baseline",
+    "load_scenario_baseline",
     "compare_reports",
+    "compare_scenario_reports",
     "format_delta_table",
     "format_delta_markdown",
+    "format_scenario_delta_table",
+    "format_scenario_delta_markdown",
+    "warning_annotations",
 ]
 
 BASELINE_SCHEMA = "repro-bench-baseline/1"
+SCENARIO_BASELINE_SCHEMA = "repro-scenario-baseline/1"
+
+#: Scenario quality metrics: (row key, floor key, direction).  ``min_*``
+#: floors require current >= floor, the ``max_*`` ceiling requires
+#: current <= ceiling (detection latency: lower is better).
+_SCENARIO_METRICS = (
+    ("precision", "min_precision", "min"),
+    ("recall", "min_recall", "min"),
+    ("f1", "min_f1", "min"),
+    ("latency_intervals", "max_latency_intervals", "max"),
+)
 
 
 @dataclass
@@ -61,6 +79,46 @@ class ComparisonRow:
         if self.current is None or self.baseline is None or self.baseline <= 0:
             return None
         return (self.current - self.baseline) / self.baseline * 100.0
+
+    @property
+    def label(self) -> str:
+        """Identifier used in summaries and CI annotations."""
+        return f"{self.kernel}/{self.backend}"
+
+
+@dataclass
+class ScenarioComparisonRow:
+    """One (scenario, engine, metric) checked against its committed floor.
+
+    Quality scores are bit-deterministic (fixed traces, fixed seeds), so
+    unlike speedup floors these are compared exactly — no tolerance band.
+
+    Attributes:
+        scenario: scenario name from the catalog.
+        engine: replay engine the row was measured under.
+        metric: row metric name (``precision``/``recall``/``f1``/
+            ``latency_intervals``).
+        baseline: the committed floor (ceiling for latency); None on WARN
+            rows for scenarios without any committed floors.
+        current: the measured value; None when the scenario was not
+            replayed (a FAIL) or latency is undefined (nothing detected —
+            also a FAIL when a ceiling is committed).
+        regressed: the floor/ceiling was violated.
+        missing_floor: measured but not gated by the baseline.
+    """
+
+    scenario: str
+    engine: str
+    metric: str
+    baseline: Optional[float]
+    current: Optional[float]
+    regressed: bool
+    missing_floor: bool = False
+
+    @property
+    def label(self) -> str:
+        """Identifier used in summaries and CI annotations."""
+        return f"{self.scenario}[{self.engine}]"
 
 
 def load_baseline(path: str) -> Dict[str, Any]:
@@ -135,6 +193,106 @@ def compare_reports(
                     backend=backend,
                     baseline=None,
                     current=float(measured[kernel][backend]),
+                    regressed=False,
+                    missing_floor=True,
+                )
+            )
+    return rows
+
+
+def load_scenario_baseline(path: str) -> Dict[str, Any]:
+    """Read and sanity-check committed scenario quality floors."""
+    with open(path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    if baseline.get("schema") != SCENARIO_BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: unknown baseline schema {baseline.get('schema')!r} "
+            f"(expected {SCENARIO_BASELINE_SCHEMA!r})"
+        )
+    if not isinstance(baseline.get("floors"), dict):
+        raise ValueError(f"{path}: baseline has no 'floors' mapping")
+    return baseline
+
+
+def compare_scenario_reports(
+    report: Dict[str, Any],
+    baseline: Dict[str, Any],
+) -> List[ScenarioComparisonRow]:
+    """Check a report's scenario leaderboard against committed floors.
+
+    Mirrors :func:`compare_reports` in both directions: a committed floor
+    with no measured row is a FAIL (the scenario silently dropped out of
+    the suite), and a measured scenario with no committed floors is a WARN
+    row — quality is only actually gated once a floor lands in
+    ``benchmarks/scenario_baseline.json``.
+
+    Floors apply per scenario, to *every* engine the report replayed —
+    scalar and parallel paths must both clear them.
+    """
+    section = report.get("scenarios") or {}
+    measured: Dict[str, Dict[str, Dict[str, Any]]] = {}
+    for row in section.get("rows", []):
+        measured.setdefault(row["scenario"], {})[row["engine"]] = row
+    floors = baseline["floors"]
+    rows: List[ScenarioComparisonRow] = []
+    engines = sorted({engine for by_engine in measured.values() for engine in by_engine})
+    for scenario in sorted(floors):
+        scenario_floors = floors[scenario]
+        by_engine = measured.get(scenario, {})
+        if not by_engine:
+            # Committed floor, nothing measured: the scenario fell out of
+            # the suite — fail every metric the floor gates.
+            for _, floor_key, _ in _SCENARIO_METRICS:
+                if floor_key not in scenario_floors:
+                    continue
+                for engine in engines or ["scalar"]:
+                    rows.append(
+                        ScenarioComparisonRow(
+                            scenario=scenario,
+                            engine=engine,
+                            metric=floor_key,
+                            baseline=float(scenario_floors[floor_key]),
+                            current=None,
+                            regressed=True,
+                        )
+                    )
+            continue
+        for engine in sorted(by_engine):
+            row = by_engine[engine]
+            for metric, floor_key, direction in _SCENARIO_METRICS:
+                if floor_key not in scenario_floors:
+                    continue
+                floor = float(scenario_floors[floor_key])
+                current = row.get(metric)
+                if current is None:
+                    # Undefined latency = nothing detected; with a
+                    # committed ceiling that is a regression.
+                    regressed = True
+                elif direction == "min":
+                    regressed = float(current) < floor
+                else:
+                    regressed = float(current) > floor
+                rows.append(
+                    ScenarioComparisonRow(
+                        scenario=scenario,
+                        engine=engine,
+                        metric=metric,
+                        baseline=floor,
+                        current=None if current is None else float(current),
+                        regressed=regressed,
+                    )
+                )
+    for scenario in sorted(measured):
+        if scenario in floors:
+            continue
+        for engine in sorted(measured[scenario]):
+            rows.append(
+                ScenarioComparisonRow(
+                    scenario=scenario,
+                    engine=engine,
+                    metric="f1",
+                    baseline=None,
+                    current=float(measured[scenario][engine]["f1"]),
                     regressed=False,
                     missing_floor=True,
                 )
@@ -221,3 +379,98 @@ def format_delta_markdown(rows: List[ComparisonRow], tolerance: float = 0.2) -> 
     lines.append("")
     lines.extend(_summary_lines(rows))
     return "\n".join(lines)
+
+
+# -- scenario quality comparison ------------------------------------------------
+
+
+def _scenario_verdict(row: ScenarioComparisonRow) -> str:
+    if row.missing_floor:
+        return "WARN (no quality floor)"
+    if row.current is None and row.regressed:
+        return "FAIL (not measured)"
+    return "FAIL" if row.regressed else "ok"
+
+
+def _scenario_summary_lines(rows: List[ScenarioComparisonRow]) -> List[str]:
+    failed = sum(1 for row in rows if row.regressed)
+    lines = [
+        "scenario-smoke: "
+        + (
+            f"{failed} quality regression(s) detected"
+            if failed
+            else "no quality regressions"
+        )
+    ]
+    unbaselined = sorted({row.label for row in rows if row.missing_floor})
+    if unbaselined:
+        lines.append(
+            "scenario-smoke: scored but missing a committed quality floor "
+            "(not gated): " + ", ".join(unbaselined)
+        )
+    return lines
+
+
+def _scenario_value(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.3f}"
+
+
+def format_scenario_delta_table(rows: List[ScenarioComparisonRow]) -> str:
+    """The per-scenario quality table the scenario-smoke job prints."""
+    lines = [
+        "scenario-smoke: quality floors (exact — scores are deterministic)",
+        f"{'scenario':<18} {'engine':<9} {'metric':<18} {'floor':>7} "
+        f"{'current':>8}  verdict",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.scenario:<18} {row.engine:<9} {row.metric:<18} "
+            f"{_scenario_value(row.baseline):>7} "
+            f"{_scenario_value(row.current):>8}  {_scenario_verdict(row)}"
+        )
+    lines.extend(_scenario_summary_lines(rows))
+    return "\n".join(lines)
+
+
+def format_scenario_delta_markdown(rows: List[ScenarioComparisonRow]) -> str:
+    """The scenario quality table as GitHub-flavored markdown."""
+    lines = [
+        "### scenario-smoke: detection quality floors",
+        "",
+        "| scenario | engine | metric | floor | current | verdict |",
+        "| --- | --- | --- | ---: | ---: | --- |",
+    ]
+    for row in rows:
+        verdict = _scenario_verdict(row)
+        if row.missing_floor:
+            verdict = "⚠️ " + verdict
+        elif row.regressed:
+            verdict = "❌ " + verdict
+        else:
+            verdict = "✅ " + verdict
+        lines.append(
+            f"| `{row.scenario}` | {row.engine} | {row.metric} | "
+            f"{_scenario_value(row.baseline)} | {_scenario_value(row.current)} | "
+            f"{verdict} |"
+        )
+    lines.append("")
+    lines.extend(_scenario_summary_lines(rows))
+    return "\n".join(lines)
+
+
+def warning_annotations(rows: List[Any], job: str) -> List[str]:
+    """GitHub Actions ``::warning::`` lines for missing-floor WARN rows.
+
+    Works for both perf (:class:`ComparisonRow`) and scenario
+    (:class:`ScenarioComparisonRow`) comparisons — anything with ``label``
+    and ``missing_floor``.  The CLI prints these when running under CI so
+    silent baseline gaps surface in the PR checks UI, not just in a table
+    nobody scrolls to.
+    """
+    labels = sorted({row.label for row in rows if row.missing_floor})
+    return [
+        f"::warning title={job}: missing committed floor::"
+        f"{label} is measured but has no committed floor — add it to the "
+        "baseline so it is actually gated"
+        for label in labels
+    ]

@@ -59,7 +59,10 @@ def append_history(
     Returns the path of the written ``BENCH_<rev>.json``.
     """
     os.makedirs(history_dir, exist_ok=True)
-    revision = report["revision"]
+    # The suite guarantees a non-empty revision (the "unknown" sentinel at
+    # worst); keep a belt-and-braces fallback so a hand-built report can
+    # never index under an empty key or write "BENCH_.json".
+    revision = report.get("revision") or "unknown"
     filename = f"BENCH_{revision}.json"
     report_path = os.path.join(history_dir, filename)
     with open(report_path, "w", encoding="utf-8") as handle:
@@ -74,6 +77,7 @@ def append_history(
         "numpy": report.get("numpy"),
         "speedups": report.get("speedups", {}),
         "shipping": report.get("shipping"),
+        "scenarios": _scenario_summary(report),
     }
     runs: List[Dict[str, Any]] = index["runs"]
     for position, run in enumerate(runs):
@@ -86,6 +90,19 @@ def append_history(
         json.dump(index, handle, indent=2)
         handle.write("\n")
     return report_path
+
+
+def _scenario_summary(
+    report: Dict[str, Any]
+) -> Optional[Dict[str, Dict[str, float]]]:
+    """``scenario -> engine -> f1`` from a report (None when none ran)."""
+    section = report.get("scenarios")
+    if not section or not section.get("rows"):
+        return None
+    summary: Dict[str, Dict[str, float]] = {}
+    for row in section["rows"]:
+        summary.setdefault(row["scenario"], {})[row["engine"]] = row["f1"]
+    return summary
 
 
 def previous_report(
@@ -163,6 +180,22 @@ def format_trend(current: Dict[str, Any], previous: Dict[str, Any]) -> str:
                 f"  {shards} shard(s): {merge_before[shards]['merge_seconds']:.4f}"
                 f" -> {merge_now[shards]['merge_seconds']:.4f}"
             )
+    scen_now = _scenario_summary(current)
+    scen_before = _scenario_summary(previous)
+    if scen_now and scen_before:
+        shared_scenarios = sorted(set(scen_now) & set(scen_before))
+        if shared_scenarios:
+            lines.append("scenario detection quality (F1):")
+            for scenario in shared_scenarios:
+                engines = sorted(
+                    set(scen_now[scenario]) & set(scen_before[scenario])
+                )
+                for engine in engines:
+                    lines.append(
+                        f"  {scenario} [{engine}]: "
+                        f"{scen_before[scenario][engine]:.3f}"
+                        f" -> {scen_now[scenario][engine]:.3f}"
+                    )
     return "\n".join(lines)
 
 

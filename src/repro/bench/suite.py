@@ -42,6 +42,7 @@ the ``speedups`` section against committed floors, never the absolute pps
 from __future__ import annotations
 
 import json
+import os
 import platform
 import subprocess
 import time
@@ -58,9 +59,17 @@ from repro.stat4.library import Stat4
 from repro.stat4.runtime import Stat4Runtime
 from repro.traffic.builders import udp_to
 
-__all__ = ["SCHEMA_VERSION", "run_suite", "write_report", "format_report"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "SCENARIO_SCHEMA",
+    "run_suite",
+    "write_report",
+    "format_report",
+    "format_scenario_table",
+]
 
 SCHEMA_VERSION = "repro-bench/1"
+SCENARIO_SCHEMA = "repro-scenarios/1"
 
 #: (packets per kernel, timing repeats) per profile.
 _FULL_PROFILE = (20_000, 3)
@@ -68,6 +77,14 @@ _QUICK_PROFILE = (4_000, 2)
 
 
 def _revision() -> str:
+    """Short git revision of *this checkout*, or the ``"unknown"`` sentinel.
+
+    Anchored to the package directory (not the caller's cwd) so running the
+    bench from inside an unrelated git repository cannot stamp that repo's
+    revision onto the report — history indexing keys on this value and must
+    never see an empty or foreign string.
+    """
+    anchor = os.path.dirname(os.path.abspath(__file__))
     try:
         out = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
@@ -75,6 +92,7 @@ def _revision() -> str:
             text=True,
             timeout=10,
             check=False,
+            cwd=anchor,
         )
         rev = out.stdout.strip()
         return rev if out.returncode == 0 and rev else "unknown"
@@ -572,6 +590,31 @@ def _speedups(kernels: List[Dict[str, Any]]) -> Dict[str, Dict[str, float]]:
     return speedups
 
 
+def _run_scenarios(
+    backend: str, workers: int, scenario_engine: str
+) -> Dict[str, Any]:
+    """The adversarial quality leaderboard (``repro bench --scenarios``).
+
+    Scenario sizes are fixed by the catalog — never scaled by ``--quick``
+    — so every row is bit-deterministic and the committed floors in
+    ``benchmarks/scenario_baseline.json`` can be exact.
+    """
+    from repro.scenarios import ENGINES, run_scenario_suite
+
+    engines = list(ENGINES) if scenario_engine == "both" else [scenario_engine]
+    rows: List[Dict[str, Any]] = []
+    for engine in engines:
+        rows.extend(
+            run_scenario_suite(engine=engine, backend=backend, workers=workers)
+        )
+    return {
+        "schema": SCENARIO_SCHEMA,
+        "engines": engines,
+        "workers": workers,
+        "rows": rows,
+    }
+
+
 def run_suite(
     quick: bool = False,
     backend: str = "auto",
@@ -580,6 +623,9 @@ def run_suite(
     repeats: Optional[int] = None,
     workers: int = 4,
     pool: str = "thread",
+    scenarios: bool = False,
+    scenarios_only: bool = False,
+    scenario_engine: str = "scalar",
 ) -> Dict[str, Any]:
     """Run the full suite; returns the report as a plain dict.
 
@@ -597,9 +643,22 @@ def run_suite(
             (``repro bench --pool``, ``"thread"`` or ``"process"``);
             ``shm_parallel_mean_variance`` always runs on the process
             pool, so a thread-pool run still measures the zero-copy path.
+        scenarios: also run the labeled adversarial scenario suite and
+            attach its quality leaderboard under ``report["scenarios"]``.
+        scenarios_only: skip the perf kernels entirely — the scenario CI
+            job wants quality rows without paying for timing runs.
+        scenario_engine: replay path for the scenario rows — ``"scalar"``,
+            ``"parallel"`` (process pool + shared-memory columns), or
+            ``"both"``.
     """
     if pool not in ("thread", "process"):
         raise ValueError(f"unknown pool {pool!r}; pick 'thread' or 'process'")
+    if scenario_engine not in ("scalar", "parallel", "both"):
+        raise ValueError(
+            f"unknown scenario engine {scenario_engine!r}; "
+            "pick 'scalar', 'parallel' or 'both'"
+        )
+    run_scenario_rows = scenarios or scenarios_only
     profile_packets, profile_repeats = _QUICK_PROFILE if quick else _FULL_PROFILE
     n = packets if packets is not None else profile_packets
     reps = repeats if repeats is not None else profile_repeats
@@ -607,11 +666,14 @@ def run_suite(
         backends = ["numpy", "python"] if HAS_NUMPY else ["python"]
     else:
         backends = [resolve_backend(backend)]
-    kernels = _time_stat4_kernels(n, reps, backends)
-    kernels.extend(_time_ewma(n, reps, backends))
-    kernels.extend(_time_cluster_kernels(n, reps, backends))
-    kernels.extend(_time_parallel_kernels(n, reps, backends, workers, pool))
-    kernels.extend(_time_shm_parallel_kernels(n, reps, backends, workers))
+    if scenarios_only:
+        kernels: List[Dict[str, Any]] = []
+    else:
+        kernels = _time_stat4_kernels(n, reps, backends)
+        kernels.extend(_time_ewma(n, reps, backends))
+        kernels.extend(_time_cluster_kernels(n, reps, backends))
+        kernels.extend(_time_parallel_kernels(n, reps, backends, workers, pool))
+        kernels.extend(_time_shm_parallel_kernels(n, reps, backends, workers))
     report: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "revision": _revision(),
@@ -621,11 +683,19 @@ def run_suite(
         "workers": workers,
         "pool": pool,
         "kernels": kernels,
-        "experiments": [] if skip_experiments else _time_experiments(quick),
-        "cluster": _time_cluster_scaling(n, reps, backends[0]),
-        "shipping": _measure_shipping(n, backends[0], workers),
+        "experiments": (
+            []
+            if skip_experiments or scenarios_only
+            else _time_experiments(quick)
+        ),
+        "cluster": [] if scenarios_only else _time_cluster_scaling(n, reps, backends[0]),
+        "shipping": None if scenarios_only else _measure_shipping(n, backends[0], workers),
         "speedups": _speedups(kernels),
     }
+    if run_scenario_rows:
+        report["scenarios"] = _run_scenarios(
+            backends[0], workers, scenario_engine
+        )
     return report
 
 
@@ -700,4 +770,34 @@ def format_report(report: Dict[str, Any]) -> str:
         lines.append("experiments:")
         for row in report["experiments"]:
             lines.append(f"  {row['name']:<28} {row['seconds']:.2f}s")
+    scenario_section = format_scenario_table(report)
+    if scenario_section:
+        lines.append("")
+        lines.append(scenario_section)
+    return "\n".join(lines)
+
+
+def format_scenario_table(report: Dict[str, Any]) -> str:
+    """The quality-leaderboard table, or ``""`` when no scenarios ran."""
+    section = report.get("scenarios")
+    if not section or not section.get("rows"):
+        return ""
+    lines = [
+        f"scenario quality leaderboard ({section['schema']}):",
+        f"  {'scenario':<18} {'engine':<9} {'prec':>6} {'recall':>6} "
+        f"{'f1':>6} {'latency':>8} {'fp':>4} {'victim':>7}",
+    ]
+    for row in section["rows"]:
+        latency = (
+            "-"
+            if row["latency_intervals"] is None
+            else f"{row['latency_intervals']:.1f}iv"
+        )
+        victim = "-" if row["victim_identified"] is None else str(row["victim_identified"]).lower()
+        lines.append(
+            f"  {row['scenario']:<18} {row['engine']:<9} "
+            f"{row['precision']:>6.3f} {row['recall']:>6.3f} "
+            f"{row['f1']:>6.3f} {latency:>8} "
+            f"{row['false_positive_intervals']:>4} {victim:>7}"
+        )
     return "\n".join(lines)

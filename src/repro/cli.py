@@ -198,6 +198,34 @@ def build_parser() -> argparse.ArgumentParser:
             "kernel always uses the process pool)"
         ),
     )
+    bench.add_argument(
+        "--scenarios",
+        action="store_true",
+        help=(
+            "also replay the labeled adversarial scenario suite and report "
+            "precision/recall/F1 and detection latency per scenario"
+        ),
+    )
+    bench.add_argument(
+        "--scenarios-only",
+        action="store_true",
+        help="run only the scenario suite (skip the throughput kernels)",
+    )
+    bench.add_argument(
+        "--scenario-baseline",
+        type=str,
+        default=None,
+        help=(
+            "compare scenario quality against this committed floors file "
+            "(implies --scenarios)"
+        ),
+    )
+    bench.add_argument(
+        "--scenario-engine",
+        choices=["scalar", "parallel", "both"],
+        default="scalar",
+        help="replay engine(s) for the scenario suite (default scalar)",
+    )
 
     generate = sub.add_parser(
         "generate", help="emit the P4-16 program for a configuration"
@@ -458,16 +486,21 @@ def _cmd_bench(args) -> int:
         DEFAULT_HISTORY_DIR,
         append_history,
         compare_reports,
+        compare_scenario_reports,
         format_delta_markdown,
         format_delta_table,
         format_report,
+        format_scenario_delta_markdown,
+        format_scenario_delta_table,
         format_suggestions,
         format_suggestions_markdown,
         format_trend,
         load_baseline,
+        load_scenario_baseline,
         previous_report,
         run_suite,
         suggest_floor_bumps,
+        warning_annotations,
         write_report,
     )
 
@@ -475,11 +508,19 @@ def _cmd_bench(args) -> int:
     # stdout stays parseable.
     side = sys.stderr if args.json else sys.stdout
 
+    # A committed scenario floors file is meaningless without the scenario
+    # rows to check it against, so --scenario-baseline implies --scenarios.
+    want_scenarios = (
+        args.scenarios or args.scenarios_only or args.scenario_baseline is not None
+    )
     report = run_suite(
         quick=args.quick,
         backend=args.backend,
         workers=args.workers,
         pool=args.pool,
+        scenarios=want_scenarios,
+        scenarios_only=args.scenarios_only,
+        scenario_engine=args.scenario_engine,
     )
     path = write_report(report, output=args.output)
     if args.json:
@@ -502,31 +543,53 @@ def _cmd_bench(args) -> int:
         else:
             print("history: no previous revision to compare against", file=side)
 
-    if args.baseline is None:
-        return 0
-    baseline = load_baseline(args.baseline)
-    rows = compare_reports(report, baseline, args.tolerance)
-    table = format_delta_table(rows, args.tolerance)
-    print(table, file=side)
-    # With both a baseline and a previous history run on record, flag
-    # floors the last two revisions both beat by a wide margin (advisory).
-    suggestions = (
-        suggest_floor_bumps(report, previous, baseline)
-        if previous is not None
-        else []
-    )
-    if suggestions:
-        print(format_suggestions(suggestions), file=side)
-    # On GitHub Actions, render the verdicts on the run page too.
+    failed = False
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
-    if summary_path:
-        with open(summary_path, "a", encoding="utf-8") as handle:
-            handle.write(format_delta_markdown(rows, args.tolerance))
-            handle.write("\n")
-            if suggestions:
-                handle.write(format_suggestions_markdown(suggestions))
+    # Workflow commands (::warning::) are parsed from the job log, so they
+    # go to stdout — but only when actually running under Actions, to keep
+    # local output clean.
+    on_actions = bool(os.environ.get("GITHUB_ACTIONS"))
+
+    if args.baseline is not None:
+        baseline = load_baseline(args.baseline)
+        rows = compare_reports(report, baseline, args.tolerance)
+        print(format_delta_table(rows, args.tolerance), file=side)
+        # With both a baseline and a previous history run on record, flag
+        # floors the last two revisions both beat by a wide margin (advisory).
+        suggestions = (
+            suggest_floor_bumps(report, previous, baseline)
+            if previous is not None
+            else []
+        )
+        if suggestions:
+            print(format_suggestions(suggestions), file=side)
+        if on_actions:
+            for line in warning_annotations(rows, "perf-smoke"):
+                print(line)
+        # On GitHub Actions, render the verdicts on the run page too.
+        if summary_path:
+            with open(summary_path, "a", encoding="utf-8") as handle:
+                handle.write(format_delta_markdown(rows, args.tolerance))
                 handle.write("\n")
-    return 1 if any(row.regressed for row in rows) else 0
+                if suggestions:
+                    handle.write(format_suggestions_markdown(suggestions))
+                    handle.write("\n")
+        failed = failed or any(row.regressed for row in rows)
+
+    if args.scenario_baseline is not None:
+        scenario_baseline = load_scenario_baseline(args.scenario_baseline)
+        scenario_rows = compare_scenario_reports(report, scenario_baseline)
+        print(format_scenario_delta_table(scenario_rows), file=side)
+        if on_actions:
+            for line in warning_annotations(scenario_rows, "scenario-smoke"):
+                print(line)
+        if summary_path:
+            with open(summary_path, "a", encoding="utf-8") as handle:
+                handle.write(format_scenario_delta_markdown(scenario_rows))
+                handle.write("\n")
+        failed = failed or any(row.regressed for row in scenario_rows)
+
+    return 1 if failed else 0
 
 
 def _cmd_generate(args) -> int:

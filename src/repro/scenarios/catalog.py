@@ -1,0 +1,452 @@
+# p4-ok-file — host-side scenario catalog, not data-plane code.
+"""The labeled adversarial scenario catalog.
+
+Six attack shapes, each a deterministic :class:`~repro.scenarios.truth.
+LabeledScenario`: rendered trace + ground-truth windows + the Stat4
+detector configuration expected to catch it.
+
+Every scenario follows the same layout: a benign warm-up long enough for
+the detector to pass its ``min_samples`` gate, the attack, and (only where
+the detector recovers cleanly) a calm tail.  Truth windows are derived
+from the *same* interval counts the phase durations are built from, so
+labels cannot drift from the traffic.  Time-series windows are extended
+one interval past the attack to cover close lag (an interval is reported
+by the first packet of the next one); percentile and sparse scenarios end
+at the attack edge instead, because their state rebalances *after* the
+attack and aftermath alerts must not be scored as false positives.
+
+All phases use constant inter-arrival gaps (``poisson=False``): the suite
+wants bit-exact per-interval packet counts so the committed quality floors
+in ``benchmarks/scenario_baseline.json`` can be tight equalities, not
+tolerance bands.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.stat4.binding import BindingMatch
+from repro.stat4.config import Stat4Config
+from repro.stat4.extract import ExtractSpec
+from repro.stat4.runtime import Stat4Runtime
+from repro.traffic.profiles import (
+    heavy_hitter_phases,
+    mode_shift_phases,
+    port_scan_phases,
+    ramp_flood_phases,
+    render_phases,
+    volumetric_flood_phases,
+    zipf_drift_phases,
+)
+from repro.scenarios.truth import AttackWindow, LabeledScenario, ScenarioTruth
+
+__all__ = ["SCENARIO_BUILDERS", "build_scenario", "build_scenarios", "scenario_names"]
+
+#: One detector interval, shared by every scenario (seconds).
+INTERVAL = 0.02
+
+#: Spec builders only — no library attached (message-only runtime).
+_SPECS = Stat4Runtime(None)
+
+
+def _truth(
+    intervals: int,
+    windows: Sequence[AttackWindow],
+    alert_kinds: Sequence[str],
+) -> ScenarioTruth:
+    return ScenarioTruth(
+        interval=INTERVAL,
+        intervals=intervals,
+        windows=tuple(windows),
+        alert_kinds=tuple(alert_kinds),
+    )
+
+
+def _hosts(base: int, count: int, start: int = 0) -> List[int]:
+    return [base + start + i for i in range(count)]
+
+
+# -- 1. volumetric flood -------------------------------------------------------
+
+
+def build_volumetric_flood() -> LabeledScenario:
+    """Benign 3k pps → 8× flood at one victim → recovery.
+
+    The paper's own case-study shape, recast with labels: a
+    ``rate_over_time`` check must flag every flood interval and stay quiet
+    through benign traffic and recovery.
+    """
+    rate = 3000.0  # 60 packets per interval
+    benign_iv, flood_iv, recovery_iv = 30, 20, 15
+    phases = volumetric_flood_phases(
+        victim=0x0A000009,
+        background=_hosts(0x0A000000, 8, start=1),
+        rate_pps=rate,
+        benign=benign_iv * INTERVAL,
+        flood=flood_iv * INTERVAL,
+        recovery=recovery_iv * INTERVAL,
+        flood_factor=8.0,
+        victim_share=0.9,
+        poisson=False,
+    )
+    spec = _SPECS.rate_over_time(
+        dist=0,
+        interval=INTERVAL,
+        k_sigma=2,
+        alert="traffic_spike",
+        min_samples=8,
+        margin=8,
+        cooldown=INTERVAL / 2,
+        window=64,
+    )
+    attack_start = benign_iv
+    attack_end = benign_iv + flood_iv + 1  # +1: close lag
+    return LabeledScenario(
+        name="volumetric_flood",
+        description="8x volumetric flood at one victim over a flat baseline",
+        trace=render_phases(phases, seed=11),
+        truth=_truth(
+            intervals=benign_iv + flood_iv + recovery_iv,
+            windows=[
+                # No victim_keys: an aggregate rate check cannot name the
+                # victim — that is the paper's drill-down round trip.
+                AttackWindow(attack_start, attack_end, kinds=("traffic_spike",))
+            ],
+            alert_kinds=("traffic_spike",),
+        ),
+        config=Stat4Config(counter_num=1, counter_size=128, binding_stages=1),
+        bindings=((0, BindingMatch.ipv4_prefix("10.0.0.0", 8), spec),),
+        seed=11,
+    )
+
+
+# -- 2. slow-ramp flood --------------------------------------------------------
+
+
+def build_slow_ramp_flood() -> LabeledScenario:
+    """A flood that climbs in gentle steps to drag the baseline up with it.
+
+    The first steps sit inside the detector's margin; the scored latency
+    measures how far up the ramp the k·σ check finally bites.
+    """
+    rate = 3000.0  # 60 packets per interval
+    benign_iv, step_iv, plateau_iv, recovery_iv = 30, 3, 10, 10
+    factors = (1.1, 1.2, 1.35, 1.5, 2.0)
+    ramp_iv = step_iv * len(factors)
+    phases = ramp_flood_phases(
+        victim=0x0A000009,
+        background=_hosts(0x0A000000, 8, start=1),
+        rate_pps=rate,
+        benign=benign_iv * INTERVAL,
+        step_duration=step_iv * INTERVAL,
+        step_factors=factors,
+        plateau=plateau_iv * INTERVAL,
+        recovery=recovery_iv * INTERVAL,
+        victim_share=0.9,
+        poisson=False,
+    )
+    spec = _SPECS.rate_over_time(
+        dist=0,
+        interval=INTERVAL,
+        k_sigma=2,
+        alert="traffic_spike",
+        min_samples=8,
+        margin=8,
+        cooldown=INTERVAL / 2,
+        window=64,
+    )
+    attack_start = benign_iv
+    attack_end = benign_iv + ramp_iv + plateau_iv + 1  # +1: close lag
+    return LabeledScenario(
+        name="slow_ramp_flood",
+        description="stepwise ramp to 2x rate designed to drag the baseline up",
+        trace=render_phases(phases, seed=13),
+        truth=_truth(
+            intervals=benign_iv + ramp_iv + plateau_iv + recovery_iv,
+            windows=[
+                AttackWindow(attack_start, attack_end, kinds=("traffic_spike",))
+            ],
+            alert_kinds=("traffic_spike",),
+        ),
+        config=Stat4Config(counter_num=1, counter_size=128, binding_stages=1),
+        bindings=((0, BindingMatch.ipv4_prefix("10.0.0.0", 8), spec),),
+        seed=13,
+    )
+
+
+# -- 3. vertical port scan -----------------------------------------------------
+
+
+def build_port_scan() -> LabeledScenario:
+    """A sweep over 256 destination ports against one target.
+
+    Volume barely moves (1.5×); the signature is the destination-port
+    distribution flattening, which walks the tracked median off the small
+    set of service-port cells.
+    """
+    rate = 2000.0  # 40 packets per interval
+    benign_iv, scan_iv = 30, 20
+    phases = port_scan_phases(
+        target=0x0A000001,
+        background=_hosts(0x0A000000, 8, start=1),
+        service_ports=[9000 + port for port in range(8)],  # cells 0x28..0x2F
+        scan_ports=list(range(256)),
+        rate_pps=rate,
+        benign=benign_iv * INTERVAL,
+        scan=scan_iv * INTERVAL,
+        recovery=0.0,  # percentile state rebalances after the scan
+        scan_rate_factor=1.5,
+        poisson=False,
+    )
+    # For FREQUENCY distributions ``min_samples`` gates on *distinct cells*
+    # observed.  Benign service traffic can only ever touch 8 port cells, so
+    # a gate of 16 makes benign false positives structurally impossible —
+    # the alert path opens a few packets into the sweep itself.
+    spec = _SPECS.frequency_of(
+        dist=0,
+        extract=ExtractSpec.field("udp.dst_port", mask=0xFF),
+        percent=50,
+        percentile_alert="scan_suspect",
+        min_samples=16,
+        cooldown=INTERVAL,
+    )
+    return LabeledScenario(
+        name="port_scan",
+        description="vertical 256-port sweep at near-constant volume",
+        trace=render_phases(phases, seed=17),
+        truth=_truth(
+            intervals=benign_iv + scan_iv,
+            windows=[
+                AttackWindow(benign_iv, benign_iv + scan_iv, kinds=("scan_suspect",))
+            ],
+            alert_kinds=("scan_suspect",),
+        ),
+        config=Stat4Config(counter_num=1, counter_size=256, binding_stages=1),
+        bindings=((0, BindingMatch.ipv4_prefix("10.0.0.0", 8), spec),),
+        seed=17,
+    )
+
+
+# -- 4. heavy-hitter emergence -------------------------------------------------
+
+
+def build_heavy_hitter() -> LabeledScenario:
+    """One key out of a flat sparse population starts soaking up traffic.
+
+    Uses the Sec.-5 sparse distribution so the alert digest carries the
+    victim's full /32 — the scorer checks the key, not just the timing.
+    """
+    rate = 2000.0  # 40 packets per interval
+    benign_iv, emergence_iv = 30, 20
+    victim = 0x0A000150
+    population = _hosts(0x0A000100, 96)
+    phases = heavy_hitter_phases(
+        victim=victim,
+        population=population,
+        rate_pps=rate,
+        benign=benign_iv * INTERVAL,
+        emergence=emergence_iv * INTERVAL,
+        recovery=0.0,  # the victim stays resident after the attack
+        victim_share=0.6,
+        poisson=False,
+    )
+    spec = _SPECS.sparse_frequency_of(
+        dist=0,
+        extract=ExtractSpec.field("ipv4.dst"),
+        k_sigma=4,
+        alert="heavy_key",
+        min_samples=64,
+        margin=6,
+        cooldown=INTERVAL,
+    )
+    return LabeledScenario(
+        name="heavy_hitter",
+        description="heavy-hitter emergence inside a flat 96-key sparse population",
+        trace=render_phases(phases, seed=19),
+        truth=_truth(
+            intervals=benign_iv + emergence_iv,
+            windows=[
+                AttackWindow(
+                    benign_iv,
+                    benign_iv + emergence_iv,
+                    kinds=("heavy_key",),
+                    victim_keys=(victim,),
+                )
+            ],
+            alert_kinds=("heavy_key",),
+        ),
+        config=Stat4Config(
+            counter_num=1,
+            counter_size=64,
+            binding_stages=1,
+            sparse_dists=(0,),
+            sparse_slots=64,
+            sparse_stages=2,
+        ),
+        bindings=((0, BindingMatch.ipv4_prefix("10.0.1.0", 24), spec),),
+        seed=19,
+    )
+
+
+# -- 5. Zipf-skew drift --------------------------------------------------------
+
+
+def build_zipf_drift() -> LabeledScenario:
+    """Popularity stays zipfian but the exponent climbs in two steps.
+
+    Total rate never changes; mass concentrates onto the head keys, and
+    the tracked median walks toward rank zero.
+    """
+    rate = 2000.0  # 40 packets per interval
+    benign_iv, drift_iv = 30, (10, 10)
+    # The benign exponent is steep enough (1.2) that the head carries real
+    # mass and the benign median sits still; a flatter baseline (~0.8)
+    # leaves the median oscillating between near-equal cells, which the
+    # movement detector would dutifully report.
+    phases = zipf_drift_phases(
+        destinations=_hosts(0x0A000000, 64),
+        rate_pps=rate,
+        benign=benign_iv * INTERVAL,
+        drift_durations=[iv * INTERVAL for iv in drift_iv],
+        drift_exponents=[2.0, 3.0],
+        benign_exponent=1.2,
+        poisson=False,
+    )
+    # min_samples counts distinct cells for FREQUENCY dists; 48 of the 64
+    # destinations must carry mass before the walk may alert, which holds
+    # the gate through the tracker's initial convergence walk.
+    spec = _SPECS.frequency_of(
+        dist=0,
+        extract=ExtractSpec.field("ipv4.dst", mask=0xFF),
+        percent=50,
+        percentile_alert="skew_drift",
+        min_samples=48,
+        cooldown=2 * INTERVAL,
+    )
+    total_drift = sum(drift_iv)
+    return LabeledScenario(
+        name="zipf_drift",
+        description="zipf exponent drift 1.2 -> 3.0 at constant total rate",
+        trace=render_phases(phases, seed=23),
+        truth=_truth(
+            intervals=benign_iv + total_drift,
+            windows=[
+                AttackWindow(
+                    benign_iv,
+                    benign_iv + total_drift,
+                    kinds=("skew_drift",),
+                )
+            ],
+            alert_kinds=("skew_drift",),
+        ),
+        config=Stat4Config(counter_num=1, counter_size=256, binding_stages=1),
+        bindings=((0, BindingMatch.ipv4_prefix("10.0.0.0", 8), spec),),
+        seed=23,
+    )
+
+
+# -- 6. mode shift without a volume change -------------------------------------
+
+
+def build_mode_shift() -> LabeledScenario:
+    """The destination set jumps to a disjoint range at the same rate.
+
+    Two detectors run side by side: the median tracker must fire, and a
+    volume check on a second distribution must stay silent — a spurious
+    ``traffic_spike`` here is scored as a false positive.
+    """
+    rate = 2000.0  # 40 packets per interval
+    benign_iv, shift_iv = 30, 25
+    phases = mode_shift_phases(
+        mode_a=_hosts(0x0A000000, 32, start=16),  # cells 16..47
+        mode_b=_hosts(0x0A000000, 32, start=80),  # cells 80..111
+        rate_pps=rate,
+        benign=benign_iv * INTERVAL,
+        shifted=shift_iv * INTERVAL,
+        poisson=False,
+    )
+    # Benign traffic occupies exactly 32 cells; a 40-distinct-cell gate
+    # (min_samples counts cells for FREQUENCY dists) can only open once the
+    # shifted mode has brought ≥ 8 new cells into play.
+    median_spec = _SPECS.frequency_of(
+        dist=0,
+        extract=ExtractSpec.field("ipv4.dst", mask=0xFF),
+        percent=50,
+        percentile_alert="mode_shift",
+        min_samples=40,
+        cooldown=INTERVAL,
+    )
+    volume_spec = _SPECS.rate_over_time(
+        dist=1,
+        interval=INTERVAL,
+        k_sigma=2,
+        alert="traffic_spike",
+        min_samples=8,
+        margin=8,
+        cooldown=INTERVAL / 2,
+        window=64,
+    )
+    return LabeledScenario(
+        name="mode_shift",
+        description="destination set jumps to a disjoint range at constant rate",
+        trace=render_phases(phases, seed=29),
+        truth=_truth(
+            intervals=benign_iv + shift_iv,
+            windows=[
+                AttackWindow(
+                    benign_iv,
+                    benign_iv + shift_iv,
+                    kinds=("mode_shift",),
+                )
+            ],
+            # traffic_spike is listed so the silent volume control is
+            # *scored*: if it ever fires, that is a false positive.
+            alert_kinds=("mode_shift", "traffic_spike"),
+        ),
+        config=Stat4Config(counter_num=2, counter_size=256, binding_stages=2),
+        bindings=(
+            (0, BindingMatch.ipv4_prefix("10.0.0.0", 8), median_spec),
+            (1, BindingMatch.ipv4_prefix("10.0.0.0", 8), volume_spec),
+        ),
+        seed=29,
+    )
+
+
+# -- registry ------------------------------------------------------------------
+
+SCENARIO_BUILDERS: Dict[str, Callable[[], LabeledScenario]] = {
+    "volumetric_flood": build_volumetric_flood,
+    "slow_ramp_flood": build_slow_ramp_flood,
+    "port_scan": build_port_scan,
+    "heavy_hitter": build_heavy_hitter,
+    "zipf_drift": build_zipf_drift,
+    "mode_shift": build_mode_shift,
+}
+
+
+def scenario_names() -> List[str]:
+    """Catalog order — stable for tables and floors."""
+    return list(SCENARIO_BUILDERS)
+
+
+def build_scenario(name: str) -> LabeledScenario:
+    """Build one scenario by name."""
+    try:
+        builder = SCENARIO_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(SCENARIO_BUILDERS)
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None
+    return builder()
+
+
+def build_scenarios(names: Optional[Sequence[str]] = None) -> List[LabeledScenario]:
+    """Build the whole catalog (or a named subset, in catalog order)."""
+    if names is None:
+        selected = scenario_names()
+    else:
+        selected = [name for name in scenario_names() if name in set(names)]
+        unknown = set(names) - set(scenario_names())
+        if unknown:
+            known = ", ".join(SCENARIO_BUILDERS)
+            raise KeyError(f"unknown scenarios {sorted(unknown)}; known: {known}")
+    return [build_scenario(name) for name in selected]

@@ -66,11 +66,39 @@ class PacketBuilder:
     UDP = "udp"
     SYN = "syn"
 
+    #: Defaults used when a phase does not vary the field per packet.
+    DEFAULT_SRC = 0x01010101
+    DEFAULT_DPORT = 9000
+
     @staticmethod
-    def build(kind: str, dst_ip: int, created_at: float, payload_len: int = 0) -> Packet:
-        """Build one packet of the phase's kind toward ``dst_ip``."""
+    def build(
+        kind: str,
+        dst_ip: int,
+        created_at: float,
+        payload_len: int = 0,
+        dport: Optional[int] = None,
+        src_ip: Optional[int] = None,
+    ) -> Packet:
+        """Build one packet of the phase's kind toward ``dst_ip``.
+
+        ``dport``/``src_ip`` override the fixed defaults — attack phases
+        (port scans, spoofed-source floods) choose them per packet.
+        """
+        if src_ip is None:
+            src_ip = PacketBuilder.DEFAULT_SRC
         if kind == PacketBuilder.UDP:
-            return udp_to(dst_ip, payload_len=payload_len, created_at=created_at)
+            return udp_to(
+                dst_ip,
+                src_ip=src_ip,
+                dport=dport if dport is not None else PacketBuilder.DEFAULT_DPORT,
+                payload_len=payload_len,
+                created_at=created_at,
+            )
         if kind == PacketBuilder.SYN:
-            return tcp_syn_to(dst_ip, created_at=created_at)
+            return tcp_syn_to(
+                dst_ip,
+                src_ip=src_ip,
+                dport=dport if dport is not None else 80,
+                created_at=created_at,
+            )
         raise ValueError(f"unknown packet kind {kind!r}")

@@ -10,13 +10,24 @@ a source plays a list of phases back to back.
 Choosers cover the distributions the paper mentions: uniform across a host
 set, a fixed victim with background noise (the spike), and zipfian across
 prefixes (the Sec. 5 remark that per-prefix traffic is often zipfian).
+
+Beyond the paper's single spike, this module also carries the *adversarial
+generators* behind ``repro.scenarios``: phase producers for volumetric and
+slow-ramp floods, vertical port scans, heavy-hitter emergence over a sparse
+key population, Zipf-skew drift, and a destination-set shift that keeps the
+volume constant.  Each producer returns a plain list of
+:class:`TrafficPhase` regimes, so attack traffic composes with benign
+phases exactly like the case study's workload — and
+:func:`render_phases` turns any phase list into a deterministic
+:class:`~repro.traffic.trace.PacketTrace` without spinning up the network
+simulator.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.traffic.builders import PacketBuilder
 
@@ -25,9 +36,17 @@ __all__ = [
     "uniform_chooser",
     "spike_chooser",
     "zipf_chooser",
+    "sweep_chooser",
     "TrafficPhase",
     "uniform_phase",
     "spike_phase",
+    "volumetric_flood_phases",
+    "ramp_flood_phases",
+    "port_scan_phases",
+    "heavy_hitter_phases",
+    "zipf_drift_phases",
+    "mode_shift_phases",
+    "render_phases",
 ]
 
 #: A destination chooser: rng -> destination IP (int).
@@ -79,6 +98,26 @@ def zipf_chooser(destinations: Sequence[int], exponent: float = 1.0) -> Chooser:
     return choose
 
 
+def sweep_chooser(values: Sequence[int]) -> Chooser:
+    """Cycle through ``values`` in order, one per call (a scanner's sweep).
+
+    Deterministic by construction — the rng argument is ignored; the
+    chooser carries its own cursor.  Phase playback calls choosers in
+    packet order, so a sweep emits ``values`` round-robin.
+    """
+    if not values:
+        raise ValueError("need at least one value to sweep")
+    pool = list(values)
+    cursor = {"next": 0}
+
+    def choose(rng: random.Random) -> int:
+        index = cursor["next"]
+        cursor["next"] = (index + 1) % len(pool)
+        return pool[index]
+
+    return choose
+
+
 @dataclass
 class TrafficPhase:
     """One homogeneous traffic regime.
@@ -93,6 +132,10 @@ class TrafficPhase:
         payload_len: filler payload bytes (UDP only).
         poisson: exponential vs constant inter-arrival times.
         label: free-form tag carried into experiment logs.
+        port_chooser: optional per-packet destination-port chooser
+            (None = the builder's fixed default port).
+        src_chooser: optional per-packet source-address chooser
+            (None = the builder's fixed default source).
     """
 
     duration: float
@@ -102,6 +145,8 @@ class TrafficPhase:
     payload_len: int = 0
     poisson: bool = True
     label: str = ""
+    port_chooser: Optional[Chooser] = None
+    src_chooser: Optional[Chooser] = None
 
     def __post_init__(self):
         if self.duration <= 0:
@@ -148,3 +193,285 @@ def spike_phase(
         chooser=spike_chooser(victim, background, victim_share),
         **kwargs,
     )
+
+
+# -- adversarial phase producers -----------------------------------------------
+#
+# Each producer returns a list of TrafficPhases: benign regime(s), the
+# attack regime(s), and (where the scenario wants one) a recovery regime.
+# A recovery duration of 0 skips the phase entirely — scenarios whose
+# detectors rebalance after the attack (percentile walks, resident sparse
+# keys) end at the attack edge so aftermath alerts cannot masquerade as
+# false positives.  The scenario catalog (repro.scenarios) derives its
+# ground-truth windows from the same durations it passes in here, so labels
+# and traffic can never drift apart.
+
+
+def volumetric_flood_phases(
+    victim: int,
+    background: Sequence[int],
+    rate_pps: float,
+    benign: float,
+    flood: float,
+    recovery: float,
+    flood_factor: float = 8.0,
+    victim_share: float = 0.9,
+    poisson: bool = False,
+) -> List[TrafficPhase]:
+    """A classic volumetric flood: benign → N× rate at one victim → calm."""
+    if flood_factor <= 1:
+        raise ValueError("a flood needs flood_factor > 1")
+    hosts = list(background)
+    phases = [
+        uniform_phase(hosts, benign, rate_pps, poisson=poisson, label="benign"),
+        spike_phase(
+            victim,
+            hosts,
+            flood,
+            rate_pps * flood_factor,
+            victim_share=victim_share,
+            poisson=poisson,
+            label="flood",
+        ),
+    ]
+    if recovery > 0:
+        phases.append(
+            uniform_phase(hosts, recovery, rate_pps, poisson=poisson, label="recovery")
+        )
+    return phases
+
+
+def ramp_flood_phases(
+    victim: int,
+    background: Sequence[int],
+    rate_pps: float,
+    benign: float,
+    step_duration: float,
+    step_factors: Sequence[float],
+    plateau: float,
+    recovery: float,
+    victim_share: float = 0.9,
+    poisson: bool = False,
+) -> List[TrafficPhase]:
+    """A slow-ramp flood: the rate climbs through ``step_factors`` before
+    holding a plateau at the last factor — the shape built to slip under
+    naive "current ≫ baseline" checks by dragging the baseline up with it.
+    """
+    if not step_factors:
+        raise ValueError("a ramp needs at least one step factor")
+    hosts = list(background)
+    phases = [
+        uniform_phase(hosts, benign, rate_pps, poisson=poisson, label="benign")
+    ]
+    for step, factor in enumerate(step_factors):
+        if factor <= 1:
+            raise ValueError("ramp step factors must exceed 1")
+        phases.append(
+            spike_phase(
+                victim,
+                hosts,
+                step_duration,
+                rate_pps * factor,
+                victim_share=victim_share,
+                poisson=poisson,
+                label=f"ramp_{step}",
+            )
+        )
+    phases.append(
+        spike_phase(
+            victim,
+            hosts,
+            plateau,
+            rate_pps * step_factors[-1],
+            victim_share=victim_share,
+            poisson=poisson,
+            label="plateau",
+        )
+    )
+    if recovery > 0:
+        phases.append(
+            uniform_phase(hosts, recovery, rate_pps, poisson=poisson, label="recovery")
+        )
+    return phases
+
+
+def port_scan_phases(
+    target: int,
+    background: Sequence[int],
+    service_ports: Sequence[int],
+    scan_ports: Sequence[int],
+    rate_pps: float,
+    benign: float,
+    scan: float,
+    recovery: float,
+    scan_rate_factor: float = 1.5,
+    poisson: bool = False,
+) -> List[TrafficPhase]:
+    """A vertical port scan: benign service traffic, then a sweep over
+    ``scan_ports`` against one target.  The volume barely moves — the
+    signature is the destination-port distribution flattening out.
+    """
+    hosts = list(background)
+    phases = [
+        TrafficPhase(
+            duration=benign,
+            rate_pps=rate_pps,
+            chooser=uniform_chooser(hosts),
+            poisson=poisson,
+            label="benign",
+            port_chooser=uniform_chooser(service_ports),
+        ),
+        TrafficPhase(
+            duration=scan,
+            rate_pps=rate_pps * scan_rate_factor,
+            chooser=uniform_chooser([target]),
+            poisson=poisson,
+            label="scan",
+            port_chooser=sweep_chooser(scan_ports),
+        ),
+    ]
+    if recovery > 0:
+        phases.append(
+            TrafficPhase(
+                duration=recovery,
+                rate_pps=rate_pps,
+                chooser=uniform_chooser(hosts),
+                poisson=poisson,
+                label="recovery",
+                port_chooser=uniform_chooser(service_ports),
+            )
+        )
+    return phases
+
+
+def heavy_hitter_phases(
+    victim: int,
+    population: Sequence[int],
+    rate_pps: float,
+    benign: float,
+    emergence: float,
+    recovery: float,
+    victim_share: float = 0.6,
+    poisson: bool = False,
+) -> List[TrafficPhase]:
+    """Heavy-hitter emergence: a wide, flat sparse population until one key
+    starts soaking up ``victim_share`` of the traffic."""
+    keys = list(population)
+    phases = [
+        uniform_phase(keys, benign, rate_pps, poisson=poisson, label="benign"),
+        spike_phase(
+            victim,
+            keys,
+            emergence,
+            rate_pps,
+            victim_share=victim_share,
+            poisson=poisson,
+            label="emergence",
+        ),
+    ]
+    if recovery > 0:
+        phases.append(
+            uniform_phase(keys, recovery, rate_pps, poisson=poisson, label="recovery")
+        )
+    return phases
+
+
+def zipf_drift_phases(
+    destinations: Sequence[int],
+    rate_pps: float,
+    benign: float,
+    drift_durations: Sequence[float],
+    drift_exponents: Sequence[float],
+    benign_exponent: float = 0.8,
+    poisson: bool = False,
+) -> List[TrafficPhase]:
+    """Zipf-skew drift: popularity stays zipfian but the exponent climbs,
+    concentrating mass on the head keys at an unchanged total rate."""
+    if len(drift_durations) != len(drift_exponents):
+        raise ValueError("drift_durations and drift_exponents must pair up")
+    dests = list(destinations)
+    phases = [
+        TrafficPhase(
+            duration=benign,
+            rate_pps=rate_pps,
+            chooser=zipf_chooser(dests, exponent=benign_exponent),
+            poisson=poisson,
+            label="benign",
+        )
+    ]
+    for step, (duration, exponent) in enumerate(
+        zip(drift_durations, drift_exponents)
+    ):
+        phases.append(
+            TrafficPhase(
+                duration=duration,
+                rate_pps=rate_pps,
+                chooser=zipf_chooser(dests, exponent=exponent),
+                poisson=poisson,
+                label=f"drift_{step}",
+            )
+        )
+    return phases
+
+
+def mode_shift_phases(
+    mode_a: Sequence[int],
+    mode_b: Sequence[int],
+    rate_pps: float,
+    benign: float,
+    shifted: float,
+    poisson: bool = False,
+) -> List[TrafficPhase]:
+    """Distribution shift without a volume change: the destination set jumps
+    from ``mode_a`` to ``mode_b`` at exactly the same packet rate — invisible
+    to any rate check, loud in the frequency distribution."""
+    if set(mode_a) & set(mode_b):
+        raise ValueError("mode_a and mode_b must be disjoint destination sets")
+    return [
+        uniform_phase(list(mode_a), benign, rate_pps, poisson=poisson, label="benign"),
+        uniform_phase(list(mode_b), shifted, rate_pps, poisson=poisson, label="shift"),
+    ]
+
+
+# -- deterministic phase playback ----------------------------------------------
+
+
+def render_phases(
+    phases: Sequence[TrafficPhase], seed: int = 0, start: float = 0.0
+):
+    """Play phases back-to-back into a :class:`~repro.traffic.trace.PacketTrace`.
+
+    The pure-function twin of :class:`~repro.traffic.source.TrafficSource`:
+    the same regime walk (first packet at each phase start, inter-arrivals
+    from :meth:`TrafficPhase.next_gap`), but without the event loop — the
+    scenario suite needs traces, not a live simulation, and determinism is
+    the whole point: one seed, one bit-exact trace.
+    """
+    from repro.traffic.trace import PacketTrace
+
+    if not phases:
+        raise ValueError("need at least one phase to render")
+    rng = random.Random(seed)
+    trace = PacketTrace()
+    phase_start = start
+    for phase in phases:
+        phase_end = phase_start + phase.duration
+        when = phase_start
+        while when < phase_end:
+            dst = phase.chooser(rng)
+            dport = (
+                phase.port_chooser(rng) if phase.port_chooser is not None else None
+            )
+            src = phase.src_chooser(rng) if phase.src_chooser is not None else None
+            packet = PacketBuilder.build(
+                phase.kind,
+                dst,
+                created_at=when,
+                payload_len=phase.payload_len,
+                dport=dport,
+                src_ip=src,
+            )
+            trace.append(when, packet.data)
+            when += phase.next_gap(rng)
+        phase_start = phase_end
+    return trace

@@ -80,8 +80,17 @@ class TrafficSource:
             self._begin_phase(index + 1, phase_end)
             return
         dst = phase.chooser(self.rng)
+        dport = (
+            phase.port_chooser(self.rng) if phase.port_chooser is not None else None
+        )
+        src = phase.src_chooser(self.rng) if phase.src_chooser is not None else None
         packet = PacketBuilder.build(
-            phase.kind, dst, created_at=when, payload_len=phase.payload_len
+            phase.kind,
+            dst,
+            created_at=when,
+            payload_len=phase.payload_len,
+            dport=dport,
+            src_ip=src,
         )
         self.network.transmit(self, self.port, packet)
         self.packets_sent += 1

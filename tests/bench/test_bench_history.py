@@ -18,8 +18,8 @@ from repro.bench.compare import BASELINE_SCHEMA
 from repro.bench.suite import SCHEMA_VERSION
 
 
-def make_report(revision, speedups=None, cluster=None):
-    return {
+def make_report(revision, speedups=None, cluster=None, scenarios=None):
+    report = {
         "schema": SCHEMA_VERSION,
         "revision": revision,
         "python": "3.x",
@@ -30,6 +30,13 @@ def make_report(revision, speedups=None, cluster=None):
         "speedups": speedups if speedups is not None else {"k": {"python": 2.0}},
         "cluster": cluster if cluster is not None else [],
     }
+    if scenarios is not None:
+        report["scenarios"] = {"schema": "repro-scenarios/1", "rows": scenarios}
+    return report
+
+
+def scenario_row(scenario, engine, f1):
+    return {"scenario": scenario, "engine": engine, "f1": f1}
 
 
 class TestAppendHistory:
@@ -63,6 +70,41 @@ class TestAppendHistory:
         (history / "index.json").write_text(json.dumps({"schema": "nope"}))
         with pytest.raises(ValueError):
             load_index(str(history))
+
+    def test_missing_revision_indexes_under_unknown(self, tmp_path):
+        # A hand-built report with no revision must never produce
+        # "BENCH_.json" or an empty index key.
+        history = str(tmp_path / "history")
+        report = make_report("whatever")
+        del report["revision"]
+        path = append_history(report, history)
+        assert path.endswith("BENCH_unknown.json")
+        index = load_index(history)
+        assert [run["revision"] for run in index["runs"]] == ["unknown"]
+
+    def test_scenario_summary_recorded_in_index(self, tmp_path):
+        history = str(tmp_path / "history")
+        append_history(
+            make_report(
+                "abc",
+                scenarios=[
+                    scenario_row("flood", "scalar", 1.0),
+                    scenario_row("flood", "parallel", 1.0),
+                    scenario_row("scan", "scalar", 0.9),
+                ],
+            ),
+            history,
+        )
+        entry = load_index(history)["runs"][0]
+        assert entry["scenarios"] == {
+            "flood": {"scalar": 1.0, "parallel": 1.0},
+            "scan": {"scalar": 0.9},
+        }
+
+    def test_no_scenario_section_records_none(self, tmp_path):
+        history = str(tmp_path / "history")
+        append_history(make_report("abc"), history)
+        assert load_index(history)["runs"][0]["scenarios"] is None
 
 
 class TestPreviousReport:
@@ -124,6 +166,29 @@ class TestFormatTrend:
     def test_no_cluster_section_without_shared_shards(self):
         text = format_trend(make_report("new"), make_report("old"))
         assert "cluster merge overhead" not in text
+
+    def test_scenario_f1_trend_lines(self):
+        previous = make_report(
+            "old", scenarios=[scenario_row("flood", "scalar", 0.8)]
+        )
+        current = make_report(
+            "new",
+            scenarios=[
+                scenario_row("flood", "scalar", 1.0),
+                scenario_row("fresh", "scalar", 1.0),
+            ],
+        )
+        text = format_trend(current, previous)
+        assert "scenario detection quality (F1):" in text
+        assert "flood [scalar]: 0.800 -> 1.000" in text
+        assert "fresh" not in text  # no shared previous entry
+
+    def test_no_scenario_section_without_shared_runs(self):
+        text = format_trend(
+            make_report("new", scenarios=[scenario_row("flood", "scalar", 1.0)]),
+            make_report("old"),
+        )
+        assert "scenario detection quality" not in text
 
 
 def make_baseline(speedups, tolerance=0.2):

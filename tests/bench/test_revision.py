@@ -1,0 +1,70 @@
+"""Tests for the report revision stamp (``_revision``).
+
+History indexing keys on the revision string (``BENCH_<rev>.json``,
+one index entry per revision), so the stamp must never be empty and must
+describe *this* checkout — not whatever git repository the bench happens
+to be run from.
+"""
+
+import subprocess
+
+import pytest
+
+import repro.bench.suite as suite_module
+from repro.bench.suite import _revision
+
+
+class TestRevisionSentinel:
+    def test_real_checkout_yields_short_revision(self):
+        # The test run happens inside the repo, so git should answer.
+        revision = _revision()
+        assert revision
+        assert revision == revision.strip()
+
+    def test_git_failure_yields_unknown(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise OSError("git not installed")
+
+        monkeypatch.setattr(suite_module.subprocess, "run", boom)
+        assert _revision() == "unknown"
+
+    def test_subprocess_error_yields_unknown(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise subprocess.SubprocessError("timeout")
+
+        monkeypatch.setattr(suite_module.subprocess, "run", boom)
+        assert _revision() == "unknown"
+
+    def test_nonzero_exit_yields_unknown(self, monkeypatch):
+        monkeypatch.setattr(
+            suite_module.subprocess,
+            "run",
+            lambda *a, **k: subprocess.CompletedProcess(a, 128, stdout="", stderr="fatal"),
+        )
+        assert _revision() == "unknown"
+
+    def test_empty_stdout_yields_unknown_never_empty_string(self, monkeypatch):
+        # The original bug: rc 0 with empty output produced "", which the
+        # history then indexed under an empty key as "BENCH_.json".
+        monkeypatch.setattr(
+            suite_module.subprocess,
+            "run",
+            lambda *a, **k: subprocess.CompletedProcess(a, 0, stdout="\n", stderr=""),
+        )
+        assert _revision() == "unknown"
+
+    def test_anchored_to_package_dir_not_cwd(self, monkeypatch):
+        # Running the bench from an unrelated git repo must not stamp that
+        # repo's revision: the subprocess cwd is the bench package dir.
+        seen = {}
+
+        def record(*args, **kwargs):
+            seen.update(kwargs)
+            return subprocess.CompletedProcess(args, 0, stdout="abc1234\n", stderr="")
+
+        monkeypatch.setattr(suite_module.subprocess, "run", record)
+        assert _revision() == "abc1234"
+        import os
+
+        expected = os.path.dirname(os.path.abspath(suite_module.__file__))
+        assert seen.get("cwd") == expected

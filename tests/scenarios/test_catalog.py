@@ -1,0 +1,70 @@
+"""Catalog invariants: determinism and label sanity for every scenario.
+
+Determinism is load-bearing, not cosmetic: the committed quality floors in
+``benchmarks/scenario_baseline.json`` are compared *exactly*, which is only
+sound if the same catalog code renders bit-identical traces and labels on
+every run and every supported Python version.
+"""
+
+import pytest
+
+from repro.scenarios import build_scenario, build_scenarios, scenario_names
+from repro.scenarios.catalog import SCENARIO_BUILDERS
+
+EXPECTED = {
+    "volumetric_flood",
+    "slow_ramp_flood",
+    "port_scan",
+    "heavy_hitter",
+    "zipf_drift",
+    "mode_shift",
+}
+
+
+class TestCatalogShape:
+    def test_catalog_covers_the_attack_taxonomy(self):
+        assert set(scenario_names()) == EXPECTED
+        assert len(scenario_names()) >= 6
+
+    def test_build_scenario_rejects_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_scenario("no_such_attack")
+
+    def test_build_scenarios_subset_preserves_order(self):
+        pair = build_scenarios(["port_scan", "heavy_hitter"])
+        assert [s.name for s in pair] == ["port_scan", "heavy_hitter"]
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+class TestPerScenario:
+    def test_same_seed_renders_identical_trace_and_truth(self, name):
+        first = SCENARIO_BUILDERS[name]()
+        second = SCENARIO_BUILDERS[name]()
+        # TraceRecord is a frozen dataclass: equality covers timestamps
+        # and raw packet bytes.
+        assert first.trace.records == second.trace.records
+        assert first.truth == second.truth
+        assert first.seed == second.seed
+
+    def test_labels_fit_the_trace(self, name):
+        scenario = build_scenario(name)
+        truth = scenario.truth
+        last = scenario.trace.records[-1].timestamp
+        # Every rendered packet falls inside the labeled interval range.
+        assert truth.interval_of(last) < truth.intervals
+        assert truth.windows, f"{name} labels no attack window"
+        for window in truth.windows:
+            assert 0 <= window.start < window.end <= truth.intervals
+            assert set(window.kinds) <= set(truth.alert_kinds)
+
+    def test_detector_is_bound(self, name):
+        scenario = build_scenario(name)
+        assert scenario.bindings
+        for stage, _match, _spec in scenario.bindings:
+            assert 0 <= stage < scenario.config.binding_stages
+
+    def test_benign_preamble_before_every_attack(self, name):
+        # Each scenario opens with benign traffic so the detector has
+        # history to baseline against; the first window never starts at 0.
+        scenario = build_scenario(name)
+        assert min(w.start for w in scenario.truth.windows) > 0

@@ -1,0 +1,100 @@
+"""Tests for the ground-truth label model (AttackWindow / ScenarioTruth)."""
+
+import pytest
+
+from repro.scenarios import AttackWindow, LabeledScenario, ScenarioTruth
+
+
+def make_truth(**overrides):
+    defaults = dict(
+        interval=1.0,
+        intervals=10,
+        windows=(AttackWindow(start=3, end=6, kinds=("spike",)),),
+        alert_kinds=("spike",),
+    )
+    defaults.update(overrides)
+    return ScenarioTruth(**defaults)
+
+
+class TestAttackWindow:
+    def test_covers_is_half_open(self):
+        window = AttackWindow(start=3, end=6, kinds=("spike",))
+        assert not window.covers(2)
+        assert window.covers(3)
+        assert window.covers(5)
+        assert not window.covers(6)
+
+    def test_rejects_empty_or_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            AttackWindow(start=3, end=3, kinds=("spike",))
+        with pytest.raises(ValueError):
+            AttackWindow(start=5, end=3, kinds=("spike",))
+        with pytest.raises(ValueError):
+            AttackWindow(start=-1, end=3, kinds=("spike",))
+
+    def test_rejects_kindless_window(self):
+        with pytest.raises(ValueError):
+            AttackWindow(start=0, end=1, kinds=())
+
+
+class TestScenarioTruth:
+    def test_interval_of_floors_against_interval(self):
+        truth = make_truth(interval=0.02)
+        assert truth.interval_of(0.0) == 0
+        assert truth.interval_of(0.019) == 0
+        assert truth.interval_of(0.02) == 1
+        assert truth.interval_of(0.1999) == 9
+
+    def test_attack_intervals_and_membership(self):
+        truth = make_truth()
+        assert truth.attack_intervals() == {3, 4, 5}
+        assert truth.is_attack(4)
+        assert not truth.is_attack(6)
+
+    def test_kinds_at_unions_overlapping_windows(self):
+        truth = make_truth(
+            windows=(
+                AttackWindow(start=2, end=6, kinds=("spike",)),
+                AttackWindow(start=4, end=8, kinds=("scan",)),
+            ),
+            alert_kinds=("spike", "scan"),
+        )
+        assert truth.kinds_at(3) == {"spike"}
+        assert truth.kinds_at(5) == {"spike", "scan"}
+        assert truth.kinds_at(7) == {"scan"}
+        assert truth.kinds_at(0) == frozenset()
+
+    def test_victim_keys_union(self):
+        truth = make_truth(
+            windows=(
+                AttackWindow(start=1, end=2, kinds=("a",), victim_keys=(1, 2)),
+                AttackWindow(start=3, end=4, kinds=("a",), victim_keys=(2, 3)),
+            ),
+            alert_kinds=("a",),
+        )
+        assert truth.victim_keys() == {1, 2, 3}
+
+    def test_rejects_window_past_trace_end(self):
+        with pytest.raises(ValueError):
+            make_truth(windows=(AttackWindow(start=8, end=12, kinds=("x",)),))
+
+    def test_rejects_degenerate_geometry(self):
+        with pytest.raises(ValueError):
+            make_truth(interval=0.0)
+        with pytest.raises(ValueError):
+            make_truth(intervals=0, windows=())
+
+
+class TestLabeledScenario:
+    def test_rejects_detectorless_scenario(self):
+        from repro.traffic.trace import PacketTrace
+
+        with pytest.raises(ValueError):
+            LabeledScenario(
+                name="empty",
+                description="no detectors bound",
+                trace=PacketTrace(),
+                truth=make_truth(),
+                config=None,
+                bindings=(),
+            )
