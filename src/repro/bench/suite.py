@@ -21,7 +21,12 @@ Six kernels, one per hot loop:
   columns packed into ``multiprocessing.shared_memory`` segments, workers
   attaching by descriptor, against the same scalar loop.  A separate
   ``shipping`` report section records the per-batch pickled payload of the
-  shared-memory path next to the legacy list-shipping path.
+  shared-memory path next to the legacy list-shipping path;
+- ``service_throughput`` — the always-on serving stack end to end:
+  pre-built batches through :class:`~repro.service.server.DetectionService`
+  (bounded queue, producer/worker threads, alert log) against the scalar
+  per-packet loop with the same default bindings.  A ``service`` report
+  section records sustained pps and p99 batch/alert latency per backend.
 
 A separate ``cluster`` report section sweeps the same workload across
 1→8 shards, splitting routed-ingest time from controller-side merge time
@@ -387,6 +392,125 @@ def _measure_shipping(
     return row
 
 
+def _make_service_contexts(packets: int, hot_every: int = 16):
+    """The serving workload: the multiplicative walk plus a standing hot key.
+
+    Every ``hot_every``-th packet hits one destination, so the default
+    imbalance detector (2σ on the last octet) keeps firing once its
+    ``min_samples`` gate opens — the service kernel must price alert
+    emission and the alert-log append, not just silent counting.
+    """
+    parser = standard_parser()
+    contexts = []
+    for index in range(packets):
+        if hot_every and index % hot_every == 0:
+            dst = 0x0A000007
+        else:
+            dst = 0x0A000000 | ((index * 2654435761) % 1024)
+        packet = udp_to(dst)
+        ctx = PacketContext(
+            parsed=parser.parse(packet),
+            meta=StandardMetadata(ingress_port=0, timestamp=index * 1e-3),
+        )
+        ctx.user["frame_bytes"] = len(packet)
+        contexts.append(ctx)
+    return contexts
+
+
+def _time_service_kernels(
+    packets: int, repeats: int, backends: List[str]
+) -> Any:
+    """The ``service_throughput`` kernel: the whole serving stack in-process.
+
+    Scalar mode is the per-packet loop over the same workload with the
+    same default bindings (rate spike + imbalance).  Batched mode drives
+    :class:`~repro.service.server.DetectionService` end to end — bounded
+    queue, producer and worker threads, alert log — over pre-built
+    batches (``with_http=False``; the HTTP listener idles off-thread in a
+    real deployment and would not be in the packet path anyway).  The
+    ratio therefore prices everything the server adds on top of the batch
+    engine: queue hops, thread handoff, telemetry, alert-log appends.
+
+    Returns ``(kernel rows, service report section)`` — the section
+    carries sustained pps and p99 batch/alert latency per backend
+    (absolute, machine-dependent, never gated; the gated number is the
+    speedup ratio like every other kernel).
+    """
+    from repro.service import DetectionService, ListSource
+    from repro.service.server import default_bindings, default_config
+
+    config = default_config()
+    contexts = _make_service_contexts(packets)
+    results: List[Dict[str, Any]] = []
+    section: Dict[str, Any] = {"packets": packets, "backends": {}}
+
+    def run_scalar():
+        stat4 = Stat4(config)
+        runtime = Stat4Runtime(stat4)
+        for stage, match, spec in default_bindings():
+            runtime.bind(stage, match, spec)
+        for ctx in contexts:
+            stat4.process(ctx)
+
+    seconds = _best_of(repeats, run_scalar)
+    results.append(
+        {
+            "name": "service_throughput",
+            "mode": "scalar",
+            "backend": None,
+            "packets": packets,
+            "seconds": seconds,
+            "pps": packets / seconds if seconds > 0 else 0.0,
+        }
+    )
+    batch_size = 2048
+    batches = [
+        PacketBatch.from_contexts(contexts[start : start + batch_size])
+        for start in range(0, len(contexts), batch_size)
+    ]
+    for backend in backends:
+        holder: Dict[str, Any] = {}
+
+        def run_service():
+            service = DetectionService(
+                ListSource(batches),
+                config=config,
+                bindings=default_bindings(),
+                engine="scalar",
+                backend=backend,
+                with_http=False,
+            )
+            service.start()
+            drained = service.wait(300)
+            service.close()
+            if not drained or service.pipeline.error is not None:
+                raise RuntimeError(
+                    f"service pipeline failed: {service.pipeline.error!r}"
+                )
+            holder["service"] = service
+
+        seconds = _best_of(repeats, run_service)
+        results.append(
+            {
+                "name": "service_throughput",
+                "mode": "batched",
+                "backend": backend,
+                "packets": packets,
+                "seconds": seconds,
+                "pps": packets / seconds if seconds > 0 else 0.0,
+            }
+        )
+        snapshot = holder["service"].metrics.snapshot()
+        section["backends"][backend] = {
+            "pps": packets / seconds if seconds > 0 else 0.0,
+            "alerts": snapshot["alerts"],
+            "batch_latency_p99_ms": snapshot["batch_latency_p99_ms"],
+            "alert_latency_p99_ms": snapshot["alert_latency_p99_ms"],
+            "dropped_batches": snapshot["dropped_batches"],
+        }
+    return results, section
+
+
 #: Shard counts the merge-overhead scaling section sweeps.
 _CLUSTER_SHARDS = (1, 2, 4, 8)
 #: Cluster size the gated sharded kernel runs at.
@@ -668,12 +792,15 @@ def run_suite(
         backends = [resolve_backend(backend)]
     if scenarios_only:
         kernels: List[Dict[str, Any]] = []
+        service_section: Optional[Dict[str, Any]] = None
     else:
         kernels = _time_stat4_kernels(n, reps, backends)
         kernels.extend(_time_ewma(n, reps, backends))
         kernels.extend(_time_cluster_kernels(n, reps, backends))
         kernels.extend(_time_parallel_kernels(n, reps, backends, workers, pool))
         kernels.extend(_time_shm_parallel_kernels(n, reps, backends, workers))
+        service_rows, service_section = _time_service_kernels(n, reps, backends)
+        kernels.extend(service_rows)
     report: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "revision": _revision(),
@@ -690,6 +817,7 @@ def run_suite(
         ),
         "cluster": [] if scenarios_only else _time_cluster_scaling(n, reps, backends[0]),
         "shipping": None if scenarios_only else _measure_shipping(n, backends[0], workers),
+        "service": service_section,
         "speedups": _speedups(kernels),
     }
     if run_scenario_rows:
@@ -754,6 +882,32 @@ def format_report(report: Dict[str, Any]) -> str:
             f"list chunks: {shipping['list_bytes_per_batch']:,} B "
             f"({shipping['list_tasks_per_batch']} tasks)"
         )
+    service = report.get("service")
+    if service and service.get("backends"):
+        lines.append("")
+        lines.append(
+            f"service throughput ({service['packets']:,} packets through "
+            "the bounded-queue serving stack):"
+        )
+        lines.append(
+            f"  {'backend':<8} {'pps':>12} {'alerts':>7} "
+            f"{'batch p99':>10} {'alert p99':>10} {'dropped':>8}"
+        )
+        for backend, row in service["backends"].items():
+            batch_p99 = (
+                "-"
+                if row["batch_latency_p99_ms"] is None
+                else f"{row['batch_latency_p99_ms']:.2f}ms"
+            )
+            alert_p99 = (
+                "-"
+                if row["alert_latency_p99_ms"] is None
+                else f"{row['alert_latency_p99_ms']:.2f}ms"
+            )
+            lines.append(
+                f"  {backend:<8} {row['pps']:>12,.0f} {row['alerts']:>7} "
+                f"{batch_p99:>10} {alert_p99:>10} {row['dropped_batches']:>8}"
+            )
     if report.get("cluster"):
         lines.append("")
         lines.append("cluster scaling (routed ingest + merge):")

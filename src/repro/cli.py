@@ -227,6 +227,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay engine(s) for the scenario suite (default scalar)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "always-on streaming detection service: bounded-queue ingest "
+            "with an HTTP API (/healthz /stats /alerts /bindings)"
+        ),
+    )
+    source = serve.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--scenario",
+        type=str,
+        default=None,
+        help="replay a labeled catalog scenario (installs its detector)",
+    )
+    source.add_argument(
+        "--trace", type=str, default=None, help="replay a saved pcap file"
+    )
+    source.add_argument(
+        "--synthetic",
+        type=int,
+        default=None,
+        metavar="PACKETS",
+        help="deterministic synthetic generator (PACKETS per loop)",
+    )
+    source.add_argument(
+        "--feed",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        help="listen for a line-delimited JSON packet feed on this address",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        metavar="PPS",
+        help="pace replay at this many packets/sec (0 = as fast as possible)",
+    )
+    serve.add_argument(
+        "--loop", action="store_true", help="repeat a finite source forever"
+    )
+    serve.add_argument("--batch-size", type=int, default=2048)
+    serve.add_argument(
+        "--engine", choices=["scalar", "parallel"], default="scalar"
+    )
+    serve.add_argument(
+        "--backend", choices=["auto", "numpy", "python"], default="auto"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="parallel-engine worker count"
+    )
+    serve.add_argument(
+        "--pool",
+        choices=["thread", "process"],
+        default="process",
+        help="parallel-engine executor",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        help="bounded ingest queue size (batches in flight)",
+    )
+    serve.add_argument(
+        "--policy",
+        choices=["block", "drop"],
+        default="block",
+        help="backpressure when the queue is full: block the source or shed",
+    )
+    serve.add_argument(
+        "--degraded-after",
+        type=float,
+        default=5.0,
+        help="seconds of ingest silence before /healthz turns degraded",
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="HTTP port (0 = pick a free one)"
+    )
+    serve.add_argument(
+        "--exit-when-drained",
+        action="store_true",
+        help="exit once a finite source is fully applied (CI smoke mode)",
+    )
+
     generate = sub.add_parser(
         "generate", help="emit the P4-16 program for a configuration"
     )
@@ -592,6 +677,91 @@ def _cmd_bench(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_serve(args) -> int:
+    import json as json_module
+    import time
+
+    from repro.service import (
+        DetectionService,
+        FeedSource,
+        RatePacer,
+        ScenarioSource,
+        SyntheticSource,
+        TraceSource,
+        install_signal_handlers,
+    )
+    from repro.stat4.parallel import shutdown_pools
+
+    pacer = RatePacer(args.rate) if args.rate > 0 else None
+    feed = None
+    if args.scenario is not None:
+        source = ScenarioSource(
+            args.scenario, batch_size=args.batch_size, loop=args.loop, pacer=pacer
+        )
+        label = f"scenario:{args.scenario}"
+    elif args.trace is not None:
+        source = TraceSource(
+            path=args.trace, batch_size=args.batch_size, loop=args.loop, pacer=pacer
+        )
+        label = f"trace:{args.trace}"
+    elif args.synthetic is not None:
+        source = SyntheticSource(
+            packets=args.synthetic,
+            batch_size=args.batch_size,
+            loop=args.loop,
+            pacer=pacer,
+        )
+        label = f"synthetic:{args.synthetic}"
+    else:
+        host, _, port = args.feed.rpartition(":")
+        feed = source = FeedSource(
+            host=host or "127.0.0.1",
+            port=int(port),
+            batch_size=args.batch_size,
+            serve_forever=args.loop,
+        )
+        label = f"feed:{source.address[0]}:{source.address[1]}"
+
+    service = DetectionService(
+        source,
+        engine=args.engine,
+        backend=args.backend,
+        workers=args.workers,
+        pool=args.pool,
+        queue_depth=args.queue_depth,
+        policy=args.policy,
+        degraded_after=args.degraded_after,
+        host=args.host,
+        port=args.port,
+    )
+    service.start()
+    install_signal_handlers(service)
+    print(
+        f"serving {label} on {service.url} "
+        f"(engine={args.engine}, policy={args.policy}, "
+        f"queue_depth={args.queue_depth}, rate={args.rate or 'unpaced'})",
+        flush=True,
+    )
+    try:
+        while not service.stopping:
+            if service.drained:
+                if args.exit_when_drained:
+                    break
+                # Finite source fully applied; keep serving the HTTP API
+                # (alerts and stats stay queryable) until told to stop.
+            time.sleep(0.2)
+    finally:
+        if feed is not None:
+            feed.close()
+        service.close()
+        shutdown_pools()
+        print("final " + json_module.dumps(service.stats()), flush=True)
+    if service.pipeline.error is not None:
+        print(f"pipeline error: {service.pipeline.error!r}", flush=True)
+        return 1
+    return 0
+
+
 def _cmd_generate(args) -> int:
     from repro.p4gen import generate_p4
     from repro.stat4.config import Stat4Config
@@ -639,6 +809,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_lint(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "generate":
         return _cmd_generate(args)
     raise AssertionError(f"unhandled command {args.command!r}")

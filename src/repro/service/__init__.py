@@ -1,0 +1,51 @@
+# p4-ok-file — host-side service package, not data-plane code.
+"""Always-on streaming detection service (``repro serve``).
+
+The serving stack over the batch pipeline: rate-controlled sources
+(:mod:`~repro.service.sources`) feed a bounded-queue producer/worker
+pipeline with explicit backpressure (:mod:`~repro.service.pipeline`),
+telemetry lives in :mod:`~repro.service.metrics`, and
+:class:`~repro.service.server.DetectionService` wraps it all in a
+stdlib-only HTTP API (``/healthz``, ``/stats``, ``/alerts``,
+``/bindings``).  See ``docs/SERVICE.md``.
+"""
+
+from repro.service.metrics import AlertLog, EwmaRate, LatencyRing, ServiceMetrics
+from repro.service.pipeline import POLICIES, ServicePipeline
+from repro.service.server import (
+    RETUNE_FIELDS,
+    DetectionService,
+    default_bindings,
+    default_config,
+    install_signal_handlers,
+    spec_to_json,
+)
+from repro.service.sources import (
+    FeedSource,
+    ListSource,
+    RatePacer,
+    ScenarioSource,
+    SyntheticSource,
+    TraceSource,
+)
+
+__all__ = [
+    "AlertLog",
+    "EwmaRate",
+    "LatencyRing",
+    "ServiceMetrics",
+    "POLICIES",
+    "ServicePipeline",
+    "RETUNE_FIELDS",
+    "DetectionService",
+    "default_bindings",
+    "default_config",
+    "install_signal_handlers",
+    "spec_to_json",
+    "FeedSource",
+    "ListSource",
+    "RatePacer",
+    "ScenarioSource",
+    "SyntheticSource",
+    "TraceSource",
+]

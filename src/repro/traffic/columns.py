@@ -59,6 +59,7 @@ __all__ = [
     "decode_column",
     "live_segment_count",
     "release_all_segments",
+    "ensure_termination_cleanup",
 ]
 
 #: Sentinel stored in place of ``None`` (value-free packet).  Extracted P4
@@ -429,3 +430,16 @@ def _install_termination_cleanup() -> None:
         signal.signal(signal.SIGTERM, _on_sigterm)
     except (ValueError, OSError):  # pragma: no cover - non-main thread
         pass
+
+
+def ensure_termination_cleanup() -> None:
+    """Install the atexit sweep + chained SIGTERM handler now (idempotent).
+
+    Normally the sweep chain is installed lazily by the first shared
+    segment; long-running servers (``repro serve``) call this up front so
+    their own SIGINT/SIGTERM handlers can chain *on top* of the sweep —
+    a process killed mid-ingest then releases every live segment on the
+    way down regardless of which layer fields the signal first.
+    """
+
+    _install_termination_cleanup()

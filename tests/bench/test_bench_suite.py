@@ -98,6 +98,22 @@ class TestRunSuite:
         for row in tiny_report["kernels"]:
             assert row["name"] in text
 
+    def test_service_throughput_kernel_measured(self, tiny_report):
+        rows = [
+            row for row in tiny_report["kernels"]
+            if row["name"] == "service_throughput"
+        ]
+        modes = {row["mode"] for row in rows}
+        assert {"scalar", "batched"} <= modes
+        assert "service_throughput" in tiny_report["speedups"]
+        section = tiny_report["service"]
+        assert section["packets"] == 200
+        for backend, stats in section["backends"].items():
+            assert stats["pps"] > 0, backend
+            assert stats["dropped_batches"] == 0
+        text = format_report(tiny_report)
+        assert "service throughput" in text
+
     def test_cluster_scaling_sweep(self, tiny_report):
         rows = tiny_report["cluster"]
         assert [row["shards"] for row in rows] == [1, 2, 4, 8]

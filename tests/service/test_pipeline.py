@@ -1,0 +1,211 @@
+"""Backpressure and lifecycle coverage for the bounded-queue pipeline.
+
+The satellite requirements pinned here: a slow consumer against a full
+bounded queue must block (or drop and count, per policy) without
+deadlocking, and the health state must flip to degraded when the
+last-ingest age exceeds its threshold.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.p4.parser import standard_parser
+from repro.service.metrics import ServiceMetrics
+from repro.service.pipeline import ServicePipeline
+from repro.stat4.batch import PacketBatch
+from repro.traffic.builders import udp_to
+
+DEADLINE = 30.0  # generous wall-clock bound; every wait below polls
+
+
+def tiny_batch(packets=4, base=0):
+    parser = standard_parser()
+    frames = [udp_to(0x0A000000 | (base + i)) for i in range(packets)]
+    return PacketBatch.from_packets(frames, parser)
+
+
+def wait_for(predicate, timeout=DEADLINE):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class GatedHandler:
+    """A consumer that blocks every call until the gate opens."""
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.calls = 0
+        self.entered = threading.Event()
+
+    def __call__(self, batch):
+        self.calls += 1
+        self.entered.set()
+        assert self.gate.wait(DEADLINE), "test gate never opened"
+        return None
+
+
+class TestBlockPolicy:
+    def test_full_queue_blocks_producer_then_drains_without_loss(self):
+        handler = GatedHandler()
+        batches = [tiny_batch(base=i * 16) for i in range(6)]
+        pipeline = ServicePipeline(
+            batches, handler, queue_depth=2, policy="block"
+        )
+        pipeline.start()
+        # Worker takes one batch and blocks in the handler; the producer
+        # fills the 2-slot queue and must then block on the next put —
+        # the source is never fully consumed while the gate is closed.
+        assert wait_for(lambda: handler.entered.is_set())
+        assert wait_for(lambda: pipeline.queue_depth == 2)
+        time.sleep(0.1)  # give a buggy producer time to overrun
+        assert not pipeline._source_done.is_set()
+        assert pipeline.state() in ("starting", "ready")
+        handler.gate.set()
+        assert pipeline.join(DEADLINE)
+        assert pipeline.drained
+        assert pipeline.state() == "drained"
+        assert handler.calls == 6
+        assert pipeline.metrics.dropped_batches == 0
+        total = sum(len(b) for b in batches)
+        assert pipeline.metrics.packets == total
+
+    def test_stop_while_producer_blocked_does_not_deadlock(self):
+        handler = GatedHandler()
+        pipeline = ServicePipeline(
+            [tiny_batch(base=i * 16) for i in range(8)],
+            handler,
+            queue_depth=1,
+            policy="block",
+        )
+        pipeline.start()
+        assert wait_for(lambda: handler.entered.is_set())
+        assert wait_for(lambda: pipeline.queue_depth == 1)
+        pipeline.stop()
+        handler.gate.set()
+        assert pipeline.join(DEADLINE), "threads wedged after stop()"
+        assert not pipeline.drained  # stopped mid-stream, not drained
+        assert pipeline.state() == "stopped"
+
+
+class TestDropPolicy:
+    def test_overflow_is_shed_and_counted(self):
+        handler = GatedHandler()
+        batches = [tiny_batch(packets=8, base=i * 16) for i in range(5)]
+        pipeline = ServicePipeline(
+            batches, handler, queue_depth=1, policy="drop"
+        )
+        pipeline.start()
+        # With the consumer gated, the producer must run the whole source
+        # dry — drop never blocks — shedding everything that overflows.
+        assert wait_for(lambda: pipeline._source_done.is_set())
+        handler.gate.set()
+        assert pipeline.join(DEADLINE)
+        assert pipeline.drained
+        metrics = pipeline.metrics
+        assert metrics.dropped_batches >= 3
+        assert metrics.batches + metrics.dropped_batches == 5
+        assert (
+            metrics.packets + metrics.dropped_packets
+            == sum(len(b) for b in batches)
+        )
+
+
+class TestHealthStates:
+    def test_degraded_when_ingest_goes_silent(self):
+        clock = {"now": 0.0}
+        source_gate = threading.Event()
+
+        def stalling_source():
+            yield tiny_batch()
+            assert source_gate.wait(DEADLINE)
+
+        pipeline = ServicePipeline(
+            stalling_source(),
+            lambda batch: None,
+            queue_depth=2,
+            degraded_after=5.0,
+            clock=lambda: clock["now"],
+        )
+        assert pipeline.state() == "starting"
+        pipeline.start()
+        assert wait_for(lambda: pipeline.metrics.batches == 1)
+        assert pipeline.state() == "ready"
+        clock["now"] = 5.1  # ingest silence exceeds the threshold
+        assert pipeline.state() == "degraded"
+        health = pipeline.health()
+        assert health["ok"] is False
+        assert health["last_ingest_age_seconds"] == pytest.approx(5.1, abs=0.2)
+        clock["now"] = 5.2
+        source_gate.set()
+        assert pipeline.join(DEADLINE)
+        assert pipeline.state() == "drained"
+        assert pipeline.health()["ok"] is True
+
+    def test_degraded_after_zero_disables_the_check(self):
+        clock = {"now": 0.0}
+        pipeline = ServicePipeline(
+            [tiny_batch()],
+            lambda batch: None,
+            degraded_after=0.0,
+            clock=lambda: clock["now"],
+        )
+        pipeline.start()
+        assert pipeline.join(DEADLINE)
+        clock["now"] = 1e6
+        assert pipeline.state() == "drained"
+
+    def test_handler_exception_surfaces_as_error_state(self):
+        def explode(batch):
+            raise RuntimeError("kernel died")
+
+        pipeline = ServicePipeline([tiny_batch()], explode, queue_depth=2)
+        pipeline.start()
+        assert pipeline.join(DEADLINE)
+        assert pipeline.state() == "error"
+        health = pipeline.health()
+        assert health["ok"] is False
+        assert "kernel died" in health["error"]
+
+    def test_source_exception_surfaces_as_error_state(self):
+        def bad_source():
+            yield tiny_batch()
+            raise OSError("feed fell over")
+
+        pipeline = ServicePipeline(bad_source(), lambda batch: None)
+        pipeline.start()
+        assert pipeline.join(DEADLINE)
+        assert pipeline.state() == "error"
+        assert "feed fell over" in pipeline.health()["error"]
+
+
+class TestValidation:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            ServicePipeline([], lambda b: None, policy="spill")
+
+    def test_rejects_nonpositive_queue_depth(self):
+        with pytest.raises(ValueError):
+            ServicePipeline([], lambda b: None, queue_depth=0)
+
+    def test_metrics_instance_is_shared(self):
+        metrics = ServiceMetrics()
+        pipeline = ServicePipeline([], lambda b: None, metrics=metrics)
+        assert pipeline.metrics is metrics
+
+    def test_results_with_digests_feed_the_counters(self):
+        class Result:
+            digests = [object(), object()]
+            kernels = {"exact_loop": 4}
+
+        pipeline = ServicePipeline([tiny_batch()], lambda batch: Result())
+        pipeline.start()
+        assert pipeline.join(DEADLINE)
+        snap = pipeline.metrics.snapshot()
+        assert snap["alerts"] == 2
+        assert snap["kernels"] == {"exact_loop": 4}
