@@ -8,11 +8,15 @@ the concurrency pass ever stops flagging these constructs, the gate
 itself has regressed (``tests/analysis/test_concurrency.py`` pins the
 exact profile).
 
-Three deliberate violations:
+Four deliberate violations:
 
 - ``bad_window_kernel`` declares ``# parallel-mode: tally`` but mutates
   an interval cursor — order-dependent, so the claim is unprovable
   (ST502);
+- ``bad_merge_kernel`` declares ``# parallel-mode: merge`` but evicts
+  hashed slots — a hard order-breaking effect no speculative merge or
+  replay-from-entry reconstructs, so the merge claim is just as
+  unprovable (ST502);
 - ``bad_worker_task`` is submitted to a pool and mutates a module-level
   registry without holding the module lock (ST503);
 - ``bad_segment_factory`` creates a shared-memory segment directly
@@ -56,6 +60,26 @@ def bad_window_kernel(state, ctx, value):
         state.window_index += 1
         state.current_count = 0
     state.stats.add_value(value)
+
+
+# parallel-mode: merge
+def bad_merge_kernel(state, ctx, value):
+    """Claims merge-replay-exact but evicts hashed slots: ST502.
+
+    Eviction picks its victim by comparing live counts along the probe
+    path, so a chunk's exit state cannot be reconstructed from any local
+    summary — neither a tracker fixpoint nor a replay from the chunk's
+    entry state makes the claim provable, and the dataflow must derive
+    order-dependent (serial) even though the kernel also runs the two
+    replayable digest streams a genuine merge kernel carries.
+    """
+    old, new, evicted = state.cells.increment(value)
+    if evicted:
+        state.stats.remove_value(evicted)
+    state.stats.observe_frequency(old)
+    state.tracker.observe(value)
+    if state.stats.is_outlier(new):
+        state.stats.emit_digest("evicted_heavy", 0, value, new)
 
 
 def bad_worker_task(chunk):

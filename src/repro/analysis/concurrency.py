@@ -25,17 +25,22 @@ under the shape (``spec.k_sigma <= 0``, ``state.tracker is not None``,
 - **replay streams** (the percentile tracker walk; the k·σ gate reads,
   cooldown stamps and digest writes): order-dependent, but reconstructible
   by one serial replay layered on the merged monoid state;
+- **mergeable register reads** (the per-packet ``reg_pos`` read feeding
+  percentile-move digests): cross-chunk, but reconstructible by a serial
+  replay that maintains a register mirror alongside the tracker walk;
 - **order-breaking effects** (circular-window cursors, hashed-slot
-  eviction, the per-packet ``reg_pos`` cross-chunk read feeding
-  percentile-move digests): no per-chunk summary reconstructs them.
+  eviction): no per-chunk summary reconstructs them.
 
 The classification follows mechanically (:func:`classify`):
 
-- any order-breaking effect → **order-dependent** (serial);
-- *two* replay streams → **order-dependent** — replay-exactness requires
-  a *single* serial replay over the monoid core; two streams would have
-  to interleave, and interleaving exactness is not derivable from
-  per-chunk summaries (the combined tracked+alerting shape);
+- any hard order-breaking effect → **order-dependent** (serial);
+- a ``reg_pos`` register read with no tracker walk to anchor the
+  register mirror → **order-dependent**;
+- *two* replay streams, or any replay stream plus the ``reg_pos`` read →
+  **merge-replay-exact** (fan-out mode ``"merge"``): per-worker local
+  tracker+alert state, merged by a deterministic serial reconciliation
+  that folds provably-silent chunks and replays the rest from their
+  entry state (the merge engine in :mod:`repro.stat4.parallel`);
 - one replay stream → **replay-exact** (fan-out mode ``"tracked"`` or
   ``"alerting"``);
 - monoid effects only → **merge-exact** (mode ``"tally"``).
@@ -105,7 +110,7 @@ _WORKER_PRAGMA = "# worker-context"
 _KERNEL_PRAGMA = re.compile(r"#\s*parallel-mode:\s*(\S+)")
 
 #: Declared kernel modes a ``# parallel-mode:`` pragma may claim.
-KERNEL_MODES = ("tally", "tracked", "alerting", "serial")
+KERNEL_MODES = ("tally", "tracked", "alerting", "merge", "serial")
 
 
 # --------------------------------------------------------------------------
@@ -139,7 +144,8 @@ class Effect(enum.Enum):
     #: Digest-sink emission: an order-dependent output stream.
     DIGEST_WRITE = "digest_write"
     #: Per-packet ``reg_pos`` read whose value feeds percentile-move
-    #: digests: a cross-chunk register read no sub-tally can reconstruct.
+    #: digests: a cross-chunk register read no sub-tally reconstructs —
+    #: only a serial replay holding a register mirror can.
     PERCENTILE_REGISTER_READ = "percentile_register_read"
     #: Interval cursor / circular-window mutation: each update depends on
     #: the cursor the previous one left.
@@ -153,10 +159,11 @@ class Effect(enum.Enum):
 
 
 class Classification(enum.Enum):
-    """The three-way verdict of the taxonomy."""
+    """The four-way verdict of the taxonomy."""
 
     MERGE_EXACT = "merge-exact"
     REPLAY_EXACT = "replay-exact"
+    MERGE_REPLAY_EXACT = "merge-replay-exact"
     ORDER_DEPENDENT = "order-dependent"
 
 
@@ -167,25 +174,37 @@ _TRACKER_STREAM = frozenset({Effect.TRACKER_WALK})
 _ALERT_STREAM = frozenset(
     {Effect.DIGEST_WRITE, Effect.ALERT_GATE_READ, Effect.ALERT_STATE}
 )
-_ORDER_BREAKING = frozenset(
+#: The register mirror: replayable, but only anchored to a tracker walk.
+_REGISTER_MIRROR = frozenset({Effect.PERCENTILE_REGISTER_READ})
+_HARD_ORDER_BREAKING = frozenset(
     {
-        Effect.PERCENTILE_REGISTER_READ,
         Effect.WINDOW_STATE,
         Effect.EVICTION,
         Effect.UNKNOWN,
     }
 )
+#: Kept for callers enumerating the non-mergeable effects; the register
+#: read is soft (merge-replayable when a tracker walk is present).
+_ORDER_BREAKING = _HARD_ORDER_BREAKING | _REGISTER_MIRROR
 
 
 def classify(effects: frozenset) -> Classification:
     """Apply the taxonomy rules to one kernel's effect set."""
-    if effects & _ORDER_BREAKING:
+    if effects & _HARD_ORDER_BREAKING:
+        return Classification.ORDER_DEPENDENT
+    register_read = bool(effects & _REGISTER_MIRROR)
+    if register_read and not effects & _TRACKER_STREAM:
+        # The reg_pos mirror is maintained by the tracker-walk replay;
+        # with no walk to anchor it, the read stays order-breaking.
         return Classification.ORDER_DEPENDENT
     streams = bool(effects & _TRACKER_STREAM) + bool(effects & _ALERT_STREAM)
-    if streams > 1:
-        # Two order-dependent replay streams would have to interleave;
-        # replay-exactness only covers a single stream over the monoid core.
-        return Classification.ORDER_DEPENDENT
+    if streams > 1 or register_read:
+        # Two replay streams (or a stream plus the register read) must
+        # interleave.  No per-chunk summary derives the interleaving, but
+        # the merge engine reconstructs it deterministically: fold chunks
+        # whose streams are provably silent, replay the rest serially from
+        # their entry state.
+        return Classification.MERGE_REPLAY_EXACT
     if streams == 1:
         return Classification.REPLAY_EXACT
     return Classification.MERGE_EXACT
@@ -198,6 +217,8 @@ def _mode_of(effects: frozenset) -> Optional[str]:
         return None
     if verdict is Classification.MERGE_EXACT:
         return "tally"
+    if verdict is Classification.MERGE_REPLAY_EXACT:
+        return "merge"
     return "tracked" if effects & _TRACKER_STREAM else "alerting"
 
 
@@ -752,8 +773,9 @@ def derive_eligibility_table() -> Dict[str, Optional[str]]:
     """The machine-readable eligibility table, derived from the ASTs.
 
     Keyed by :attr:`KernelShape.key`; values are the fan-out mode
-    (``"tally"``/``"tracked"``/``"alerting"``) or ``None`` for serial.
-    :meth:`ParallelBatchEngine._fan_out_mode` consumes this table.
+    (``"tally"``/``"tracked"``/``"alerting"``/``"merge"``) or ``None``
+    for serial.  :meth:`ParallelBatchEngine._fan_out_mode` consumes this
+    table.
     """
     global _table_cache
     if _table_cache is None:

@@ -70,6 +70,7 @@ __all__ = [
     "run_suite",
     "write_report",
     "format_report",
+    "format_merge_markdown",
     "format_scenario_table",
 ]
 
@@ -352,6 +353,136 @@ def _time_shm_parallel_kernels(
             }
         )
     return results
+
+
+def _merge_workload():
+    """Config + spec builder for the merge-engine ingest kernel.
+
+    The all-three shape (tracker + k·σ + percentile alert) over the
+    hot-key workload: both alert streams fire once the min-samples gate
+    opens, and the day-long cooldown then covers every later chunk, so
+    steady state exercises the fold path (telescoped moments + resumable
+    tracker walk) while the leading chunk exercises speculative adoption —
+    the regime the committed ``merge_parallel`` floor gates.
+    """
+    config = Stat4Config(counter_num=2, counter_size=256, binding_stages=1)
+
+    def build_spec(rt):
+        return rt.frequency_of(
+            0,
+            ExtractSpec.field("ipv4.dst", mask=0xFF),
+            percent=50,
+            percentile_alert="median_moved",
+            k_sigma=2,
+            min_samples=64,
+            cooldown=86_400.0,
+        )
+
+    return config, build_spec
+
+
+def _time_merge_parallel_kernels(
+    packets: int,
+    repeats: int,
+    backends: List[str],
+    workers: int,
+    staleness: str = "exact",
+) -> Any:
+    """The ``merge_parallel`` kernel: tracked+alerting fan-out with merge.
+
+    The last previously-serial shape, driven through the merge engine on
+    the process pool with shared-memory columns (the same transport the
+    ``shm_parallel_mean_variance`` floor gates), against the scalar
+    per-packet loop.  Returns ``(kernel rows, merge section)``; the
+    section records the chunk-resolution mix (adopted / folded / replayed
+    / stale) per backend so the replay-fallback rate is a reported number
+    rather than prose — CI surfaces it next to the speedup delta.
+
+    This kernel pins its own geometry at four workers: below two the
+    engine delegates to the serial exact loop (there is no serial fast
+    path for this shape — that is the point of the merge engine), which
+    would measure the scalar path against itself; the committed floor
+    gates the engine at its deployment geometry, not the CI matrix axis.
+    """
+    from repro.stat4.parallel import ParallelBatchEngine
+
+    workers = max(workers, 4)
+    config, build_spec = _merge_workload()
+    contexts = _make_service_contexts(packets)
+    results: List[Dict[str, Any]] = []
+    section: Dict[str, Any] = {
+        "packets": packets,
+        "workers": workers,
+        "staleness": staleness,
+        "backends": {},
+    }
+
+    def run_scalar():
+        stat4 = _bind(build_spec, config)
+        for ctx in contexts:
+            stat4.process(ctx)
+
+    seconds = _best_of(repeats, run_scalar)
+    results.append(
+        {
+            "name": "merge_parallel",
+            "mode": "scalar",
+            "backend": None,
+            "packets": packets,
+            "seconds": seconds,
+            "pps": packets / seconds if seconds > 0 else 0.0,
+        }
+    )
+    batch = PacketBatch.from_contexts(contexts)
+    for backend in backends:
+        holder: Dict[str, Any] = {}
+
+        def run_merge():
+            stat4 = _bind(build_spec, config)
+            engine = ParallelBatchEngine(
+                stat4,
+                backend=backend,
+                workers=workers,
+                executor="process",
+                share_columns=True,
+                staleness=staleness,
+            )
+            engine.process(batch)
+            holder["engine"] = engine
+
+        # One untimed warm-up: the pinned geometry means this kernel may
+        # be the first to spawn its pool size (a workers=1 matrix leg
+        # never spawned one), and process spawn plus worker imports are
+        # not what the floor gates.
+        run_merge()
+        seconds = _best_of(repeats, run_merge)
+        results.append(
+            {
+                "name": "merge_parallel",
+                "mode": "batched",
+                "backend": backend,
+                "packets": packets,
+                "seconds": seconds,
+                "pps": packets / seconds if seconds > 0 else 0.0,
+            }
+        )
+        engine = holder["engine"]
+        resolved = (
+            engine.merge_adopted_chunks
+            + engine.merge_folded_chunks
+            + engine.merge_replayed_chunks
+            + engine.merge_stale_chunks
+        )
+        section["backends"][backend] = {
+            "adopted_chunks": engine.merge_adopted_chunks,
+            "folded_chunks": engine.merge_folded_chunks,
+            "replayed_chunks": engine.merge_replayed_chunks,
+            "stale_chunks": engine.merge_stale_chunks,
+            "fallback_replay_rate": (
+                engine.merge_replayed_chunks / resolved if resolved else 0.0
+            ),
+        }
+    return results, section
 
 
 def _measure_shipping(
@@ -750,6 +881,7 @@ def run_suite(
     scenarios: bool = False,
     scenarios_only: bool = False,
     scenario_engine: str = "scalar",
+    staleness: str = "exact",
 ) -> Dict[str, Any]:
     """Run the full suite; returns the report as a plain dict.
 
@@ -772,15 +904,24 @@ def run_suite(
         scenarios_only: skip the perf kernels entirely — the scenario CI
             job wants quality rows without paying for timing runs.
         scenario_engine: replay path for the scenario rows — ``"scalar"``,
-            ``"parallel"`` (process pool + shared-memory columns), or
-            ``"both"``.
+            ``"parallel"`` (process pool + shared-memory columns),
+            ``"bounded"`` (merge engine with ``staleness="bounded"``), or
+            ``"both"`` (scalar + parallel).
+        staleness: merge-engine reconciliation for the ``merge_parallel``
+            kernel (``repro bench --staleness``) — ``"exact"`` keeps the
+            replay fallback, ``"bounded"`` skips it; recorded in the
+            report's ``merge`` section.
     """
     if pool not in ("thread", "process"):
         raise ValueError(f"unknown pool {pool!r}; pick 'thread' or 'process'")
-    if scenario_engine not in ("scalar", "parallel", "both"):
+    if staleness not in ("exact", "bounded"):
+        raise ValueError(
+            f"unknown staleness {staleness!r}; pick 'exact' or 'bounded'"
+        )
+    if scenario_engine not in ("scalar", "parallel", "bounded", "both"):
         raise ValueError(
             f"unknown scenario engine {scenario_engine!r}; "
-            "pick 'scalar', 'parallel' or 'both'"
+            "pick 'scalar', 'parallel', 'bounded' or 'both'"
         )
     run_scenario_rows = scenarios or scenarios_only
     profile_packets, profile_repeats = _QUICK_PROFILE if quick else _FULL_PROFILE
@@ -793,12 +934,17 @@ def run_suite(
     if scenarios_only:
         kernels: List[Dict[str, Any]] = []
         service_section: Optional[Dict[str, Any]] = None
+        merge_section: Optional[Dict[str, Any]] = None
     else:
         kernels = _time_stat4_kernels(n, reps, backends)
         kernels.extend(_time_ewma(n, reps, backends))
         kernels.extend(_time_cluster_kernels(n, reps, backends))
         kernels.extend(_time_parallel_kernels(n, reps, backends, workers, pool))
         kernels.extend(_time_shm_parallel_kernels(n, reps, backends, workers))
+        merge_rows, merge_section = _time_merge_parallel_kernels(
+            n, reps, backends, workers, staleness
+        )
+        kernels.extend(merge_rows)
         service_rows, service_section = _time_service_kernels(n, reps, backends)
         kernels.extend(service_rows)
     report: Dict[str, Any] = {
@@ -818,6 +964,7 @@ def run_suite(
         "cluster": [] if scenarios_only else _time_cluster_scaling(n, reps, backends[0]),
         "shipping": None if scenarios_only else _measure_shipping(n, backends[0], workers),
         "service": service_section,
+        "merge": merge_section,
         "speedups": _speedups(kernels),
     }
     if run_scenario_rows:
@@ -882,6 +1029,24 @@ def format_report(report: Dict[str, Any]) -> str:
             f"list chunks: {shipping['list_bytes_per_batch']:,} B "
             f"({shipping['list_tasks_per_batch']} tasks)"
         )
+    merge = report.get("merge")
+    if merge and merge.get("backends"):
+        lines.append("")
+        lines.append(
+            f"merge-engine chunk resolution ({merge['packets']:,} packets, "
+            f"{merge['workers']} workers, staleness={merge['staleness']}):"
+        )
+        lines.append(
+            f"  {'backend':<8} {'adopted':>8} {'folded':>7} {'replayed':>9} "
+            f"{'stale':>6} {'fallback':>9}"
+        )
+        for backend, row in merge["backends"].items():
+            lines.append(
+                f"  {backend:<8} {row['adopted_chunks']:>8} "
+                f"{row['folded_chunks']:>7} {row['replayed_chunks']:>9} "
+                f"{row['stale_chunks']:>6} "
+                f"{row['fallback_replay_rate'] * 100:>8.1f}%"
+            )
     service = report.get("service")
     if service and service.get("backends"):
         lines.append("")
@@ -928,6 +1093,37 @@ def format_report(report: Dict[str, Any]) -> str:
     if scenario_section:
         lines.append("")
         lines.append(scenario_section)
+    return "\n".join(lines)
+
+
+def format_merge_markdown(report: Dict[str, Any]) -> str:
+    """Markdown twin of the merge-resolution table, or ``""`` without one.
+
+    CI appends this to ``GITHUB_STEP_SUMMARY`` so the fallback-replay
+    rate — the health metric of the merge engine's speculation — shows
+    on the run page next to the floor verdicts.  A creeping rate means
+    chunks keep missing the fixpoint/fold fast paths and the committed
+    ``merge_parallel`` floor is living on borrowed time.
+    """
+    merge = report.get("merge")
+    if not merge or not merge.get("backends"):
+        return ""
+    lines = [
+        "### Merge-engine chunk resolution",
+        "",
+        f"{merge['packets']:,} packets, {merge['workers']} workers, "
+        f"staleness={merge['staleness']}",
+        "",
+        "| backend | adopted | folded | replayed | stale | fallback replay |",
+        "| --- | ---: | ---: | ---: | ---: | ---: |",
+    ]
+    for backend, row in merge["backends"].items():
+        lines.append(
+            f"| {backend} | {row['adopted_chunks']} | {row['folded_chunks']} "
+            f"| {row['replayed_chunks']} | {row['stale_chunks']} "
+            f"| {row['fallback_replay_rate'] * 100:.1f}% |"
+        )
+    lines.append("")
     return "\n".join(lines)
 
 

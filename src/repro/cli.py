@@ -222,9 +222,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--scenario-engine",
-        choices=["scalar", "parallel", "both"],
+        choices=["scalar", "parallel", "bounded", "both"],
         default="scalar",
-        help="replay engine(s) for the scenario suite (default scalar)",
+        help=(
+            "replay engine(s) for the scenario suite (default scalar; "
+            "'bounded' benches the merge engine without replay fallback, "
+            "'both' runs the gated scalar+parallel pair)"
+        ),
+    )
+    bench.add_argument(
+        "--staleness",
+        choices=["exact", "bounded"],
+        default="exact",
+        help=(
+            "merge-engine reconciliation for the merge_parallel kernel: "
+            "exact keeps the replay fallback, bounded skips it"
+        ),
     )
 
     serve = sub.add_parser(
@@ -283,6 +296,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["thread", "process"],
         default="process",
         help="parallel-engine executor",
+    )
+    serve.add_argument(
+        "--staleness",
+        choices=["exact", "bounded"],
+        default="exact",
+        help=(
+            "merge-engine reconciliation for tracked+alerting bindings: "
+            "exact is bit-identical to scalar, bounded trades digest "
+            "exactness for throughput"
+        ),
     )
     serve.add_argument(
         "--queue-depth",
@@ -574,6 +597,7 @@ def _cmd_bench(args) -> int:
         compare_scenario_reports,
         format_delta_markdown,
         format_delta_table,
+        format_merge_markdown,
         format_report,
         format_scenario_delta_markdown,
         format_scenario_delta_table,
@@ -606,6 +630,7 @@ def _cmd_bench(args) -> int:
         scenarios=want_scenarios,
         scenarios_only=args.scenarios_only,
         scenario_engine=args.scenario_engine,
+        staleness=args.staleness,
     )
     path = write_report(report, output=args.output)
     if args.json:
@@ -653,9 +678,16 @@ def _cmd_bench(args) -> int:
                 print(line)
         # On GitHub Actions, render the verdicts on the run page too.
         if summary_path:
+            merge_markdown = format_merge_markdown(report)
             with open(summary_path, "a", encoding="utf-8") as handle:
                 handle.write(format_delta_markdown(rows, args.tolerance))
                 handle.write("\n")
+                if merge_markdown:
+                    # The fallback-replay rate belongs next to the floor
+                    # verdicts: a creeping rate forecasts a merge_parallel
+                    # regression before the floor actually breaks.
+                    handle.write(merge_markdown)
+                    handle.write("\n")
                 if suggestions:
                     handle.write(format_suggestions_markdown(suggestions))
                     handle.write("\n")
@@ -728,6 +760,7 @@ def _cmd_serve(args) -> int:
         backend=args.backend,
         workers=args.workers,
         pool=args.pool,
+        staleness=args.staleness,
         queue_depth=args.queue_depth,
         policy=args.policy,
         degraded_after=args.degraded_after,

@@ -8,6 +8,12 @@ Two threads around one ``queue.Queue(maxsize=N)``:
 - the **worker** drains the queue through a handler (the detection
   engine) and folds the result into :class:`ServiceMetrics`.
 
+The handler's kernel counters flow through untouched, so ``/stats``
+shows exactly which ingest kernels a served workload hits — including
+``merge_parallel`` once a tracked+alerting binding fans out under the
+parallel engine's merge mode (previously those bindings pinned one core
+in the serial exact loop).
+
 Backpressure is an explicit policy, not an accident of buffer growth:
 
 - ``"block"`` — the producer waits for queue space (in short timed puts

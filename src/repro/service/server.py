@@ -167,6 +167,9 @@ class DetectionService:
         engine: ``"scalar"`` or ``"parallel"``.
         backend: batch backend (``auto``/``numpy``/``python``).
         workers / pool: parallel-engine fan-out shape.
+        staleness: merge-engine reconciliation for tracked+alerting
+            bindings (``"exact"`` is bit-identical to scalar;
+            ``"bounded"`` skips the replay fallback for throughput).
         queue_depth / policy / degraded_after: pipeline knobs (see
             :class:`ServicePipeline`).
         with_http: serve the JSON API (off for in-process bench use).
@@ -184,6 +187,7 @@ class DetectionService:
         backend: str = "auto",
         workers: int = 4,
         pool: str = "process",
+        staleness: str = "exact",
         queue_depth: int = 8,
         policy: str = "block",
         degraded_after: float = 5.0,
@@ -235,10 +239,15 @@ class DetectionService:
             self.engine: BatchEngine = BatchEngine(self.stat4, backend=backend)
         elif engine == "parallel":
             self.engine = ParallelBatchEngine(
-                self.stat4, backend=backend, workers=workers, executor=pool
+                self.stat4,
+                backend=backend,
+                workers=workers,
+                executor=pool,
+                staleness=staleness,
             )
         else:
             raise ValueError(f"unknown engine {engine!r}; pick scalar or parallel")
+        self.staleness = staleness
 
         self.metrics = ServiceMetrics(clock=clock)
         self.alerts = AlertLog(capacity=alert_capacity)
@@ -349,6 +358,17 @@ class DetectionService:
         payload["state"] = self.pipeline.state()
         payload["queue_depth"] = self.pipeline.queue_depth
         payload["alert_cursor"] = self.alerts.cursor
+        if isinstance(self.engine, ParallelBatchEngine):
+            # Merge-engine observability: how tracked+alerting chunks were
+            # reconciled since start (adopt/fold are the fast paths; a high
+            # replay share means chunks keep crossing alert boundaries).
+            payload["staleness"] = self.staleness
+            payload["merge_chunks"] = {
+                "adopted": self.engine.merge_adopted_chunks,
+                "folded": self.engine.merge_folded_chunks,
+                "replayed": self.engine.merge_replayed_chunks,
+                "stale": self.engine.merge_stale_chunks,
+            }
         return payload
 
     def describe_bindings(self) -> Dict[str, Any]:

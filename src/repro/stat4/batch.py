@@ -968,6 +968,39 @@ class BatchEngine:
         tracker.total += observed
         tracker.moves += moves
 
+    def _tracker_replay(self, tracker, events: List[int]) -> bool:
+        """Resumable tracker walk over one window of observe/tick events.
+
+        ``events`` is the window's exact event sequence — a value in
+        ``[0, domain)`` is one ``observe``, ``-1`` one ``tick`` — replayed
+        from whatever entry state the tracker currently holds, so callers
+        can chunk a run and walk it window by window (the parallel merge
+        engine folds provably-silent chunks through exactly this entry
+        point).  Dispatches to the vectorized :meth:`_tracker_walk` when
+        numpy is available and the tracker moves one step per packet, and
+        to the scalar tracker otherwise; both count moves identically.
+        Returns ``True`` when the window requires a position-register
+        sync under the serial write gate: an observation landed, or the
+        tracker entered the window holding a position and a value-free
+        packet ticked it.
+        """
+        if not events:
+            return False
+        had_value = tracker.has_value
+        observed = sum(1 for value in events if value >= 0)
+        if self._np is not None and tracker.steps_per_update == 1:
+            self._tracker_walk(
+                tracker, self._np.asarray(events, dtype=self._np.int64)
+            )
+        else:
+            for value in events:
+                if value < 0:
+                    if tracker.has_value:
+                        tracker.tick()
+                else:
+                    tracker.observe(value)
+        return bool(observed or (had_value and len(events) > observed))
+
     def _sparse_kernel(
         self,
         state,
@@ -1039,11 +1072,15 @@ class BatchEngine:
         the library's.  Only the per-packet ``reg_current`` writes are
         coalesced: the register holds the same final value either way.
 
-        The scan is deliberately scalar Python even on the numpy backend:
-        ``interval_start`` changes at every close, so a vectorized compare
-        would re-examine the whole remaining segment per close (quadratic
-        when closes are frequent), while this loop touches each event
-        exactly once.
+        On the numpy backend the close search is a galloping block scan:
+        the same ``(ts[k] - start) >= interval`` float subtract-and-compare
+        (both operands are IEEE doubles on either backend), evaluated over
+        doubling-size blocks from the cursor, so each close costs work
+        proportional to its distance from the cursor — never the whole
+        remaining segment, which is the quadratic regime a naive
+        full-tail compare per close would hit when closes are frequent.
+        The list backend keeps the one-pass scalar scan; both take
+        bit-identical close decisions.
         """
         stat4 = self.stat4
         spec = state.spec
@@ -1059,13 +1096,21 @@ class BatchEngine:
             stat4.reg_interval_start.write(dist, _to_us(ts[0]))
             state.current_count += counts[0]
             idx = 1
+        tsv = (
+            self._np.asarray(ts, dtype=self._np.float64)
+            if self._np is not None
+            else None
+        )
         while idx < m:
             start = state.interval_start
-            j = -1
-            for k in range(idx, m):
-                if ts[k] - start >= interval:
-                    j = k
-                    break
+            if tsv is not None:
+                j = self._next_close(tsv, start, idx, interval)
+            else:
+                j = -1
+                for k in range(idx, m):
+                    if ts[k] - start >= interval:
+                        j = k
+                        break
             if j < 0:
                 state.current_count += sum(counts[idx:])
                 break
@@ -1078,6 +1123,29 @@ class BatchEngine:
             state.current_count += counts[j]
             idx = j + 1
         stat4.reg_current.write(dist, state.current_count)
+
+    def _next_close(self, tsv, start: float, idx: int, interval: float) -> int:
+        """Galloping search for the first ``k >= idx`` closing an interval.
+
+        Evaluates exactly the scalar close predicate —
+        ``(ts[k] - start) >= interval`` as one float64 subtract and
+        compare per element — over blocks that double in size, stopping at
+        the first block containing a hit.  Returns -1 when no event in the
+        tail closes the interval.
+        """
+        np = self._np
+        m = len(tsv)
+        k = idx
+        block = 32
+        while k < m:
+            stop = min(m, k + block)
+            hits = (tsv[k:stop] - start) >= interval
+            first = int(np.argmax(hits))
+            if hits[first]:
+                return k + first
+            k = stop
+            block <<= 1
+        return -1
 
     def _exact_loop(
         self,

@@ -30,7 +30,15 @@ from typing import List, Optional, Tuple
 from repro.p4.errors import ValueRangeError
 from repro.p4.registers import RegisterArray, RegisterFile
 
+try:  # pragma: no cover - absence exercised on the list backend
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 __all__ = ["HashedCells"]
+
+#: Unique-key count above which bulk probe hashing goes vectorized.
+_VECTOR_THRESHOLD = 32
 
 # Odd 64-bit multipliers for per-stage multiply-shift hashing.
 _STAGE_SEEDS = (
@@ -112,9 +120,51 @@ class HashedCells:
 
         The batched sparse kernel hands the whole batch's unique values in
         at once, so the per-key hash pipeline runs exactly once per batch
-        regardless of how many packets repeat a key.
+        regardless of how many packets repeat a key.  High-cardinality
+        batches hash stage-parallel over numpy lanes
+        (:meth:`_probe_paths_vector`); the result is bit-identical to the
+        scalar loop either way.
         """
+        keys = list(keys)
+        if (
+            _np is not None
+            and len(keys) >= _VECTOR_THRESHOLD
+            and self.slots_per_stage < 1 << 31
+            and keys
+            and max(keys) <= 0xFFFFFFFFFFFFFFFF
+        ):
+            return self._probe_paths_vector(keys)
         return {key: self.probe_path(key) for key in keys}
+
+    def _probe_paths_vector(self, keys: List[int]) -> dict:
+        """Stage-parallel probe hashing for high-cardinality batches.
+
+        One vector pass per stage computes every key's multiply-shift
+        slot.  The scalar hash needs the high 64 bits of the 128-bit
+        ``hashed * slots_per_stage`` product, which uint64 lanes cannot
+        hold, so ``hashed`` is split into 32-bit halves: with
+        ``hashed = hi·2³² + lo`` and ``S = slots_per_stage``,
+        ``(hashed·S) >> 64 == (hi·S + ((lo·S) >> 32)) >> 32`` and every
+        intermediate fits 64 bits while ``S < 2³¹`` (guarded by the
+        caller).  Bit-identical to :meth:`_slot`.
+        """
+        if min(keys) < 0:
+            raise ValueRangeError("keys are unsigned")
+        arr = _np.asarray(keys, dtype=_np.uint64)  # p4-ok: host-side batch amortization of the per-packet hash
+        spread = _np.uint64(self.slots_per_stage)  # p4-ok: host-side batch amortization
+        half = _np.uint64(32)  # p4-ok: host-side batch amortization
+        low_mask = _np.uint64(0xFFFFFFFF)  # p4-ok: host-side batch amortization
+        slots = []
+        for stage in range(self.stages):
+            hashed = arr * _np.uint64(_STAGE_SEEDS[stage])  # wraps mod 2^64  # p4-ok: host-side batch amortization
+            hi = hashed >> half
+            lo = hashed & low_mask
+            slots.append(((hi * spread + ((lo * spread) >> half)) >> half).tolist())
+        stage_range = range(self.stages)
+        return {
+            key: tuple((stage, slots[stage][i]) for stage in stage_range)
+            for i, key in enumerate(keys)
+        }
 
     # -- updates -------------------------------------------------------------
 

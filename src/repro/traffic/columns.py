@@ -57,6 +57,11 @@ __all__ = [
     "attach_column",
     "encode_column",
     "decode_column",
+    "DIGEST_KIND_PERCENTILE",
+    "DIGEST_KIND_KSIGMA",
+    "DIGEST_RECORD_STRIDE",
+    "encode_digest_records",
+    "decode_digest_records",
     "live_segment_count",
     "release_all_segments",
     "ensure_termination_cleanup",
@@ -97,6 +102,59 @@ def decode_column(backing: Any) -> Column:
     """Decode a backing array (or view) back into a ``None``-bearing list."""
 
     return [None if v == NONE_SENTINEL else int(v) for v in _tolist(backing)]
+
+
+#: Digest-record kinds for the per-worker digest ship-back (the parallel
+#: merge engine's local alert buffers).  Records are chunk-relative:
+#: ``seq`` is the event's index *within its chunk*; the merge re-bases it
+#: onto the run's absolute ``(packet, stage)`` when the chunk is adopted.
+DIGEST_KIND_PERCENTILE = 0  # (kind, seq, position, previous)
+DIGEST_KIND_KSIGMA = 1  # (kind, seq, index, sample, scaled_sample, xsum, stddev_nx, count)
+
+#: Fixed row stride of the encoded digest blob, in int64 slots.
+DIGEST_RECORD_STRIDE = 8
+
+_DIGEST_KIND_WIDTHS = {DIGEST_KIND_PERCENTILE: 4, DIGEST_KIND_KSIGMA: 8}
+
+
+def encode_digest_records(records: Sequence[Tuple[int, ...]]) -> bytes:
+    """Pack per-worker digest records into one flat int64 byte blob.
+
+    Each record is ``(kind, seq, *fields)`` of plain ints; rows are padded
+    to :data:`DIGEST_RECORD_STRIDE` slots so the blob is random-access.
+    This is the process-pool ship-back shape: a chunk's whole local digest
+    buffer crosses the pool boundary as one compact ``bytes`` value
+    instead of a pickled list of tuples.  Raises ``OverflowError`` if a
+    field exceeds int64 (callers fall back to shipping the raw records).
+    """
+
+    flat = _array.array("q")
+    for record in records:
+        if len(record) > DIGEST_RECORD_STRIDE:
+            raise ValueError(
+                "digest record wider than %d slots: %r"
+                % (DIGEST_RECORD_STRIDE, record)
+            )
+        flat.extend(record)
+        flat.extend([0] * (DIGEST_RECORD_STRIDE - len(record)))
+    return flat.tobytes()
+
+
+def decode_digest_records(data: bytes) -> List[Tuple[int, ...]]:
+    """Decode :func:`encode_digest_records` output back into record tuples.
+
+    Rows are trimmed back to their kind's width, so a round trip returns
+    exactly the encoded records.
+    """
+
+    flat = _array.array("q")
+    flat.frombytes(data)
+    records: List[Tuple[int, ...]] = []
+    for i in range(0, len(flat), DIGEST_RECORD_STRIDE):
+        row = flat[i : i + DIGEST_RECORD_STRIDE]
+        width = _DIGEST_KIND_WIDTHS.get(row[0], DIGEST_RECORD_STRIDE)
+        records.append(tuple(row[:width]))
+    return records
 
 
 def _tolist(backing: Any) -> List[Any]:

@@ -109,9 +109,12 @@ class TestShapeTable:
         assert classify(kernel_effects(tracked)) is Classification.REPLAY_EXACT
         assert classify(kernel_effects(alerting)) is Classification.REPLAY_EXACT
 
-    def test_two_replay_streams_are_order_dependent(self):
+    def test_two_replay_streams_are_merge_replay_exact(self):
+        # Tracker + k·σ digests interleave, but both streams replay from
+        # per-chunk entry state: the dataflow pass proves the speculative
+        # merge-with-replay-fallback reconstruction is exact.
         both = KernelShape.of_spec(_spec(percent=50, k_sigma=2))
-        assert classify(kernel_effects(both)) is Classification.ORDER_DEPENDENT
+        assert classify(kernel_effects(both)) is Classification.MERGE_REPLAY_EXACT
 
     def test_derived_table_is_byte_identical_to_declared(self):
         # The differential that let _fan_out_mode retire its hand table:
@@ -122,12 +125,15 @@ class TestShapeTable:
             parallel.DECLARED_ELIGIBILITY, sort_keys=True
         )
 
-    def test_exactly_three_shapes_are_eligible(self):
+    def test_exactly_six_shapes_are_eligible(self):
         derived = derive_eligibility_table()
         assert {k: v for k, v in derived.items() if v is not None} == {
             "frequency": "tally",
             "frequency+alerting": "alerting",
             "frequency+tracked": "tracked",
+            "frequency+tracked+alerting": "merge",
+            "frequency+tracked+percentile_alert": "merge",
+            "frequency+tracked+alerting+percentile_alert": "merge",
         }
 
     def test_check_eligibility_is_clean_on_the_live_tables(self):
@@ -186,10 +192,10 @@ class TestEngineConsumesDerivedTable:
             ({}, "tally"),
             ({"percent": 50}, "tracked"),
             ({"k_sigma": 2}, "alerting"),
-            ({"percent": 50, "k_sigma": 2}, None),
+            ({"percent": 50, "k_sigma": 2}, "merge"),
             (
                 {"percent": 50, "k_sigma": 2, "percentile_alert": "p50"},
-                None,
+                "merge",
             ),
         ],
     )
@@ -215,6 +221,17 @@ class TestEngineConsumesDerivedTable:
             ParallelBatchEngine._fan_out_mode(_spec())
         # monkeypatch restores both attributes; the next call re-derives
         # from the real declaration and must succeed again.
+
+    def test_declared_drift_on_a_merge_row_raises_too(self, monkeypatch):
+        # The drift guard covers the new classification: demoting a
+        # merge-replay-exact shape back to serial by hand must be refused
+        # just like promoting an order-dependent one.
+        drifted = dict(parallel.DECLARED_ELIGIBILITY)
+        drifted["frequency+tracked+alerting"] = None
+        monkeypatch.setattr(parallel, "DECLARED_ELIGIBILITY", drifted)
+        monkeypatch.setattr(parallel, "_ELIGIBILITY", None)
+        with pytest.raises(RuntimeError, match="frequency\\+tracked\\+alerting"):
+            ParallelBatchEngine._fan_out_mode(_spec())
 
 
 # --------------------------------------------------------------------------
@@ -453,7 +470,12 @@ class TestKnownBadKernelFixture:
             for d in diags
             if d.severity.value == "error"
         )
-        assert errors == [("ST502", 45), ("ST503", 64), ("ST505", 83)]
+        assert errors == [
+            ("ST502", 49),  # bad_window_kernel: tally claim, window cursor
+            ("ST502", 66),  # bad_merge_kernel: merge claim, eviction
+            ("ST503", 88),
+            ("ST505", 107),
+        ]
         # The in-file positive control: the good kernel's claim is proven.
         infos = [d for d in diags if d.code == "ST501"]
         assert any(d.context.get("kernel") == "good_tally_kernel" for d in infos)

@@ -273,6 +273,49 @@ def _frequency_tracked_scenario():
     return stat4
 
 
+@scenario("frequency_tracked_ksigma")
+def _frequency_tracked_ksigma_scenario():
+    """Tracked percentile + k·σ alerts, no percentile alert.
+
+    One of the three previously-serial merge shapes: the tracker makes
+    the kernel order-dependent per chunk, but both digest streams are
+    replayable, so the parallel engine speculates per worker and merges
+    (``merge_parallel``) instead of pinning a core in the exact loop.
+    """
+    config = Stat4Config(counter_num=4, counter_size=256, binding_stages=1)
+    stat4 = Stat4(config)
+    runtime = Stat4Runtime(stat4)
+    spec = runtime.frequency_of(
+        0,
+        ExtractSpec.field("ipv4.dst", mask=0xFF),
+        k_sigma=2,
+        percent=50,
+    )
+    runtime.bind(0, BindingMatch(ether_type=0x0800), spec)
+    return stat4
+
+
+@scenario("frequency_tracked_pa")
+def _frequency_tracked_pa_scenario():
+    """Tracked percentile + percentile-movement alerts, no k·σ.
+
+    The third merge shape: only the percentile digest stream is live, so
+    chunk silence hinges on the tracker staying put — the merge engine's
+    fixpoint/fold/replay resolution must still be bit-identical.
+    """
+    config = Stat4Config(counter_num=4, counter_size=256, binding_stages=1)
+    stat4 = Stat4(config)
+    runtime = Stat4Runtime(stat4)
+    spec = runtime.frequency_of(
+        0,
+        ExtractSpec.field("ipv4.dst", mask=0xFF),
+        percent=50,
+        percentile_alert="median_moved",
+    )
+    runtime.bind(0, BindingMatch(ether_type=0x0800), spec)
+    return stat4
+
+
 @scenario("time_series")
 def _time_series_scenario():
     """Interval closes, window wrap, silent gaps, spike alerts."""

@@ -19,8 +19,13 @@ from hypothesis import strategies as st
 
 from repro.stat4 import (
     BatchEngine,
+    BindingMatch,
+    ExtractSpec,
     PacketBatch,
     ParallelBatchEngine,
+    Stat4,
+    Stat4Config,
+    Stat4Runtime,
     split_batch,
 )
 from tests.stat4.test_batch_differential import (
@@ -148,18 +153,27 @@ class TestFanOut:
         result = engine.process(PacketBatch.from_contexts(contexts))
         assert result.kernels.get("alert_parallel", 0) > 0
 
-    def test_order_dependent_runs_stay_serial(self):
-        # A tracker *and* alerts interleave digests order-dependently:
-        # everything must go through the serial exact loop even at
-        # workers=4.
+    @pytest.mark.parametrize(
+        "scenario_name",
+        [
+            "frequency_tracked",
+            "frequency_tracked_ksigma",
+            "frequency_tracked_pa",
+        ],
+    )
+    def test_merge_shapes_fan_out(self, scenario_name):
+        # A tracker plus replayable digest streams used to pin the whole
+        # run in the serial exact loop; the merge mode now fans these
+        # three shapes out — workers speculate on fully local state, the
+        # main thread reconciles per chunk.
         contexts = generate_trace(5, packets=4_000)
-        stat4 = SCENARIOS["frequency_tracked"]()
+        stat4 = SCENARIOS[scenario_name]()
         engine = ParallelBatchEngine(
             stat4, backend="python", workers=4, executor="thread", min_chunk=128
         )
         result = engine.process(PacketBatch.from_contexts(contexts))
+        assert result.kernels.get("merge_parallel", 0) > 0
         assert "frequency_parallel" not in result.kernels
-        assert "percentile_parallel" not in result.kernels
         assert "alert_parallel" not in result.kernels
 
     def test_shm_shipping_stays_under_a_kilobyte_per_batch(self):
@@ -197,6 +211,124 @@ class TestFanOut:
         )
         result = engine.process(PacketBatch.from_contexts(contexts))
         assert "frequency_parallel" not in result.kernels
+
+
+def _covered_cooldown_scenario():
+    """The fold-path shape: tracked + k·σ with a trace-covering cooldown.
+
+    After the first alert stamps ``last_alert``, every later chunk's
+    max-timestamp bound proves the k·σ stream silent for the whole
+    chunk; with no percentile alert stream the chunk folds — telescoped
+    moments plus one resumable tracker walk, no per-packet replay.
+    """
+    config = Stat4Config(counter_num=4, counter_size=256, binding_stages=1)
+    stat4 = Stat4(config)
+    runtime = Stat4Runtime(stat4)
+    spec = runtime.frequency_of(
+        0,
+        ExtractSpec.field("ipv4.dst", mask=0xFF),
+        k_sigma=2,
+        min_samples=3,
+        cooldown=1e9,
+        percent=50,
+    )
+    runtime.bind(0, BindingMatch(ether_type=0x0800), spec)
+    return stat4
+
+
+class TestMergeResolution:
+    """Pin each chunk-resolution path of the merge engine.
+
+    The hypothesis suites above prove bit-identity for whatever mix of
+    adopt/fold/replay a trace happens to produce; these tests force each
+    path and check the engine counters, so a regression cannot hide
+    behind the replay fallback quietly resolving every chunk.
+    """
+
+    def _fan_out(self, stat4, contexts, **kwargs):
+        engine = ParallelBatchEngine(
+            stat4,
+            backend="python",
+            workers=4,
+            executor="thread",
+            min_chunk=128,
+            **kwargs,
+        )
+        digests = []
+        for chunk in split_batch(PacketBatch.from_contexts(contexts), CHUNK):
+            digests.extend(engine.process(chunk).digests)
+        return engine, digests
+
+    def test_first_chunk_adopts_worker_speculation(self):
+        # The first chunk of a batch sees exactly the entry state its
+        # worker snapshotted, so the tracker fixpoint holds and the
+        # speculated exit is adopted wholesale.
+        contexts = generate_trace(5, packets=4_000)
+        stat4 = SCENARIOS["frequency_tracked"]()
+        engine = ParallelBatchEngine(
+            stat4, backend="python", workers=4, executor="thread", min_chunk=128
+        )
+        engine.process(PacketBatch.from_contexts(contexts))
+        assert engine.merge_adopted_chunks >= 1
+
+    def test_boundary_chunks_replay_and_stay_identical(self):
+        # No cooldown: alert decisions depend on state crossing chunk
+        # boundaries, so later chunks miss the fixpoint and fall back to
+        # entry-state replay — which must still be bit-identical, every
+        # digest in scalar order.
+        contexts = generate_trace(5, packets=TRACE_PACKETS)
+        scalar = SCENARIOS["frequency_tracked"]()
+        fanned = SCENARIOS["frequency_tracked"]()
+        scalar_digests = process_scalar(scalar, contexts)
+        engine, digests = self._fan_out(fanned, contexts)
+        assert engine.merge_replayed_chunks > 0
+        assert engine.merge_stale_chunks == 0
+        assert_equal_state(scalar, fanned, scalar_digests, digests)
+
+    def test_covered_cooldown_chunks_fold_without_replay(self):
+        contexts = generate_trace(5, packets=TRACE_PACKETS)
+        scalar = _covered_cooldown_scenario()
+        fanned = _covered_cooldown_scenario()
+        scalar_digests = process_scalar(scalar, contexts)
+        engine, digests = self._fan_out(fanned, contexts)
+        assert engine.merge_folded_chunks > 0
+        assert_equal_state(scalar, fanned, scalar_digests, digests)
+
+    def test_merge_fans_out_over_shm_process_pool(self):
+        # One fixed-seed shm run outside the hypothesis loop: the merge
+        # mode must ship column descriptors to a process pool and come
+        # back bit-identical, with the merge kernel counter ticking.
+        contexts = generate_trace(7, packets=4_000)
+        scalar = SCENARIOS["frequency_tracked"]()
+        shm = SCENARIOS["frequency_tracked"]()
+        scalar_digests = process_scalar(scalar, contexts)
+        engine = ParallelBatchEngine(
+            shm, backend="python", workers=2, executor="process", min_chunk=128
+        )
+        result = engine.process(PacketBatch.from_contexts(contexts))
+        assert result.kernels.get("merge_parallel", 0) > 0
+        assert_equal_state(scalar, shm, scalar_digests, list(result.digests))
+
+    def test_bounded_staleness_keeps_counts_exact(self):
+        # The opt-in trade-off: digests may land a chunk late (or fire
+        # from a stale snapshot), but counting registers, moments, and
+        # the tracker fold exactly — never approximately.
+        contexts = generate_trace(5, packets=TRACE_PACKETS)
+        scalar = SCENARIOS["frequency_tracked"]()
+        bounded = SCENARIOS["frequency_tracked"]()
+        process_scalar(scalar, contexts)
+        engine, _ = self._fan_out(bounded, contexts, staleness="bounded")
+        assert engine.merge_stale_chunks > 0
+        assert engine.merge_replayed_chunks == 0
+        state_a = scalar.state_of(0)
+        state_b = bounded.state_of(0)
+        assert state_a.stats.snapshot() == state_b.stats.snapshot()
+        assert state_a.tracker.freqs == state_b.tracker.freqs
+        assert state_a.tracker.value == state_b.tracker.value
+
+    def test_bounded_staleness_rejected_for_unknown_value(self):
+        with pytest.raises(ValueError):
+            ParallelBatchEngine(SCENARIOS["frequency"](), staleness="sloppy")
 
 
 class TestSplitBatch:

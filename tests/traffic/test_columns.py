@@ -12,6 +12,9 @@ import pickle
 import pytest
 
 from repro.traffic.columns import (
+    DIGEST_KIND_KSIGMA,
+    DIGEST_KIND_PERCENTILE,
+    DIGEST_RECORD_STRIDE,
     NONE_SENTINEL,
     AttachedColumn,
     ColumnDescriptor,
@@ -19,7 +22,9 @@ from repro.traffic.columns import (
     SharedColumnSegment,
     attach_column,
     decode_column,
+    decode_digest_records,
     encode_column,
+    encode_digest_records,
     live_segment_count,
     release_all_segments,
     slice_backing,
@@ -49,6 +54,35 @@ class TestEncodeDecode:
         backing = encode_column([])
         assert len(backing) == 0
         assert decode_column(backing) == []
+
+
+class TestDigestRecordCodec:
+    """The merge engine's ship-back blob for speculated digest records."""
+
+    def test_mixed_kind_round_trip(self):
+        records = [
+            (DIGEST_KIND_KSIGMA, 0, 42, 7, 700, 12345, 678, 1000),
+            (DIGEST_KIND_PERCENTILE, 3, 17, 16),
+            (DIGEST_KIND_KSIGMA, 9, 0, 0, 0, 0, 0, 0),
+        ]
+        assert decode_digest_records(encode_digest_records(records)) == records
+
+    def test_rows_are_stride_padded(self):
+        blob = encode_digest_records([(DIGEST_KIND_PERCENTILE, 1, 2, 3)])
+        assert len(blob) == DIGEST_RECORD_STRIDE * 8
+
+    def test_empty_round_trip(self):
+        assert decode_digest_records(encode_digest_records([])) == []
+
+    def test_int64_overflow_raises_for_fallback(self):
+        # The shipper catches OverflowError and falls back to pickling
+        # the raw record list — the codec must signal, not truncate.
+        with pytest.raises(OverflowError):
+            encode_digest_records([(DIGEST_KIND_KSIGMA, 0, 1 << 64, 0, 0, 0, 0, 0)])
+
+    def test_rejects_overwide_record(self):
+        with pytest.raises(ValueError):
+            encode_digest_records([tuple(range(DIGEST_RECORD_STRIDE + 1))])
 
 
 class TestColumnStore:
