@@ -43,6 +43,7 @@ from repro.analysis.concurrency import (
     KernelShape,
     audit_spec_fields,
     check_eligibility,
+    check_generated_kernels,
     check_kernel_file,
     check_shared_state_file,
     check_shared_state_source,
@@ -114,6 +115,7 @@ __all__ = [
     "KernelShape",
     "audit_spec_fields",
     "check_eligibility",
+    "check_generated_kernels",
     "check_kernel_file",
     "check_shared_state_file",
     "check_shared_state_source",

@@ -852,8 +852,177 @@ def classification_report() -> List[Diagnostic]:
 
 
 def kernel_table_diagnostics() -> List[Diagnostic]:
-    """The full kernel-table gate: classifications, drift, field audit."""
-    return classification_report() + check_eligibility() + audit_spec_fields()
+    """The full kernel-table gate: classifications, drift, field audit,
+    and the generated-kernel audit (op set + pragma drift)."""
+    return (
+        classification_report()
+        + check_eligibility()
+        + audit_spec_fields()
+        + check_generated_kernels()
+    )
+
+
+# --------------------------------------------------------------------------
+# Generated kernels (compiled tier, ST51x)
+# --------------------------------------------------------------------------
+
+#: Everything a generated kernel may contain.  The arithmetic mirrors the
+#: line ST401 draws for hand-written detector code — adds, subtracts,
+#: shifts, masks, compares, plus the host-side telescoped multiplies
+#: ``library.py`` itself uses — and the statement forms are the loop/branch
+#: skeleton of the templates.  Division, modulo, exponentiation, imports,
+#: comprehensions, try/with, and every other construct are absent from
+#: this set and therefore ST510 violations.
+_GENERATED_ALLOWED = frozenset(
+    {
+        ast.Module, ast.FunctionDef, ast.arguments, ast.arg,
+        ast.Assign, ast.AugAssign, ast.Expr, ast.Return, ast.If, ast.For,
+        ast.While, ast.Break, ast.Continue, ast.Pass, ast.Raise,
+        ast.Name, ast.Constant, ast.Tuple, ast.List, ast.Subscript,
+        ast.Slice, ast.Compare, ast.BoolOp, ast.BinOp, ast.UnaryOp,
+        ast.Call, ast.Attribute, ast.keyword, ast.Load, ast.Store,
+        ast.And, ast.Or, ast.USub, ast.Not, ast.Invert,
+        ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE,
+        ast.Is, ast.IsNot,
+        ast.Add, ast.Sub, ast.Mult, ast.LShift, ast.RShift,
+        ast.BitAnd, ast.BitOr,
+    }
+)
+
+#: Free functions a generated kernel may call: builtins with direct
+#: lowering plus the two sanctioned arithmetic helpers (profile-routed
+#: multiply, MSB-search square root) and the sparse-table hooks.
+_GENERATED_NAME_CALLS = frozenset(
+    {
+        "range", "len", "int", "bool", "float", "min", "max",
+        "checked_multiply", "approx_isqrt", "square", "increment",
+        "ValueError",
+    }
+)
+
+#: Methods a generated kernel may call on locals (list/ndarray surface).
+_GENERATED_METHODS = frozenset({"append", "sum", "any", "all", "astype"})
+
+#: The numpy namespace slice the generated-numpy backend may touch.
+_GENERATED_NP_ATTRS = frozenset(
+    {
+        "empty", "zeros", "arange", "asarray", "fromiter",
+        "bincount", "nonzero", "argmax", "int64", "float64", "bool_",
+    }
+)
+
+
+def _generated_source_violations(tree: ast.AST) -> List[Tuple[int, str]]:
+    """Every (line, reason) where a generated source leaves the op set."""
+    violations: List[Tuple[int, str]] = []
+    for node in ast.walk(tree):
+        lineno = getattr(node, "lineno", 0)
+        if type(node) not in _GENERATED_ALLOWED:
+            violations.append(
+                (lineno, f"{type(node).__name__} has no restricted-op-set form")
+            )
+            continue
+        if isinstance(node, ast.FunctionDef) and node.decorator_list:
+            violations.append((lineno, "decorators are outside the op set"))
+        elif isinstance(node, ast.Attribute):
+            if not isinstance(node.ctx, ast.Load):
+                violations.append((lineno, "attribute store"))
+            elif isinstance(node.value, ast.Name) and node.value.id == "np":
+                if node.attr not in _GENERATED_NP_ATTRS:
+                    violations.append(
+                        (lineno, f"numpy attribute np.{node.attr} not whitelisted")
+                    )
+            elif node.attr not in _GENERATED_METHODS and node.attr != "shape":
+                violations.append(
+                    (lineno, f"attribute .{node.attr} not whitelisted")
+                )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id not in _GENERATED_NAME_CALLS:
+                    violations.append(
+                        (lineno, f"call to {func.id!r} not whitelisted")
+                    )
+            elif not isinstance(func, ast.Attribute):
+                violations.append((lineno, "computed call target"))
+    return violations
+
+
+def check_generated_kernels() -> List[Diagnostic]:
+    """Audit the compiled tier's generated sources (ST510/ST511).
+
+    ST510 walks each reference source (one per constructible shape) and
+    rejects any construct outside :data:`_GENERATED_ALLOWED` — the same
+    restricted operation set the templates claim to compile from.
+
+    ST511 cross-checks each source's ``# parallel-mode:`` pragma against
+    :func:`derive_eligibility_table` for its shape.  The effect-collector
+    proof behind ST501/ST502 cannot apply here — generated kernels return
+    deltas and never touch engine state, so their effect sets are empty
+    and the dataflow would vacuously prove ``tally`` for everything;
+    instead the pragma must equal the mode the *shape* dataflow derives
+    (``None`` → ``serial``), keeping fan-out derived from analysis rather
+    than a hand table inside the code generator.
+    """
+    from repro.stat4.compiled import reference_sources  # lazy: avoids cycle
+
+    table = derive_eligibility_table()
+    diagnostics: List[Diagnostic] = []
+    for shape_key, source in sorted(reference_sources().items()):
+        virtual_file = f"<generated:{shape_key}>"
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            diagnostics.append(
+                make(
+                    "ST510",
+                    f"generated kernel {shape_key!r} does not parse: {exc}",
+                    file=virtual_file,
+                    shape=shape_key,
+                )
+            )
+            continue
+        for lineno, reason in _generated_source_violations(tree):
+            diagnostics.append(
+                make(
+                    "ST510",
+                    f"generated kernel {shape_key!r} leaves the restricted "
+                    f"op set: {reason}",
+                    file=virtual_file,
+                    line=lineno,
+                    shape=shape_key,
+                    reason=reason,
+                )
+            )
+        match = _KERNEL_PRAGMA.search(source)
+        declared = match.group(1) if match else None
+        derived = table.get(shape_key)
+        derived_name = derived if derived is not None else "serial"
+        if declared is None:
+            diagnostics.append(
+                make(
+                    "ST511",
+                    f"generated kernel {shape_key!r} carries no "
+                    "'# parallel-mode:' pragma",
+                    file=virtual_file,
+                    shape=shape_key,
+                    derived=derived_name,
+                )
+            )
+        elif declared != derived_name:
+            diagnostics.append(
+                make(
+                    "ST511",
+                    f"generated kernel {shape_key!r} declares parallel mode "
+                    f"{declared!r} but the shape dataflow derives "
+                    f"{derived_name!r}",
+                    file=virtual_file,
+                    shape=shape_key,
+                    declared=declared,
+                    derived=derived_name,
+                )
+            )
+    return diagnostics
 
 
 # --------------------------------------------------------------------------

@@ -133,6 +133,15 @@ RULES: Dict[str, Rule] = {
               "crash sweep"),
         _rule("ST506", Severity.INFO, "suppressed race finding",
               "documented exceptions carry a '# race-ok' pragma"),
+        # -- generated kernels (ST51x) --------------------------------------
+        _rule("ST510", Severity.ERROR, "generated kernel outside op set",
+              "compiled tier: generated source must stay inside the "
+              "restricted operation set (adds, shifts, compares, constant "
+              "multiplies)"),
+        _rule("ST511", Severity.ERROR, "generated kernel pragma drift",
+              "compiled tier: a generated kernel's '# parallel-mode:' "
+              "pragma must match the dataflow-derived eligibility for its "
+              "shape"),
     )
 }
 

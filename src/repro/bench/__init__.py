@@ -38,6 +38,7 @@ from repro.bench.history import (
 from repro.bench.suite import (
     SCENARIO_SCHEMA,
     SCHEMA_VERSION,
+    format_kernels_markdown,
     format_merge_markdown,
     format_report,
     format_scenario_table,
@@ -51,6 +52,7 @@ __all__ = [
     "run_suite",
     "write_report",
     "format_report",
+    "format_kernels_markdown",
     "format_merge_markdown",
     "format_scenario_table",
     "compare_reports",

@@ -70,6 +70,7 @@ __all__ = [
     "run_suite",
     "write_report",
     "format_report",
+    "format_kernels_markdown",
     "format_merge_markdown",
     "format_scenario_table",
 ]
@@ -409,6 +410,11 @@ def _time_merge_parallel_kernels(
     workers = max(workers, 4)
     config, build_spec = _merge_workload()
     contexts = _make_service_contexts(packets)
+    # Bounded staleness trades the replay fallback away, so it is a
+    # different kernel with its own committed floor — the row name keys
+    # the floor, and compare.py skips whichever staleness twin a run
+    # did not measure.
+    name = "merge_parallel_bounded" if staleness == "bounded" else "merge_parallel"
     results: List[Dict[str, Any]] = []
     section: Dict[str, Any] = {
         "packets": packets,
@@ -425,7 +431,7 @@ def _time_merge_parallel_kernels(
     seconds = _best_of(repeats, run_scalar)
     results.append(
         {
-            "name": "merge_parallel",
+            "name": name,
             "mode": "scalar",
             "backend": None,
             "packets": packets,
@@ -458,7 +464,7 @@ def _time_merge_parallel_kernels(
         seconds = _best_of(repeats, run_merge)
         results.append(
             {
-                "name": "merge_parallel",
+                "name": name,
                 "mode": "batched",
                 "backend": backend,
                 "packets": packets,
@@ -888,9 +894,9 @@ def run_suite(
     Args:
         quick: the CI profile — fewer packets, fewer repeats, cheaper
             experiment set.
-        backend: ``"auto"`` benchmarks every available backend (numpy and
-            python when numpy is importable); a specific backend name
-            restricts to that one.
+        backend: ``"auto"`` benchmarks every available backend (numpy,
+            compiled, and python when numpy is importable); a specific
+            backend name restricts to that one.
         skip_experiments: kernels only (used by unit tests).
         packets / repeats: override the profile (tests use tiny values).
         workers: worker count for the parallel ingest kernels
@@ -928,7 +934,9 @@ def run_suite(
     n = packets if packets is not None else profile_packets
     reps = repeats if repeats is not None else profile_repeats
     if backend == "auto":
-        backends = ["numpy", "python"] if HAS_NUMPY else ["python"]
+        # numpy first: backends[0] drives the cluster-scaling, shipping,
+        # and scenario sections, which predate the compiled tier.
+        backends = ["numpy", "compiled", "python"] if HAS_NUMPY else ["python"]
     else:
         backends = [resolve_backend(backend)]
     if scenarios_only:
@@ -947,6 +955,11 @@ def run_suite(
         kernels.extend(merge_rows)
         service_rows, service_section = _time_service_kernels(n, reps, backends)
         kernels.extend(service_rows)
+    # Absolute per-packet cost per row: the speedup ratios re-anchor
+    # whenever the scalar baseline moves, so tier-vs-tier comparisons
+    # (numpy vs compiled) need a machine-local absolute column too.
+    for row in kernels:
+        row["ns_per_packet"] = 1e9 / row["pps"] if row["pps"] > 0 else None
     report: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "revision": _revision(),
@@ -955,6 +968,7 @@ def run_suite(
         "quick": quick,
         "workers": workers,
         "pool": pool,
+        "backends": backends,
         "kernels": kernels,
         "experiments": (
             []
@@ -1002,7 +1016,8 @@ def format_report(report: Dict[str, Any]) -> str:
         f"numpy {report['numpy'] or 'unavailable'}, "
         f"{'quick' if report['quick'] else 'full'} profile)",
         "",
-        f"{'kernel':<22} {'mode':<8} {'backend':<8} {'pps':>12} {'speedup':>8}",
+        f"{'kernel':<22} {'mode':<8} {'backend':<8} {'pps':>12} "
+        f"{'ns/pkt':>9} {'speedup':>8}",
     ]
     speedups = report.get("speedups", {})
     for row in report["kernels"]:
@@ -1012,9 +1027,11 @@ def format_report(report: Dict[str, Any]) -> str:
             value = speedups.get(row["name"], {}).get(row["backend"])
             if value is not None:
                 ratio = f"{value:.1f}x"
+        ns = row.get("ns_per_packet")
+        ns_text = f"{ns:,.0f}" if ns is not None else "-"
         lines.append(
             f"{row['name']:<22} {row['mode']:<8} {backend:<8} "
-            f"{row['pps']:>12,.0f} {ratio:>8}"
+            f"{row['pps']:>12,.0f} {ns_text:>9} {ratio:>8}"
         )
     shipping = report.get("shipping")
     if shipping:
@@ -1122,6 +1139,45 @@ def format_merge_markdown(report: Dict[str, Any]) -> str:
             f"| {backend} | {row['adopted_chunks']} | {row['folded_chunks']} "
             f"| {row['replayed_chunks']} | {row['stale_chunks']} "
             f"| {row['fallback_replay_rate'] * 100:.1f}% |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def format_kernels_markdown(report: Dict[str, Any]) -> str:
+    """Markdown twin of the per-kernel table, or ``""`` without kernels.
+
+    CI appends this to ``GITHUB_STEP_SUMMARY`` next to the floor
+    verdicts: the speedup ratios re-anchor whenever the scalar baseline
+    moves, so the absolute ns/packet column is what makes tier-vs-tier
+    comparisons (numpy vs compiled) readable across revisions of the
+    same runner.
+    """
+    kernels = report.get("kernels")
+    if not kernels:
+        return ""
+    speedups = report.get("speedups", {})
+    lines = [
+        "### Kernel timings",
+        "",
+        f"revision {report['revision']}, "
+        f"{'quick' if report.get('quick') else 'full'} profile, "
+        f"backends: {', '.join(report.get('backends') or [])}",
+        "",
+        "| kernel | mode | backend | pps | ns/pkt | speedup |",
+        "| --- | --- | --- | ---: | ---: | ---: |",
+    ]
+    for row in kernels:
+        ratio = ""
+        if row["mode"] == "batched":
+            value = speedups.get(row["name"], {}).get(row["backend"])
+            if value is not None:
+                ratio = f"{value:.1f}x"
+        ns = row.get("ns_per_packet")
+        ns_text = f"{ns:,.0f}" if ns is not None else "-"
+        lines.append(
+            f"| {row['name']} | {row['mode']} | {row['backend'] or '-'} "
+            f"| {row['pps']:,.0f} | {ns_text} | {ratio} |"
         )
     lines.append("")
     return "\n".join(lines)

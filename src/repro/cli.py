@@ -44,7 +44,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument(
         "--backend",
-        choices=["auto", "numpy", "python"],
+        choices=["auto", "numpy", "compiled", "python"],
         default="auto",
         help="batch backend for --batched",
     )
@@ -153,7 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--backend",
-        choices=["auto", "numpy", "python"],
+        choices=["auto", "numpy", "compiled", "python"],
         default="auto",
         help="batch backend(s) to measure (auto = every available one)",
     )
@@ -286,7 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=["scalar", "parallel"], default="scalar"
     )
     serve.add_argument(
-        "--backend", choices=["auto", "numpy", "python"], default="auto"
+        "--backend", choices=["auto", "numpy", "compiled", "python"], default="auto"
     )
     serve.add_argument(
         "--workers", type=int, default=4, help="parallel-engine worker count"
@@ -597,6 +597,7 @@ def _cmd_bench(args) -> int:
         compare_scenario_reports,
         format_delta_markdown,
         format_delta_table,
+        format_kernels_markdown,
         format_merge_markdown,
         format_report,
         format_scenario_delta_markdown,
@@ -682,6 +683,12 @@ def _cmd_bench(args) -> int:
             with open(summary_path, "a", encoding="utf-8") as handle:
                 handle.write(format_delta_markdown(rows, args.tolerance))
                 handle.write("\n")
+                kernels_markdown = format_kernels_markdown(report)
+                if kernels_markdown:
+                    # Absolute ns/packet per kernel row: tier-vs-tier
+                    # comparisons survive baseline re-anchoring.
+                    handle.write(kernels_markdown)
+                    handle.write("\n")
                 if merge_markdown:
                     # The fallback-replay rate belongs next to the floor
                     # verdicts: a creeping rate forecasts a merge_parallel

@@ -165,7 +165,7 @@ class DetectionService:
             :func:`default_config`).
         bindings: ``(stage, match, spec)`` entries (same defaulting).
         engine: ``"scalar"`` or ``"parallel"``.
-        backend: batch backend (``auto``/``numpy``/``python``).
+        backend: batch backend (``auto``/``numpy``/``compiled``/``python``).
         workers / pool: parallel-engine fan-out shape.
         staleness: merge-engine reconciliation for tracked+alerting
             bindings (``"exact"`` is bit-identical to scalar;

@@ -106,21 +106,26 @@ _MISS = object()
 
 
 def resolve_backend(backend: str = "auto") -> str:
-    """Normalize a backend request to ``"numpy"`` or ``"python"``.
+    """Normalize a backend request to ``"numpy"``, ``"python"``, or
+    ``"compiled"``.
+
+    ``"compiled"`` is the generated-kernel tier (:mod:`repro.stat4.compiled`):
+    it requires numpy, and uses numba on top when importable.
 
     Raises:
-        RuntimeError: if ``"numpy"`` is requested but not importable.
+        RuntimeError: if ``"numpy"`` or ``"compiled"`` is requested but
+            numpy is not importable.
         ValueError: on an unknown backend name.
     """
     if backend == "auto":
         return "numpy" if HAS_NUMPY else "python"
-    if backend == "numpy":
+    if backend in ("numpy", "compiled"):
         if not HAS_NUMPY:
             raise RuntimeError(
-                "numpy backend requested but numpy is not importable; "
+                f"{backend} backend requested but numpy is not importable; "
                 "use backend='python' or 'auto'"
             )
-        return "numpy"
+        return backend
     if backend == "python":
         return "python"
     raise ValueError(f"unknown batch backend {backend!r}")
@@ -503,14 +508,22 @@ class BatchEngine:
 
     Args:
         stat4: the library instance to drive.
-        backend: ``"auto"`` (numpy when available), ``"numpy"``, or
-            ``"python"``.
+        backend: ``"auto"`` (numpy when available), ``"numpy"``,
+            ``"python"``, or ``"compiled"`` (generated specialized
+            kernels, numba-jitted when the ``jit`` extra is installed).
     """
 
     def __init__(self, stat4: Stat4, backend: str = "auto"):
         self.stat4 = stat4
         self.backend = resolve_backend(backend)
-        self._np = _np if self.backend == "numpy" else None
+        # The compiled tier layers on the numpy kernels: any run its
+        # generated kernels decline falls through to them.
+        self._np = _np if self.backend in ("numpy", "compiled") else None
+        self._compiled = None
+        if self.backend == "compiled":
+            from repro.stat4.compiled import CompiledKernelLibrary
+
+            self._compiled = CompiledKernelLibrary(stat4)
 
     # -- entry point ----------------------------------------------------------
 
@@ -695,6 +708,10 @@ class BatchEngine:
         # of the run, resetting the slot iff it was repurposed (exactly
         # the scalar per-application behaviour).
         state = self.stat4._state_for(spec)
+        if self._compiled is not None and self._compiled.run(
+            self, spec, state, segment, batch, sink, result
+        ):
+            return
         values = batch.values_for(spec)
         if spec.kind is DistributionKind.FREQUENCY and spec.k_sigma <= 0:
             if state.tracker is None:

@@ -1403,6 +1403,18 @@ class ParallelBatchEngine(BatchEngine):
             result.kernels.get("merge_parallel", 0) + len(segment)
         )
         local: Dict[int, int] = {}
+        # Bounded staleness folds every chunk, so the run's cell overlay
+        # can be a flat int64 column instead of a dict: chunk tallies
+        # bincount into it and the epilogue writes back only the touched
+        # mask.  Falls back to the dict overlay without numpy or when the
+        # counter width could overflow the int64 fold.
+        col = None
+        col_touched = None
+        if bounded and _np is not None and width_mask <= 0xFFFFFFFF:
+            col = _np.asarray(
+                counters._cells[base : base + size], dtype=_np.int64
+            )
+            col_touched = _np.zeros(size, dtype=bool)
         touched = False
         synced = False
         pos_mirror = stat4.reg_pos.read(dist)
@@ -1428,9 +1440,15 @@ class ParallelBatchEngine(BatchEngine):
             if bounded:
                 # Bounded staleness: exact monoid fold + exact tracker
                 # walk, stale digest stream from the worker's speculation.
-                if self._merge_fold_counts(
-                    state, tally, local, counters, base, width_mask
-                ):
+                if col is not None:
+                    folded = self._merge_fold_counts_np(
+                        state, tally, col, col_touched, width_mask
+                    )
+                else:
+                    folded = self._merge_fold_counts(
+                        state, tally, local, counters, base, width_mask
+                    )
+                if folded:
                     touched = True
                 if self._merge_fold_tracker(
                     tracker, segment, start, stop, values, size
@@ -1512,8 +1530,12 @@ class ParallelBatchEngine(BatchEngine):
                 run.records, spec, segment, start, timestamps, sink
             )
             self.merge_replayed_chunks += 1
-        for value, count in local.items():
-            counters.write(base + value, count)
+        if col is not None:
+            for value in _np.flatnonzero(col_touched):
+                counters.write(base + int(value), int(col[int(value)]))
+        else:
+            for value, count in local.items():
+                counters.write(base + value, count)
         if touched:
             stat4._sync_stats(state)
         if synced:
@@ -1636,6 +1658,66 @@ class ParallelBatchEngine(BatchEngine):
             else:
                 stats.observe_frequencies(old, repeat)
                 local[value] = old + repeat
+        return True
+
+    def _merge_fold_counts_np(
+        self,
+        state: DistributionState,
+        tally: Dict[int, int],
+        col: Any,
+        col_touched: Any,
+        width_mask: int,
+    ) -> bool:
+        """Vectorized bounded-staleness fold: ``numpy.bincount`` of the
+        chunk tally into the register column, with the telescoped moment
+        deltas closed over the whole tally at once.
+
+        Bit-identical to :meth:`_merge_fold_counts`: tally keys are
+        distinct cells, so summing per-cell telescoped deltas in any
+        order gives the same integers, and ``N`` grows by exactly the
+        number of previously-empty cells.  Near-wrap cells (the rare
+        ``old + repeat > width_mask`` case) drop out of the vector and
+        replay their occurrences one by one so wrapped counts feed the
+        moments exactly, as in the scalar fold.  Returns whether any
+        cell was touched.
+        """
+        if not tally:
+            return False
+        stats = state.stats
+        n = len(tally)
+        vals = _np.fromiter(tally.keys(), dtype=_np.int64, count=n)
+        reps = _np.fromiter(tally.values(), dtype=_np.int64, count=n)
+        old = col[vals]
+        wrap = old + reps > width_mask
+        if wrap.any():
+            for i in _np.flatnonzero(wrap):
+                value = int(vals[i])
+                current = int(old[i])
+                for _ in range(int(reps[i])):
+                    stats.observe_frequency(current)
+                    current = (current + 1) & width_mask
+                col[value] = current
+                col_touched[value] = True
+            keep = ~wrap
+            vals, reps, old = vals[keep], reps[keep], old[keep]
+            if not len(vals):
+                return True
+        zero_cells = int((old == 0).sum())
+        if zero_cells:
+            stats.count = stats.count + zero_cells
+        total = int(reps.sum())
+        stats.xsum = stats.xsum + total
+        stats.xsumsq = stats.xsumsq + (
+            (int((old * reps).sum()) << 1) + int((reps * reps).sum())
+        )
+        stats.updates = stats.updates + total
+        stats._sd_dirty = True
+        # Distinct keys make the bincount a pure scatter-add; float64
+        # weights are exact for per-chunk repeat sums below 2**53.
+        col += _np.bincount(
+            vals, weights=reps, minlength=len(col)
+        ).astype(_np.int64)
+        col_touched[vals] = True
         return True
 
     def _merge_fold_tracker(

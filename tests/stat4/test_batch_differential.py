@@ -42,6 +42,11 @@ BACKENDS = [
         id="numpy",
         marks=pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed"),
     ),
+    pytest.param(
+        "compiled",
+        id="compiled",
+        marks=pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed"),
+    ),
 ]
 
 TRACE_PACKETS = 10_000

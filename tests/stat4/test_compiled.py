@@ -1,0 +1,321 @@
+"""Compiled-tier unit tests: shape coverage, failure paths, cache lifecycle.
+
+Bit-identity of ``backend="compiled"`` against the scalar oracle is pinned
+by the hypothesis differentials (``test_batch_differential`` for the
+serial engine, ``test_parallel_differential`` for both pool types — the
+``compiled`` entry in ``BACKENDS`` runs there).  This module covers what
+those sweeps cannot see:
+
+- every constructible shape actually takes its compiled kernel (the
+  ``compiled_<family>`` counter ticks) rather than silently falling
+  through to the numpy tier;
+- the numba degradation ladder — import/compile failure at build time,
+  call failure mid-run — lands back on the generated-numpy backend with
+  identical results (numba is stubbed; the reference environment does
+  not install the ``jit`` extra);
+- ``Stat4Runtime.rebind`` invalidates the generated-source cache, and
+  the drift guard recompiles when the binding generation changes;
+- the kernel cache stays bounded under eviction pressure.
+"""
+
+import pytest
+
+from repro.stat4 import (
+    BatchEngine,
+    BindingMatch,
+    ExtractSpec,
+    PacketBatch,
+    Stat4,
+    Stat4Config,
+    Stat4Runtime,
+)
+from repro.stat4.batch import HAS_NUMPY
+
+from tests.stat4.test_batch_differential import (
+    MATCH_ALL,
+    assert_equal_state,
+    generate_trace,
+    process_scalar,
+)
+
+pytestmark = pytest.mark.skipif(
+    not HAS_NUMPY, reason="the compiled tier requires numpy"
+)
+
+PACKETS = 1_500
+
+
+# -- shape builders -----------------------------------------------------------
+#
+# One (config, spec) point per constructible shape key, adversarially
+# small geometries (64 cells, wrap-prone widths stay default).  Each
+# builder returns (stat4, runtime, handle) so rebind tests can reuse it.
+
+
+def _freq(k_sigma=0, percent=None, percentile_alert=""):
+    def build():
+        config = Stat4Config(counter_num=2, counter_size=64, binding_stages=1)
+        stat4 = Stat4(config)
+        runtime = Stat4Runtime(stat4)
+        spec = runtime.frequency_of(
+            0,
+            ExtractSpec.field("ipv4.dst", mask=0x3F),
+            k_sigma=k_sigma,
+            percent=percent,
+            percentile_alert=percentile_alert,
+            min_samples=3,
+        )
+        handle, _ = runtime.bind(0, BindingMatch(ether_type=0x0800), spec)
+        return stat4, runtime, handle
+
+    return build
+
+
+def _time_series(k_sigma):
+    def build():
+        config = Stat4Config(counter_num=2, counter_size=64, binding_stages=1)
+        stat4 = Stat4(config)
+        runtime = Stat4Runtime(stat4)
+        spec = runtime.rate_over_time(
+            0, interval=0.008, k_sigma=k_sigma, min_samples=3, window=12
+        )
+        handle, _ = runtime.bind(0, MATCH_ALL, spec)
+        return stat4, runtime, handle
+
+    return build
+
+
+def _sparse(k_sigma):
+    def build():
+        config = Stat4Config(
+            counter_num=2, counter_size=64, binding_stages=1, sparse_dists=(0,)
+        )
+        stat4 = Stat4(config)
+        runtime = Stat4Runtime(stat4)
+        spec = runtime.sparse_frequency_of(
+            0, ExtractSpec.field("ipv4.dst"), k_sigma=k_sigma
+        )
+        handle, _ = runtime.bind(0, BindingMatch(ether_type=0x0800), spec)
+        return stat4, runtime, handle
+
+    return build
+
+
+SHAPE_BUILDERS = {
+    "frequency": _freq(),
+    "frequency+alerting": _freq(k_sigma=2),
+    "frequency+tracked": _freq(percent=50),
+    "frequency+tracked+alerting": _freq(k_sigma=2, percent=50),
+    "frequency+tracked+percentile_alert": _freq(
+        percent=50, percentile_alert="median_moved"
+    ),
+    "frequency+tracked+alerting+percentile_alert": _freq(
+        k_sigma=2, percent=50, percentile_alert="median_moved"
+    ),
+    "time_series": _time_series(k_sigma=0),
+    "time_series+alerting": _time_series(k_sigma=2),
+    "sparse_frequency": _sparse(k_sigma=0),
+    "sparse_frequency+alerting": _sparse(k_sigma=2),
+}
+
+
+def test_builders_cover_every_constructible_shape():
+    from repro.analysis.concurrency import enumerate_shapes
+
+    assert set(SHAPE_BUILDERS) == {shape.key for shape in enumerate_shapes()}
+
+
+@pytest.mark.parametrize("shape_key", sorted(SHAPE_BUILDERS))
+def test_every_shape_takes_its_compiled_kernel(shape_key):
+    # The differential sweeps prove exactness; this pins *coverage* — a
+    # shape quietly falling through to the numpy tier would still pass
+    # them, so the per-family kernel counter is asserted instead.
+    from repro.analysis.concurrency import KernelShape
+    from repro.stat4.compiled import family_of
+
+    contexts = generate_trace(7, packets=PACKETS)
+    scalar, _, _ = SHAPE_BUILDERS[shape_key]()
+    compiled, _, handle = SHAPE_BUILDERS[shape_key]()
+    scalar_digests = process_scalar(scalar, contexts)
+    engine = BatchEngine(compiled, backend="compiled")
+    result = engine.process(PacketBatch.from_contexts(contexts))
+    family = family_of(KernelShape.of_spec(handle.spec))
+    assert result.kernels.get(f"compiled_{family}", 0) > 0, result.kernels
+    assert_equal_state(scalar, compiled, scalar_digests, list(result.digests))
+
+
+# -- numba degradation ladder -------------------------------------------------
+
+
+class _NumbaStub:
+    """Stands in for the numba module; ``njit_behavior`` decides the mode."""
+
+    def __init__(self, njit_behavior):
+        self._behavior = njit_behavior
+
+    def njit(self, fn):
+        return self._behavior(fn)
+
+
+def _run_with_stub(monkeypatch, behavior):
+    from repro.stat4 import compiled as compiled_mod
+
+    monkeypatch.setattr(compiled_mod, "HAS_NUMBA", True)
+    monkeypatch.setattr(compiled_mod, "_numba", _NumbaStub(behavior))
+    contexts = generate_trace(13, packets=PACKETS)
+    scalar, _, _ = SHAPE_BUILDERS["frequency"]()
+    jitted, _, _ = SHAPE_BUILDERS["frequency"]()
+    scalar_digests = process_scalar(scalar, contexts)
+    engine = BatchEngine(jitted, backend="compiled")
+    result = engine.process(PacketBatch.from_contexts(contexts))
+    assert_equal_state(scalar, jitted, scalar_digests, list(result.digests))
+    return engine._compiled
+
+
+def test_njit_compile_failure_degrades_to_generated_numpy(monkeypatch):
+    def broken_njit(fn):
+        raise RuntimeError("no LLVM for you")
+
+    library = _run_with_stub(monkeypatch, broken_njit)
+    assert library.jit_failures >= 1
+    assert library.jit_kernels == 0
+
+
+def test_njit_call_failure_mid_run_degrades_and_stays_exact(monkeypatch):
+    # The jitted callable blows up on first invocation (the realistic
+    # lowering-failure mode): _invoke must rebuild the arguments, rerun
+    # the generated-numpy twin, and permanently demote the kernel.
+    def exploding_njit(fn):
+        def jitted(*args):
+            raise RuntimeError("typing error in nopython mode")
+
+        return jitted
+
+    library = _run_with_stub(monkeypatch, exploding_njit)
+    assert library.jit_failures >= 1
+    assert library.jit_kernels == 0
+    assert all(not kernel.jit for kernel in library._kernels.values())
+
+
+def test_njit_success_path_runs_jitted(monkeypatch):
+    library = _run_with_stub(monkeypatch, lambda fn: fn)
+    assert library.jit_kernels >= 1
+    assert library.jit_failures == 0
+
+
+def test_numba_absent_is_clean_generated_numpy():
+    # The reference environment has no numba: the default path must not
+    # count a failure (degradation is for *installed-but-broken* numba).
+    contexts = generate_trace(17, packets=PACKETS)
+    stat4, _, _ = SHAPE_BUILDERS["frequency"]()
+    engine = BatchEngine(stat4, backend="compiled")
+    engine.process(PacketBatch.from_contexts(contexts))
+    from repro.stat4 import compiled as compiled_mod
+
+    if not compiled_mod.HAS_NUMBA:
+        assert engine._compiled.jit_kernels == 0
+        assert engine._compiled.jit_failures == 0
+
+
+# -- rebind invalidation / drift guard ---------------------------------------
+
+
+def test_rebind_invalidates_generated_source_cache():
+    contexts = generate_trace(5, packets=PACKETS)
+    stat4, runtime, handle = SHAPE_BUILDERS["frequency"]()
+    engine = BatchEngine(stat4, backend="compiled")
+    engine.process(PacketBatch.from_contexts(contexts))
+    library = engine._compiled
+    assert library.compiles == 1
+    assert library.invalidations == 0
+    runtime.rebind(handle)  # bumps the binding generation, resets the slot
+    engine.process(PacketBatch.from_contexts(contexts))
+    assert library.invalidations == 1, "drift guard missed the rebind"
+    assert library.compiles == 2, "stale-generation kernel was reused"
+
+
+def test_rebind_recompile_stays_exact():
+    # Same rebind point on the scalar twin: the recompiled kernel picks
+    # up the new generation's state reset and stays bit-identical.
+    contexts = generate_trace(23, packets=PACKETS)
+    half = len(contexts) // 2
+    scalar, scalar_rt, scalar_handle = SHAPE_BUILDERS["frequency+alerting"]()
+    compiled, compiled_rt, compiled_handle = SHAPE_BUILDERS[
+        "frequency+alerting"
+    ]()
+    engine = BatchEngine(compiled, backend="compiled")
+    scalar_digests = process_scalar(scalar, contexts[:half])
+    batched_digests = list(
+        engine.process(PacketBatch.from_contexts(contexts[:half])).digests
+    )
+    scalar_rt.rebind(scalar_handle)
+    compiled_rt.rebind(compiled_handle)
+    scalar_digests += process_scalar(scalar, contexts[half:])
+    batched_digests += list(
+        engine.process(PacketBatch.from_contexts(contexts[half:])).digests
+    )
+    assert engine._compiled.invalidations == 1
+    assert_equal_state(scalar, compiled, scalar_digests, batched_digests)
+
+
+def test_kernel_cache_stays_bounded(monkeypatch):
+    from repro.stat4 import compiled as compiled_mod
+
+    monkeypatch.setattr(compiled_mod, "_CACHE_LIMIT", 1)
+
+    def build():
+        config = Stat4Config(counter_num=2, counter_size=64, binding_stages=2)
+        stat4 = Stat4(config)
+        runtime = Stat4Runtime(stat4)
+        spec_a = runtime.frequency_of(0, ExtractSpec.field("ipv4.dst", mask=0x3F))
+        spec_b = runtime.frequency_of(
+            1, ExtractSpec.field("ipv4.dst", mask=0x3F), percent=50
+        )
+        runtime.bind(0, BindingMatch(ether_type=0x0800), spec_a)
+        runtime.bind(1, BindingMatch(ether_type=0x0800), spec_b)
+        return stat4
+
+    contexts = generate_trace(29, packets=PACKETS)
+    scalar = build()
+    compiled = build()
+    scalar_digests = process_scalar(scalar, contexts)
+    engine = BatchEngine(compiled, backend="compiled")
+    result = engine.process(PacketBatch.from_contexts(contexts))
+    assert len(engine._compiled._kernels) <= 1
+    assert engine._compiled.compiles >= 2
+    assert_equal_state(scalar, compiled, scalar_digests, list(result.digests))
+
+
+# -- generated sources --------------------------------------------------------
+
+
+def test_reference_sources_pass_the_generated_kernel_lint():
+    from repro.analysis.concurrency import check_generated_kernels
+
+    assert check_generated_kernels() == []
+
+
+def test_lint_rejects_source_outside_the_op_set():
+    import ast
+
+    from repro.analysis.concurrency import _generated_source_violations
+
+    division = "def kernel(x):\n    return x / 2\n"
+    assert _generated_source_violations(ast.parse(division))
+    imports = "import os\ndef kernel(x):\n    return x\n"
+    assert _generated_source_violations(ast.parse(imports))
+    clean = "def kernel(x):\n    return (x << 1) + 1\n"
+    assert _generated_source_violations(ast.parse(clean)) == []
+
+
+def test_generated_sources_compile_and_carry_pragmas():
+    from repro.analysis.concurrency import _KERNEL_PRAGMA, KERNEL_MODES
+    from repro.stat4.compiled import exec_compile, reference_sources
+
+    sources = reference_sources()
+    assert len(sources) == 10
+    for shape_key, source in sources.items():
+        match = _KERNEL_PRAGMA.search(source)
+        assert match is not None, shape_key
+        assert match.group(1) in KERNEL_MODES, shape_key
+        assert callable(exec_compile(source)), shape_key

@@ -330,6 +330,61 @@ class TestMergeResolution:
         with pytest.raises(ValueError):
             ParallelBatchEngine(SCENARIOS["frequency"](), staleness="sloppy")
 
+    def _narrow_tracked(self):
+        # 4-bit cells: 5k packets over a 256-value domain wrap many
+        # times, forcing the fold's per-occurrence wrap fallback.
+        config = Stat4Config(
+            counter_num=4, counter_size=256, counter_width=4, binding_stages=1
+        )
+        stat4 = Stat4(config)
+        runtime = Stat4Runtime(stat4)
+        spec = runtime.frequency_of(
+            0,
+            ExtractSpec.field("ipv4.dst", mask=0xFF),
+            k_sigma=2,
+            percent=50,
+            percentile_alert="median_moved",
+        )
+        runtime.bind(0, BindingMatch(ether_type=0x0800), spec)
+        return stat4
+
+    def test_bounded_fold_wraps_cells_exactly(self):
+        # The vectorized bincount fold drops near-wrap cells out of the
+        # vector and replays their occurrences one by one, so wrapped
+        # counts feed the moments exactly as the scalar loop does.
+        contexts = generate_trace(5, packets=TRACE_PACKETS)
+        scalar = self._narrow_tracked()
+        bounded = self._narrow_tracked()
+        process_scalar(scalar, contexts)
+        engine, _ = self._fan_out(bounded, contexts, staleness="bounded")
+        assert engine.merge_stale_chunks > 0
+        state_a = scalar.state_of(0)
+        state_b = bounded.state_of(0)
+        assert state_a.stats.snapshot() == state_b.stats.snapshot()
+        assert scalar.counters.peek() == bounded.counters.peek()
+
+    def test_bounded_fold_dict_fallback_stays_exact(self, monkeypatch):
+        # Without numpy the bounded fold keeps the dict overlay; both
+        # overlays must leave identical registers and moments.
+        contexts = generate_trace(9, packets=TRACE_PACKETS)
+        vectorized = SCENARIOS["frequency_tracked"]()
+        engine_vec, _ = self._fan_out(vectorized, contexts, staleness="bounded")
+        from repro.stat4 import parallel as parallel_mod
+        from repro.traffic import columns as columns_mod
+
+        # Patch both gates: without numpy, batch columns are plain lists
+        # too, so tally keys reach the dict fold as python ints.
+        monkeypatch.setattr(parallel_mod, "_np", None)
+        monkeypatch.setattr(columns_mod, "_np", None)
+        fallback = SCENARIOS["frequency_tracked"]()
+        engine_fb, _ = self._fan_out(fallback, contexts, staleness="bounded")
+        assert engine_vec.merge_stale_chunks > 0
+        assert engine_fb.merge_stale_chunks > 0
+        state_a = vectorized.state_of(0)
+        state_b = fallback.state_of(0)
+        assert state_a.stats.snapshot() == state_b.stats.snapshot()
+        assert vectorized.counters.peek() == fallback.counters.peek()
+
 
 class TestSplitBatch:
     def test_chunks_are_contiguous_and_cover(self):
